@@ -1,0 +1,52 @@
+#ifndef DBS3_BENCH_BENCH_UTIL_H_
+#define DBS3_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "sim/costs.h"
+#include "sim/machine.h"
+
+namespace dbs3 {
+
+/// The simulated KSR1 used by every figure bench: 70 reservable processors
+/// (of 72), with the calibrated engine-mechanism costs.
+inline SimMachineConfig KsrConfig(const SimCosts& costs,
+                                  size_t processors = 70) {
+  SimMachineConfig config;
+  config.processors = processors;
+  config.thread_startup_cost = costs.thread_startup;
+  config.queue_create_cost = costs.queue_create;
+  config.queue_scan_cost = costs.queue_scan;
+  config.seed = 42;
+  return config;
+}
+
+/// Prints the standard bench header.
+inline void PrintHeader(const char* figure, const char* title) {
+  std::printf("==============================================================\n");
+  std::printf("%s: %s\n", figure, title);
+  std::printf("==============================================================\n");
+}
+
+/// Aborts the bench with the error printed (benches are non-interactive).
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T UnwrapOrDie(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+}  // namespace dbs3
+
+#endif  // DBS3_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,120 @@
+// Extension: the paper's future work (Section 6) — "allowing the choice of
+// the grain of parallelism independent of the operation semantics".
+//
+// A triggered join's sequential unit of work is a whole fragment pair
+// (coarse grain: skew-sensitive, low overhead); a pipelined join's is one
+// tuple (fine grain: skew-insensitive, high overhead). Here the triggered
+// IdealJoin is *chunked*: each fragment's work is split into activations of
+// `grain` outer tuples, independent of the operator's semantics. Sweeping
+// the grain exposes the trade-off the conclusion describes and shows a
+// broad optimum.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/zipf.h"
+#include "sim/workload.h"
+
+namespace dbs3 {
+namespace {
+
+/// IdealJoin on the skewed database, with fragment work split into chunks
+/// of `grain` outer tuples. Modeled as a zero-cost chunker (the executor's
+/// trigger source) feeding the join instances their chunk activations.
+SimPlanSpec BuildChunkedIdealJoin(uint64_t a_card, uint64_t b_card,
+                                  size_t degree, double theta, size_t threads,
+                                  uint64_t grain, const SimCosts& costs) {
+  const std::vector<uint64_t> a = ZipfCounts(a_card, degree, theta);
+  const std::vector<uint64_t> b = ZipfCounts(b_card, degree, 0.0);
+
+  SimOpSpec chunker;
+  chunker.name = "chunker";
+  chunker.instances = 1;
+  chunker.threads = 1;
+  chunker.output = 1;
+  chunker.triggers.resize(1);
+  chunker.triggers[0].cost = 0.0;
+
+  SimOpSpec join;
+  join.name = "join";
+  join.instances = degree;
+  join.threads = std::min(threads, degree);
+  join.strategy = Strategy::kLpt;
+  join.data_cost.resize(degree);
+  std::vector<double> estimates(degree);
+  for (size_t i = 0; i < degree; ++i) {
+    const uint64_t chunks = std::max<uint64_t>((a[i] + grain - 1) / grain, 1);
+    // Cost of one chunk: its share of the fragment's outer tuples, each
+    // scanning the inner fragment, plus result materialization.
+    const double rows_per_chunk =
+        static_cast<double>(a[i]) / static_cast<double>(chunks);
+    join.data_cost[i] =
+        rows_per_chunk *
+        (static_cast<double>(b[i]) * costs.nl_pair + costs.store_tuple);
+    chunker.triggers[0].emissions.push_back(
+        {static_cast<uint32_t>(i), chunks});
+    estimates[i] = join.data_cost[i];
+  }
+  join.cost_estimates = std::move(estimates);
+
+  SimPlanSpec plan;
+  plan.ops.push_back(std::move(chunker));
+  plan.ops.push_back(std::move(join));
+  return plan;
+}
+
+void Run() {
+  PrintHeader("Extension: grain of parallelism",
+              "chunked triggered join, grain swept (paper Section 6 "
+              "future work)");
+  std::printf("A=200K (Zipf=1), B'=20K, degree=200, 20 threads, LPT\n");
+  std::printf("coarse grain = whole fragment (skew-bound); fine grain = "
+              "tuple (overhead-bound)\n\n");
+
+  SimCosts costs;
+  const uint64_t a_card = 200'000, b_card = 20'000;
+  const size_t degree = 200, threads = 20;
+  const double theta = 1.0;
+
+  // Reference points: classic triggered (fragment grain) and ideal time.
+  JoinWorkloadSpec classic;
+  classic.a_cardinality = a_card;
+  classic.b_cardinality = b_card;
+  classic.degree = degree;
+  classic.theta = theta;
+  classic.threads = threads;
+  classic.strategy = Strategy::kLpt;
+  SimPlanSpec classic_plan =
+      UnwrapOrDie(BuildIdealJoinSim(classic, costs), "build");
+  SimMachine classic_machine(KsrConfig(costs));
+  const double fragment_grain =
+      UnwrapOrDie(classic_machine.Run(classic_plan), "run").elapsed;
+
+  std::printf("%12s %14s %16s\n", "grain(rows)", "time(s)", "activations");
+  for (uint64_t grain : {1ul, 8ul, 64ul, 256ul, 1024ul, 4096ul, 16384ul}) {
+    SimPlanSpec plan = BuildChunkedIdealJoin(a_card, b_card, degree, theta,
+                                             threads, grain, costs);
+    uint64_t activations = 0;
+    for (const auto& e : plan.ops[0].triggers[0].emissions) {
+      activations += e.count;
+    }
+    SimMachine machine(KsrConfig(costs));
+    const double t = UnwrapOrDie(machine.Run(plan), "run").elapsed;
+    std::printf("%12llu %14.2f %16llu\n",
+                static_cast<unsigned long long>(grain), t,
+                static_cast<unsigned long long>(activations));
+  }
+  std::printf("%12s %14.2f %16zu   (classic triggered operation)\n",
+              "fragment", fragment_grain, degree);
+  std::printf("\nshape: response time falls as the grain shrinks below the "
+              "skew ceiling, then\nflattens at the ideal time; per-"
+              "activation overhead only bites at grain ~1.\n");
+}
+
+}  // namespace
+}  // namespace dbs3
+
+int main() {
+  dbs3::Run();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Reproduces Figure 13: IdealJoin execution time vs. skew factor, Random
+// vs. LPT consumption strategy.
+//
+// Paper setup: same databases as Figure 12 (A=100K Zipf-skewed, B'=10K,
+// 200 fragments), IdealJoin (triggered, nested loop) with 10 threads.
+// Expected shape: both strategies flat below Zipf~0.4; past it Random grows
+// while LPT stays within ~2% of ideal up to 0.8; past 0.8 both are bounded
+// below by the longest activation Pmax.
+
+#include <cstdio>
+#include <cstring>
+
+#include "bench/bench_util.h"
+#include "model/analysis.h"
+#include "sim/workload.h"
+
+namespace dbs3 {
+namespace {
+
+double RunOne(const JoinWorkloadSpec& spec, const SimCosts& costs,
+              bool use_main_queues) {
+  SimPlanSpec plan = UnwrapOrDie(BuildIdealJoinSim(spec, costs), "build");
+  SimMachineConfig config = KsrConfig(costs);
+  config.use_main_queues = use_main_queues;
+  SimMachine machine(config);
+  return UnwrapOrDie(machine.Run(plan), "run").elapsed;
+}
+
+void Run(bool ablate_main_queues) {
+  PrintHeader("Figure 13",
+              "IdealJoin execution time vs skew, Random vs LPT");
+  std::printf("A=100K, B'=10K, degree=200, threads=10, nested loop\n");
+  std::printf("paper: LPT flat (<2%% over ideal) to Zipf 0.8, then bounded "
+              "by Pmax; Random degrades earlier\n\n");
+  std::printf("%6s %12s %12s %12s %12s\n", "zipf", "Random(s)", "LPT(s)",
+              "Tworst(s)", "Pmax(s)");
+
+  SimCosts costs;
+  for (int z = 0; z <= 10; ++z) {
+    JoinWorkloadSpec spec;
+    spec.a_cardinality = 100'000;
+    spec.b_cardinality = 10'000;
+    spec.degree = 200;
+    spec.theta = 0.1 * z;
+    spec.threads = 10;
+
+    spec.strategy = Strategy::kRandom;
+    const double t_random = RunOne(spec, costs, !ablate_main_queues);
+    spec.strategy = Strategy::kLpt;
+    const double t_lpt = RunOne(spec, costs, !ablate_main_queues);
+
+    OperationProfile profile =
+        UnwrapOrDie(JoinProfile(spec, costs, /*pipelined=*/false), "profile");
+    std::printf("%6.1f %12.2f %12.2f %12.2f %12.2f\n", spec.theta, t_random,
+                t_lpt, TWorst(profile, spec.threads), profile.max_cost);
+  }
+  if (ablate_main_queues) {
+    std::printf("\n(ablation: main/secondary queue split disabled)\n");
+  }
+}
+
+}  // namespace
+}  // namespace dbs3
+
+int main(int argc, char** argv) {
+  bool ablate = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--ablate-main-queues") == 0) ablate = true;
+  }
+  dbs3::Run(ablate);
+  return 0;
+}

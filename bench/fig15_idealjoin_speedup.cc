@@ -1,0 +1,75 @@
+// Reproduces Figure 15: IdealJoin speed-up vs. number of threads, for
+// several skew factors.
+//
+// Paper setup: A=200K, B'=20K, 200 fragments, nested loop, 70 processors;
+// Tseq = 956 s. Expected: unskewed speed-up > 60 at 70 threads; skewed
+// curves plateau at nmax = (a x P) / Pmax — the paper derives nmax = 6 for
+// Zipf 1, 19 for 0.6, 40 for 0.4 — because past that the single longest
+// activation bounds the response time.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "model/analysis.h"
+#include "sim/workload.h"
+
+namespace dbs3 {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 15", "IdealJoin speed-up vs number of threads");
+  std::printf("A=200K, B'=20K, degree=200, nested loop, LPT, 70 processors\n");
+  std::printf("paper: Tseq = 956 s; ceilings nmax = 40 (Zipf .4), 19 (.6), "
+              "6 (1.0)\n\n");
+
+  SimCosts costs;
+  const double thetas[] = {0.0, 0.4, 0.6, 1.0};
+
+  JoinWorkloadSpec base;
+  base.a_cardinality = 200'000;
+  base.b_cardinality = 20'000;
+  base.degree = 200;
+  base.strategy = Strategy::kLpt;
+
+  // Sequential reference and per-skew analytical ceilings.
+  base.theta = 0.0;
+  OperationProfile p0 =
+      UnwrapOrDie(JoinProfile(base, costs, /*pipelined=*/false), "profile");
+  const double tseq = p0.TotalWork();
+  std::printf("sequential time Tseq = %.0f s (paper: 956 s)\n", tseq);
+  std::printf("analytical nmax:");
+  for (double theta : thetas) {
+    JoinWorkloadSpec spec = base;
+    spec.theta = theta;
+    OperationProfile p =
+        UnwrapOrDie(JoinProfile(spec, costs, false), "profile");
+    std::printf("  Zipf %.1f -> %.1f", theta, NMax(p));
+  }
+  std::printf("   (paper: 40 @ 0.4, 19 @ 0.6, 6 @ 1.0)\n\n");
+
+  std::printf("%8s %10s %10s %10s %10s %12s\n", "threads", "Zipf=0",
+              "Zipf=0.4", "Zipf=0.6", "Zipf=1", "theoretical");
+  for (size_t n : {1ul, 5ul, 10ul, 20ul, 30ul, 40ul, 50ul, 60ul, 70ul,
+                   80ul, 90ul, 100ul}) {
+    std::printf("%8zu", n);
+    for (double theta : thetas) {
+      JoinWorkloadSpec spec = base;
+      spec.threads = n;
+      spec.theta = theta;
+      SimPlanSpec plan =
+          UnwrapOrDie(BuildIdealJoinSim(spec, costs), "build");
+      SimMachine machine(KsrConfig(costs));
+      SimResult result = UnwrapOrDie(machine.Run(plan), "run");
+      std::printf(" %10.1f", tseq / result.elapsed);
+    }
+    std::printf(" %12zu\n", std::min<size_t>(n, 70));
+  }
+}
+
+}  // namespace
+}  // namespace dbs3
+
+int main() {
+  dbs3::Run();
+  return 0;
+}

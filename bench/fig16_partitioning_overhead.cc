@@ -1,0 +1,77 @@
+// Reproduces Figure 16: overhead of a high degree of partitioning (no
+// temporary index).
+//
+// Paper setup (Section 5.6.1): unskewed relations 100K/10K, 20 threads,
+// degree of partitioning 20..1500. Overhead is measured time minus the
+// theoretical time T_d = T_20 x (20 / d) (the nested-loop work halves as
+// the degree doubles). Expected: overhead approximately linear in the
+// degree, ~0.45 ms/degree for IdealJoin (one activation per fragment) and
+// ~4 ms/degree for AssocJoin (two queue groups and 10K activations).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "sim/workload.h"
+
+namespace dbs3 {
+namespace {
+
+double RunQuery(bool assoc, size_t degree, const SimCosts& costs) {
+  JoinWorkloadSpec spec;
+  spec.a_cardinality = 100'000;
+  spec.b_cardinality = 10'000;
+  spec.degree = degree;
+  spec.theta = 0.0;
+  spec.threads = 20;
+  spec.algorithm = JoinAlgorithm::kNestedLoop;
+  SimPlanSpec plan = UnwrapOrDie(
+      assoc ? BuildAssocJoinSim(spec, costs) : BuildIdealJoinSim(spec, costs),
+      "build");
+  SimMachine machine(KsrConfig(costs));
+  return UnwrapOrDie(machine.Run(plan), "run").elapsed;
+}
+
+void Run() {
+  PrintHeader("Figure 16",
+              "Partitioning overhead, IdealJoin and AssocJoin (no index)");
+  std::printf("A=100K, B'=10K unskewed, 20 threads, nested loop\n");
+  std::printf("paper: overhead ~0.45 ms/degree (IdealJoin), ~4 ms/degree "
+              "(AssocJoin)\n\n");
+
+  const std::vector<size_t> degrees = {20,  100, 250,  500,
+                                       750, 1000, 1250, 1500};
+  SimCosts costs;
+  const double t20_ideal = RunQuery(false, 20, costs);
+  const double t20_assoc = RunQuery(true, 20, costs);
+
+  std::printf("%8s %16s %16s\n", "degree", "IdealJoin ovh(s)",
+              "AssocJoin ovh(s)");
+  std::vector<double> xs, ys_ideal, ys_assoc;
+  for (size_t d : degrees) {
+    const double theoretical_scale = 20.0 / static_cast<double>(d);
+    const double ovh_ideal =
+        RunQuery(false, d, costs) - t20_ideal * theoretical_scale;
+    const double ovh_assoc =
+        RunQuery(true, d, costs) - t20_assoc * theoretical_scale;
+    std::printf("%8zu %16.3f %16.3f\n", d, ovh_ideal, ovh_assoc);
+    xs.push_back(static_cast<double>(d));
+    ys_ideal.push_back(ovh_ideal);
+    ys_assoc.push_back(ovh_assoc);
+  }
+  const LinearFit fit_ideal = FitLine(xs, ys_ideal);
+  const LinearFit fit_assoc = FitLine(xs, ys_assoc);
+  std::printf("\nfitted slopes: IdealJoin %.2f ms/degree (paper ~0.45), "
+              "AssocJoin %.2f ms/degree (paper ~4), r2 = %.3f / %.3f\n",
+              fit_ideal.slope * 1e3, fit_assoc.slope * 1e3, fit_ideal.r2,
+              fit_assoc.r2);
+}
+
+}  // namespace
+}  // namespace dbs3
+
+int main() {
+  dbs3::Run();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Scenario: a city-of-residence table where 'Paris' dominates (the paper's
+// own attribute-value-skew example). Partitioning on the skewed attribute
+// produces fragments of wildly different sizes; this example shows how the
+// DBS3 execution model keeps the join balanced anyway, comparing
+// consumption strategies and degrees of partitioning on the simulated
+// 72-node KSR1.
+//
+//   $ ./build/examples/skew_tuning [zipf]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "model/analysis.h"
+#include "sim/machine.h"
+#include "sim/workload.h"
+
+namespace {
+
+double RunOnce(dbs3::JoinWorkloadSpec spec, const dbs3::SimCosts& costs) {
+  auto plan = dbs3::BuildIdealJoinSim(spec, costs);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "build: %s\n", plan.status().ToString().c_str());
+    std::exit(1);
+  }
+  dbs3::SimMachineConfig config;
+  config.processors = 70;
+  config.thread_startup_cost = costs.thread_startup;
+  config.queue_create_cost = costs.queue_create;
+  config.queue_scan_cost = costs.queue_scan;
+  dbs3::SimMachine machine(config);
+  auto result = machine.Run(plan.value());
+  if (!result.ok()) {
+    std::fprintf(stderr, "run: %s\n", result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return result.value().elapsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dbs3;
+  const double zipf = argc > 1 ? std::atof(argv[1]) : 0.8;
+  std::printf("residents(200K) JOIN cities(20K), tuple placement skew "
+              "Zipf=%.2f, 20 threads\n\n",
+              zipf);
+
+  SimCosts costs;
+  JoinWorkloadSpec spec;
+  spec.a_cardinality = 200'000;
+  spec.b_cardinality = 20'000;
+  spec.theta = zipf;
+  spec.threads = 20;
+  spec.algorithm = JoinAlgorithm::kNestedLoop;
+
+  // Step 1: a modest degree of partitioning, Random consumption — the
+  // naive configuration.
+  spec.degree = 40;
+  spec.strategy = Strategy::kRandom;
+  const double naive = RunOnce(spec, costs);
+
+  // Step 2: switch the triggered join to LPT (process the biggest
+  // fragments first).
+  spec.strategy = Strategy::kLpt;
+  const double lpt = RunOnce(spec, costs);
+
+  // Step 3: raise the degree of partitioning — smaller sequential units of
+  // work let LPT pack the load evenly (Section 5.6.2 of the paper).
+  spec.degree = 400;
+  const double fine = RunOnce(spec, costs);
+
+  // The analytical floor.
+  auto profile = JoinProfile(spec, costs, /*pipelined=*/false);
+  const double ideal = TIdeal(profile.value(), 20);
+
+  std::printf("%-44s %10.2f s\n", "degree  40, Random:", naive);
+  std::printf("%-44s %10.2f s  (%.0f%% faster)\n", "degree  40, LPT:", lpt,
+              100.0 * (1.0 - lpt / naive));
+  std::printf("%-44s %10.2f s  (%.0f%% faster)\n",
+              "degree 400, LPT:", fine, 100.0 * (1.0 - fine / naive));
+  std::printf("%-44s %10.2f s\n", "analytical ideal (perfect balance):",
+              ideal);
+
+  std::printf("\nadvice: for triggered operations over skewed data, use LPT "
+              "and a degree of\npartitioning well above the thread count — "
+              "the overhead is ~%.1f ms per extra\nfragment, far below the "
+              "imbalance it removes.\n",
+              costs.queue_create * 1e3);
+  return 0;
+}

@@ -1,0 +1,36 @@
+#ifndef DBS3_COMMON_HASH_H_
+#define DBS3_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace dbs3 {
+
+/// Mixes a 64-bit integer into a well-distributed 64-bit hash
+/// (SplitMix64 finalizer). Used for hash partitioning on integer keys: the
+/// quality of this mix is what makes unskewed hash partitioning produce
+/// near-equal fragments.
+inline uint64_t HashInt64(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over bytes; used for string keys.
+inline uint64_t HashBytes(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Combines two hashes (boost::hash_combine-style, 64-bit).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+}  // namespace dbs3
+
+#endif  // DBS3_COMMON_HASH_H_

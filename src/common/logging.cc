@@ -1,0 +1,54 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace dbs3 {
+
+namespace {
+
+std::atomic<LogLevel> g_log_level{LogLevel::kWarning};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+std::mutex& EmitMutex() {
+  static std::mutex* m = new std::mutex;
+  return *m;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_log_level.store(level); }
+
+LogLevel GetLogLevel() { return g_log_level.load(); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LevelTag(level) << " " << file << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  std::fputs(stream_.str().c_str(), stderr);
+  std::fputc('\n', stderr);
+  (void)level_;
+}
+
+}  // namespace internal
+
+}  // namespace dbs3

@@ -1,0 +1,57 @@
+#ifndef DBS3_COMMON_LOGGING_H_
+#define DBS3_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace dbs3 {
+
+/// Log severities, in increasing order.
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError };
+
+/// Sets the minimum severity that is emitted (default kWarning, so library
+/// code is silent in tests and benches unless something is wrong).
+void SetLogLevel(LogLevel level);
+
+/// Current minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Builds one log line and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is below the threshold.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define DBS3_LOG(level)                                          \
+  if (::dbs3::LogLevel::level < ::dbs3::GetLogLevel()) {         \
+  } else                                                         \
+    ::dbs3::internal::LogMessage(::dbs3::LogLevel::level,        \
+                                 __FILE__, __LINE__)             \
+        .stream()
+
+}  // namespace dbs3
+
+#endif  // DBS3_COMMON_LOGGING_H_

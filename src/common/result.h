@@ -1,0 +1,74 @@
+#ifndef DBS3_COMMON_RESULT_H_
+#define DBS3_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace dbs3 {
+
+/// A value-or-error type: holds either a `T` or a non-OK Status.
+///
+/// Typical use:
+///
+///   Result<Relation> r = catalog.Get("A");
+///   if (!r.ok()) return r.status();
+///   UseRelation(r.value());
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: `return MakeThing();`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from an error Status: `return Status::NotFound(...)`.
+  /// Constructing from an OK status is a programming error.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status; OK when a value is held.
+  const Status& status() const { return status_; }
+
+  /// The held value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  /// The held value or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error
+/// status from the enclosing function.
+#define DBS3_ASSIGN_OR_RETURN(lhs, expr)               \
+  auto DBS3_CONCAT_(_dbs3_result_, __LINE__) = (expr); \
+  if (!DBS3_CONCAT_(_dbs3_result_, __LINE__).ok())     \
+    return DBS3_CONCAT_(_dbs3_result_, __LINE__).status(); \
+  lhs = std::move(DBS3_CONCAT_(_dbs3_result_, __LINE__)).value()
+
+#define DBS3_CONCAT_INNER_(a, b) a##b
+#define DBS3_CONCAT_(a, b) DBS3_CONCAT_INNER_(a, b)
+
+}  // namespace dbs3
+
+#endif  // DBS3_COMMON_RESULT_H_

@@ -1,0 +1,54 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dbs3 {
+
+Summary Summarize(const std::vector<double>& values) {
+  Summary s;
+  if (values.empty()) return s;
+  s.count = values.size();
+  s.min = values.front();
+  s.max = values.front();
+  for (double v : values) {
+    s.sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = s.sum / static_cast<double>(s.count);
+  double var = 0.0;
+  for (double v : values) var += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(s.count));
+  return s;
+}
+
+LinearFit FitLine(const std::vector<double>& x, const std::vector<double>& y) {
+  assert(x.size() == y.size());
+  assert(x.size() >= 2);
+  const double n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  LinearFit fit;
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) return fit;  // Vertical line; leave the zero fit.
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  double ss_res = 0.0, ss_tot = 0.0;
+  const double ybar = sy / n;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double pred = fit.slope * x[i] + fit.intercept;
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - ybar) * (y[i] - ybar);
+  }
+  fit.r2 = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+}  // namespace dbs3

@@ -1,0 +1,34 @@
+#ifndef DBS3_COMMON_STATS_H_
+#define DBS3_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace dbs3 {
+
+/// Summary statistics of a sample.
+struct Summary {
+  size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< Population standard deviation.
+  double sum = 0.0;
+};
+
+/// Computes Summary over `values`. An empty input yields a zero Summary.
+Summary Summarize(const std::vector<double>& values);
+
+/// Least-squares straight-line fit y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  ///< Coefficient of determination in [0, 1].
+};
+
+/// Fits a line through (x[i], y[i]). Requires x.size() == y.size() >= 2.
+LinearFit FitLine(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace dbs3
+
+#endif  // DBS3_COMMON_STATS_H_

@@ -1,0 +1,65 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace dbs3 {
+
+std::vector<double> ZipfShares(size_t n, double theta) {
+  assert(n > 0);
+  assert(theta >= 0.0);
+  std::vector<double> shares(n);
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    shares[i] = 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    sum += shares[i];
+  }
+  for (double& s : shares) s /= sum;
+  return shares;
+}
+
+std::vector<uint64_t> ZipfCounts(uint64_t total, size_t n, double theta) {
+  const std::vector<double> shares = ZipfShares(n, theta);
+  std::vector<uint64_t> counts(n);
+  uint64_t assigned = 0;
+  for (size_t i = 0; i < n; ++i) {
+    counts[i] = static_cast<uint64_t>(shares[i] * static_cast<double>(total));
+    assigned += counts[i];
+  }
+  // Hand out the rounding remainder one item at a time, largest ranks first,
+  // so the counts sum exactly to `total` and stay sorted descending.
+  size_t i = 0;
+  while (assigned < total) {
+    ++counts[i % n];
+    ++assigned;
+    ++i;
+  }
+  return counts;
+}
+
+double ZipfMaxOverMean(size_t n, double theta) {
+  const std::vector<double> shares = ZipfShares(n, theta);
+  const double mean = 1.0 / static_cast<double>(n);
+  return shares.front() / mean;
+}
+
+ZipfSampler::ZipfSampler(size_t n, double theta) : cdf_(n) {
+  const std::vector<double> shares = ZipfShares(n, theta);
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += shares[i];
+    cdf_[i] = acc;
+  }
+  cdf_.back() = 1.0;  // Guard against floating-point shortfall.
+}
+
+size_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace dbs3

@@ -1,0 +1,48 @@
+#ifndef DBS3_COMMON_ZIPF_H_
+#define DBS3_COMMON_ZIPF_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dbs3 {
+
+/// Normalized Zipf shares over `n` ranks with exponent `theta` in [0, 1]:
+/// share(i) ∝ 1 / (i+1)^theta, sum over all i equals 1.
+///
+/// This is the distribution the paper uses to skew fragment cardinalities
+/// (Section 5.4, [Zipf49]): theta = 0 means no skew (uniform shares), theta =
+/// 1 means high skew. Returns shares indexed by rank, largest first.
+std::vector<double> ZipfShares(size_t n, double theta);
+
+/// Splits `total` items over `n` ranks proportionally to ZipfShares,
+/// distributing rounding remainders to the largest ranks so the counts sum
+/// exactly to `total`. Largest count first.
+std::vector<uint64_t> ZipfCounts(uint64_t total, size_t n, double theta);
+
+/// Ratio of the largest Zipf share to the mean share: `Pmax / P` in the
+/// paper's analysis (footnote of Section 5.5: Zipf = 1 over 200 buckets gives
+/// Pmax = 34 P).
+double ZipfMaxOverMean(size_t n, double theta);
+
+/// Samples ranks with Zipf frequencies (used to generate attribute-value
+/// skew, AVS). Precomputes the CDF once; Sample() is O(log n).
+class ZipfSampler {
+ public:
+  /// Requires n > 0, theta >= 0.
+  ZipfSampler(size_t n, double theta);
+
+  /// A rank in [0, n), rank 0 most frequent.
+  size_t Sample(Rng& rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace dbs3
+
+#endif  // DBS3_COMMON_ZIPF_H_

@@ -1,0 +1,65 @@
+#include "dbs3/database.h"
+
+#include "storage/serialize.h"
+
+namespace dbs3 {
+
+Database::Database(size_t num_disks) : disks_(num_disks) {}
+
+Status Database::CreateWisconsin(const std::string& name,
+                                 const WisconsinOptions& options) {
+  auto relation = GenerateWisconsin(name, options);
+  if (!relation.ok()) return relation.status();
+  return AddRelation(std::move(relation).value());
+}
+
+Status Database::CreateSkewedPair(const SkewSpec& spec,
+                                  const std::string& a_name,
+                                  const std::string& b_name) {
+  auto db = BuildSkewedDatabase(spec);
+  if (!db.ok()) return db.status();
+  // Rebuild under the requested names (the generator uses fixed names).
+  SkewedDatabase pair = std::move(db).value();
+  auto renamed_a = std::make_unique<Relation>(
+      a_name, pair.a->schema(), pair.a->partition_column(),
+      pair.a->partitioner());
+  auto renamed_b = std::make_unique<Relation>(
+      b_name, pair.b->schema(), pair.b->partition_column(),
+      pair.b->partitioner());
+  for (size_t f = 0; f < pair.a->degree(); ++f) {
+    for (const Tuple& t : pair.a->fragment(f).tuples) {
+      renamed_a->AppendToFragment(f, t);
+    }
+  }
+  for (size_t f = 0; f < pair.b->degree(); ++f) {
+    for (const Tuple& t : pair.b->fragment(f).tuples) {
+      renamed_b->AppendToFragment(f, t);
+    }
+  }
+  DBS3_RETURN_IF_ERROR(AddRelation(std::move(renamed_a)));
+  return AddRelation(std::move(renamed_b));
+}
+
+Status Database::AddRelation(std::unique_ptr<Relation> relation) {
+  disks_.Place(*relation);
+  return catalog_.Add(std::move(relation));
+}
+
+Result<Relation*> Database::relation(const std::string& name) const {
+  return catalog_.Get(name);
+}
+
+Status Database::SaveRelation(const std::string& name,
+                              const std::string& path) const {
+  auto rel = catalog_.Get(name);
+  if (!rel.ok()) return rel.status();
+  return WriteRelation(*rel.value(), path);
+}
+
+Status Database::LoadRelation(const std::string& path) {
+  auto rel = ReadRelation(path);
+  if (!rel.ok()) return rel.status();
+  return AddRelation(std::move(rel).value());
+}
+
+}  // namespace dbs3

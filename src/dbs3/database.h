@@ -1,0 +1,63 @@
+#ifndef DBS3_DBS3_DATABASE_H_
+#define DBS3_DBS3_DATABASE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/catalog.h"
+#include "storage/disk.h"
+#include "storage/skew.h"
+#include "storage/wisconsin.h"
+
+namespace dbs3 {
+
+/// The top-level database object: a catalog of statically partitioned
+/// relations placed round-robin on simulated disks. Entry point of the
+/// public API — see examples/quickstart.cc.
+class Database {
+ public:
+  /// Creates a database with `num_disks` placement targets.
+  explicit Database(size_t num_disks = 8);
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  /// Generates and registers a Wisconsin benchmark relation.
+  Status CreateWisconsin(const std::string& name,
+                         const WisconsinOptions& options);
+
+  /// Generates and registers a skewed experiment pair per `spec`, under the
+  /// names `a_name` and `b_name`.
+  Status CreateSkewedPair(const SkewSpec& spec, const std::string& a_name,
+                          const std::string& b_name);
+
+  /// Registers an externally built relation (placing its fragments).
+  Status AddRelation(std::unique_ptr<Relation> relation);
+
+  /// The relation named `name`, or NotFound.
+  Result<Relation*> relation(const std::string& name) const;
+
+  /// Writes the relation named `name` to `path` (DBS3 binary format).
+  Status SaveRelation(const std::string& name, const std::string& path) const;
+
+  /// Reads a relation file written by SaveRelation and registers it
+  /// (placing its fragments on the disks). Fails on duplicate names.
+  Status LoadRelation(const std::string& path);
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+  DiskArray& disks() { return disks_; }
+
+ private:
+  Catalog catalog_;
+  DiskArray disks_;
+};
+
+}  // namespace dbs3
+
+#endif  // DBS3_DBS3_DATABASE_H_

@@ -1,0 +1,166 @@
+#include "dbs3/query.h"
+
+#include <utility>
+
+namespace dbs3 {
+
+namespace {
+
+/// Schedules and runs a finished plan, packaging the result.
+Result<QueryResult> Finish(Plan& plan, std::unique_ptr<Relation> result,
+                           const QueryOptions& options) {
+  QueryResult out;
+  DBS3_ASSIGN_OR_RETURN(
+      out.schedule, ScheduleQuery(plan, options.cost_model, options.schedule));
+  Executor executor;
+  DBS3_ASSIGN_OR_RETURN(out.execution, executor.Run(plan));
+  out.result = std::move(result);
+  return out;
+}
+
+Result<size_t> ColumnOf(const Relation* rel, const std::string& column) {
+  return rel->schema().IndexOf(column);
+}
+
+}  // namespace
+
+Result<QueryResult> RunIdealJoin(Database& db, const std::string& outer,
+                                 const std::string& outer_column,
+                                 const std::string& inner,
+                                 const std::string& inner_column,
+                                 const QueryOptions& options) {
+  DBS3_ASSIGN_OR_RETURN(Relation * outer_rel, db.relation(outer));
+  DBS3_ASSIGN_OR_RETURN(Relation * inner_rel, db.relation(inner));
+  DBS3_ASSIGN_OR_RETURN(const size_t outer_col,
+                        ColumnOf(outer_rel, outer_column));
+  DBS3_ASSIGN_OR_RETURN(const size_t inner_col,
+                        ColumnOf(inner_rel, inner_column));
+  if (outer_rel->degree() != inner_rel->degree()) {
+    return Status::FailedPrecondition(
+        "IdealJoin needs co-partitioned operands: '" + outer + "' has " +
+        std::to_string(outer_rel->degree()) + " fragments, '" + inner +
+        "' has " + std::to_string(inner_rel->degree()));
+  }
+  const size_t degree = outer_rel->degree();
+  auto result = std::make_unique<Relation>(
+      options.result_name, Schema::Concat(outer_rel->schema(),
+                                          inner_rel->schema()),
+      outer_col, Partitioner(outer_rel->partitioner().kind(), degree));
+
+  Plan plan;
+  const size_t join = plan.AddNode(
+      "join", ActivationMode::kTriggered, degree,
+      std::make_unique<TriggeredJoinLogic>(outer_rel, outer_col, inner_rel,
+                                           inner_col, options.algorithm));
+  const size_t store =
+      plan.AddNode("store", ActivationMode::kPipelined, degree,
+                   std::make_unique<StoreLogic>(result.get()));
+  DBS3_RETURN_IF_ERROR(plan.ConnectSameInstance(join, store));
+  return Finish(plan, std::move(result), options);
+}
+
+Result<QueryResult> RunAssocJoin(Database& db, const std::string& probe_rel,
+                                 const std::string& probe_column,
+                                 const std::string& inner,
+                                 const std::string& inner_column,
+                                 const QueryOptions& options) {
+  DBS3_ASSIGN_OR_RETURN(Relation * probe, db.relation(probe_rel));
+  DBS3_ASSIGN_OR_RETURN(Relation * inner_rel, db.relation(inner));
+  DBS3_ASSIGN_OR_RETURN(const size_t probe_col,
+                        ColumnOf(probe, probe_column));
+  DBS3_ASSIGN_OR_RETURN(const size_t inner_col,
+                        ColumnOf(inner_rel, inner_column));
+  if (inner_rel->partition_column() != inner_col) {
+    return Status::FailedPrecondition(
+        "AssocJoin needs '" + inner + "' partitioned on '" + inner_column +
+        "' (it is partitioned on column " +
+        std::to_string(inner_rel->partition_column()) + ")");
+  }
+  const size_t degree = inner_rel->degree();
+  auto result = std::make_unique<Relation>(
+      options.result_name,
+      Schema::Concat(probe->schema(), inner_rel->schema()), probe_col,
+      Partitioner(inner_rel->partitioner().kind(), degree));
+
+  Plan plan;
+  const size_t transmit =
+      plan.AddNode("transmit", ActivationMode::kTriggered, probe->degree(),
+                   std::make_unique<TransmitLogic>(probe));
+  const size_t join = plan.AddNode(
+      "join", ActivationMode::kPipelined, degree,
+      std::make_unique<PipelinedJoinLogic>(inner_rel, inner_col, probe_col,
+                                           options.algorithm));
+  const size_t store =
+      plan.AddNode("store", ActivationMode::kPipelined, degree,
+                   std::make_unique<StoreLogic>(result.get()));
+  DBS3_RETURN_IF_ERROR(plan.ConnectByColumn(transmit, join, probe_col,
+                                            inner_rel->partitioner()));
+  DBS3_RETURN_IF_ERROR(plan.ConnectSameInstance(join, store));
+  return Finish(plan, std::move(result), options);
+}
+
+Result<QueryResult> RunFilterJoin(Database& db, const std::string& filtered,
+                                  TuplePredicate predicate,
+                                  double selectivity,
+                                  const std::string& filter_join_column,
+                                  const std::string& inner,
+                                  const std::string& inner_column,
+                                  const QueryOptions& options) {
+  DBS3_ASSIGN_OR_RETURN(Relation * filtered_rel, db.relation(filtered));
+  DBS3_ASSIGN_OR_RETURN(Relation * inner_rel, db.relation(inner));
+  DBS3_ASSIGN_OR_RETURN(const size_t probe_col,
+                        ColumnOf(filtered_rel, filter_join_column));
+  DBS3_ASSIGN_OR_RETURN(const size_t inner_col,
+                        ColumnOf(inner_rel, inner_column));
+  if (inner_rel->partition_column() != inner_col) {
+    return Status::FailedPrecondition(
+        "FilterJoin needs '" + inner + "' partitioned on '" + inner_column +
+        "'");
+  }
+  const size_t degree = inner_rel->degree();
+  auto result = std::make_unique<Relation>(
+      options.result_name,
+      Schema::Concat(filtered_rel->schema(), inner_rel->schema()), probe_col,
+      Partitioner(inner_rel->partitioner().kind(), degree));
+
+  Plan plan;
+  const size_t filter = plan.AddNode(
+      "filter", ActivationMode::kTriggered, filtered_rel->degree(),
+      std::make_unique<FilterLogic>(filtered_rel, std::move(predicate),
+                                    selectivity));
+  const size_t join = plan.AddNode(
+      "join", ActivationMode::kPipelined, degree,
+      std::make_unique<PipelinedJoinLogic>(inner_rel, inner_col, probe_col,
+                                           options.algorithm));
+  const size_t store =
+      plan.AddNode("store", ActivationMode::kPipelined, degree,
+                   std::make_unique<StoreLogic>(result.get()));
+  DBS3_RETURN_IF_ERROR(plan.ConnectByColumn(filter, join, probe_col,
+                                            inner_rel->partitioner()));
+  DBS3_RETURN_IF_ERROR(plan.ConnectSameInstance(join, store));
+  return Finish(plan, std::move(result), options);
+}
+
+Result<QueryResult> RunSelect(Database& db, const std::string& input,
+                              TuplePredicate predicate, double selectivity,
+                              const QueryOptions& options) {
+  DBS3_ASSIGN_OR_RETURN(Relation * input_rel, db.relation(input));
+  const size_t degree = input_rel->degree();
+  auto result = std::make_unique<Relation>(
+      options.result_name, input_rel->schema(),
+      input_rel->partition_column(),
+      Partitioner(input_rel->partitioner().kind(), degree));
+
+  Plan plan;
+  const size_t filter = plan.AddNode(
+      "filter", ActivationMode::kTriggered, degree,
+      std::make_unique<FilterLogic>(input_rel, std::move(predicate),
+                                    selectivity));
+  const size_t store =
+      plan.AddNode("store", ActivationMode::kPipelined, degree,
+                   std::make_unique<StoreLogic>(result.get()));
+  DBS3_RETURN_IF_ERROR(plan.ConnectSameInstance(filter, store));
+  return Finish(plan, std::move(result), options);
+}
+
+}  // namespace dbs3

@@ -1,0 +1,74 @@
+#ifndef DBS3_DBS3_QUERY_H_
+#define DBS3_DBS3_QUERY_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "dbs3/database.h"
+#include "engine/executor.h"
+#include "engine/operators.h"
+#include "engine/plan.h"
+#include "sched/scheduler.h"
+
+namespace dbs3 {
+
+/// Knobs for running one query on the real engine.
+struct QueryOptions {
+  /// Thread allocation inputs (Section 3 steps 1-4).
+  ScheduleOptions schedule;
+  /// Operator complexity constants for the scheduler.
+  CostModel cost_model;
+  /// Join algorithm for join queries.
+  JoinAlgorithm algorithm = JoinAlgorithm::kHash;
+  /// Name given to the materialized result relation.
+  std::string result_name = "Res";
+};
+
+/// Result of one query execution.
+struct QueryResult {
+  /// The materialized result, partitioned like the final operator.
+  std::unique_ptr<Relation> result;
+  /// Engine timing and per-operation load-balance statistics.
+  ExecutionResult execution;
+  /// What the scheduler decided (threads, strategies, estimates).
+  ScheduleReport schedule;
+};
+
+/// Runs the IdealJoin plan (Figure 10): `outer` and `inner` must be
+/// co-partitioned on the join columns; join instance i joins fragment i
+/// with fragment i and materializes into result fragment i.
+Result<QueryResult> RunIdealJoin(Database& db, const std::string& outer,
+                                 const std::string& outer_column,
+                                 const std::string& inner,
+                                 const std::string& inner_column,
+                                 const QueryOptions& options);
+
+/// Runs the AssocJoin plan (Figure 11): `probe_rel` is redistributed on its
+/// join column by a Transmit and pipelined into a join against `inner`
+/// (which must be partitioned on its join column).
+Result<QueryResult> RunAssocJoin(Database& db, const std::string& probe_rel,
+                                 const std::string& probe_column,
+                                 const std::string& inner,
+                                 const std::string& inner_column,
+                                 const QueryOptions& options);
+
+/// Runs the filter-join pipeline of Figure 1: filter `filtered` with
+/// `predicate` (estimated `selectivity`), repartition the survivors on the
+/// join column, join against `inner`, materialize.
+Result<QueryResult> RunFilterJoin(Database& db, const std::string& filtered,
+                                  TuplePredicate predicate,
+                                  double selectivity,
+                                  const std::string& filter_join_column,
+                                  const std::string& inner,
+                                  const std::string& inner_column,
+                                  const QueryOptions& options);
+
+/// Runs a parallel selection: filter + materialize.
+Result<QueryResult> RunSelect(Database& db, const std::string& input,
+                              TuplePredicate predicate, double selectivity,
+                              const QueryOptions& options);
+
+}  // namespace dbs3
+
+#endif  // DBS3_DBS3_QUERY_H_

@@ -1,0 +1,34 @@
+#ifndef DBS3_ENGINE_ACTIVATION_H_
+#define DBS3_ENGINE_ACTIVATION_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "storage/tuple.h"
+
+namespace dbs3 {
+
+/// The sequential unit of work of the Lera-par execution model (Section 2).
+///
+/// A *control activation* (trigger) starts a triggered operation instance,
+/// which then processes its whole fragment. A *data activation* conveys one
+/// tuple to a pipelined operation instance. Either way, one activation is
+/// executed by exactly one thread, sequentially.
+struct Activation {
+  enum class Kind : uint8_t { kTrigger, kData };
+
+  Kind kind = Kind::kTrigger;
+  /// Payload tuple; meaningful only when kind == kData.
+  Tuple tuple;
+
+  static Activation Trigger() { return Activation{Kind::kTrigger, Tuple()}; }
+  static Activation Data(Tuple t) {
+    return Activation{Kind::kData, std::move(t)};
+  }
+
+  bool is_trigger() const { return kind == Kind::kTrigger; }
+};
+
+}  // namespace dbs3
+
+#endif  // DBS3_ENGINE_ACTIVATION_H_

@@ -1,0 +1,61 @@
+#include "engine/activation_queue.h"
+
+namespace dbs3 {
+
+ActivationQueue::ActivationQueue(size_t capacity) : capacity_(capacity) {}
+
+std::unique_lock<std::mutex> ActivationQueue::Lock() const {
+  acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    contended_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+  return lock;
+}
+
+bool ActivationQueue::Push(Activation a) {
+  std::unique_lock<std::mutex> lock = Lock();
+  if (capacity_ > 0) {
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+  }
+  if (closed_) return false;
+  items_.push_back(std::move(a));
+  return true;
+}
+
+size_t ActivationQueue::PopBatch(size_t max, std::vector<Activation>* out) {
+  std::unique_lock<std::mutex> lock = Lock();
+  size_t popped = 0;
+  while (popped < max && !items_.empty()) {
+    out->push_back(std::move(items_.front()));
+    items_.pop_front();
+    ++popped;
+  }
+  if (popped > 0 && capacity_ > 0) not_full_.notify_all();
+  return popped;
+}
+
+void ActivationQueue::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  not_full_.notify_all();
+}
+
+bool ActivationQueue::Empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.empty();
+}
+
+size_t ActivationQueue::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+bool ActivationQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+}  // namespace dbs3

@@ -1,0 +1,75 @@
+#ifndef DBS3_ENGINE_ACTIVATION_QUEUE_H_
+#define DBS3_ENGINE_ACTIVATION_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "engine/activation.h"
+
+namespace dbs3 {
+
+/// The FIFO activation queue of one operation instance (Figure 2/3 of the
+/// paper; the `queue` struct of Figure 4: a buffer, a protection mutex, and
+/// a NotFull condition to throttle producers).
+///
+/// Multiple producer threads may Push concurrently; multiple consumer
+/// threads may PopBatch concurrently (the DBS3 thread pool lets *any* thread
+/// of the operation consume from *any* instance queue — that is the dynamic
+/// load-balancing mechanism). Consumers never block here: waiting for work
+/// across all queues of the operation is the Operation's job.
+class ActivationQueue {
+ public:
+  /// `capacity` bounds the buffer; 0 means unbounded. A bounded queue makes
+  /// Push block while full (pipeline back-pressure).
+  explicit ActivationQueue(size_t capacity = 0);
+
+  ActivationQueue(const ActivationQueue&) = delete;
+  ActivationQueue& operator=(const ActivationQueue&) = delete;
+
+  /// Enqueues `a`, blocking while the queue is full. Returns false when the
+  /// queue has been closed (the activation is dropped) — this only happens
+  /// on cancelled executions, never in a well-formed plan.
+  bool Push(Activation a);
+
+  /// Dequeues up to `max` activations into `out` (appended). Non-blocking;
+  /// returns the number dequeued. This batch dequeue is the "internal
+  /// activation cache" of the paper: one mutex acquisition amortized over
+  /// CacheSize activations reduces producer/consumer interference.
+  size_t PopBatch(size_t max, std::vector<Activation>* out);
+
+  /// Marks the queue closed: pending Push calls wake and fail, future Push
+  /// calls fail. Already-queued activations remain poppable.
+  void Close();
+
+  bool Empty() const;
+  size_t Size() const;
+  bool closed() const;
+
+  /// Number of lock acquisitions that found the mutex already held
+  /// (producer/consumer interference — what the main/secondary queue split
+  /// and the internal activation cache exist to reduce).
+  uint64_t contended_acquisitions() const { return contended_.load(); }
+  /// Total lock acquisitions (Push + PopBatch attempts).
+  uint64_t total_acquisitions() const { return acquisitions_.load(); }
+
+ private:
+  /// Locks mu_, counting contention.
+  std::unique_lock<std::mutex> Lock() const;
+
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::deque<Activation> items_;
+  const size_t capacity_;
+  bool closed_ = false;
+  mutable std::atomic<uint64_t> contended_{0};
+  mutable std::atomic<uint64_t> acquisitions_{0};
+};
+
+}  // namespace dbs3
+
+#endif  // DBS3_ENGINE_ACTIVATION_QUEUE_H_

@@ -1,0 +1,193 @@
+#include "engine/blocking_operators.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dbs3 {
+
+const char* AggKindName(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCount:
+      return "count";
+    case AggKind::kSum:
+      return "sum";
+    case AggKind::kMin:
+      return "min";
+    case AggKind::kMax:
+      return "max";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------- GroupBy
+
+GroupByLogic::GroupByLogic(size_t group_column,
+                           std::vector<AggSpec> aggregates)
+    : group_column_(group_column), aggregates_(std::move(aggregates)) {}
+
+Status GroupByLogic::Prepare(size_t num_instances) {
+  instances_.clear();
+  for (size_t i = 0; i < num_instances; ++i) {
+    instances_.push_back(std::make_unique<InstanceState>());
+  }
+  return Status::OK();
+}
+
+void GroupByLogic::OnData(size_t instance, Tuple tuple, Emitter* out) {
+  (void)out;
+  InstanceState& state = *instances_[instance];
+  std::lock_guard<std::mutex> lock(state.mu);
+  GroupState& group = state.groups[tuple.at(group_column_)];
+  if (group.values.empty()) {
+    group.values.assign(aggregates_.size(), 0);
+    group.seen.assign(aggregates_.size(), false);
+  }
+  ++group.count;
+  for (size_t a = 0; a < aggregates_.size(); ++a) {
+    const AggSpec& spec = aggregates_[a];
+    if (spec.kind == AggKind::kCount) {
+      ++group.values[a];
+      continue;
+    }
+    const Value& v = tuple.at(spec.column);
+    if (!v.is_int()) continue;  // Numeric aggregates skip string cells.
+    const int64_t x = v.AsInt();
+    switch (spec.kind) {
+      case AggKind::kSum:
+        group.values[a] += x;
+        break;
+      case AggKind::kMin:
+        group.values[a] = group.seen[a] ? std::min(group.values[a], x) : x;
+        break;
+      case AggKind::kMax:
+        group.values[a] = group.seen[a] ? std::max(group.values[a], x) : x;
+        break;
+      case AggKind::kCount:
+        break;
+    }
+    group.seen[a] = true;
+  }
+}
+
+void GroupByLogic::OnFinish(size_t instance, Emitter* out) {
+  InstanceState& state = *instances_[instance];
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (const auto& [key, group] : state.groups) {
+    std::vector<Value> values;
+    values.reserve(1 + aggregates_.size());
+    values.push_back(key);
+    for (size_t a = 0; a < aggregates_.size(); ++a) {
+      values.emplace_back(group.values[a]);
+    }
+    out->Emit(instance, Tuple(std::move(values)));
+  }
+  state.groups.clear();
+}
+
+NodeEstimate GroupByLogic::Estimate(const CostModel& cost_model,
+                                    double input_tuples) const {
+  NodeEstimate e;
+  e.total_work = input_tuples * cost_model.index_build_tuple;
+  e.activations = input_tuples;
+  // Without statistics on the grouping column, assume moderate reduction.
+  e.output_tuples = input_tuples * 0.1;
+  return e;
+}
+
+// ------------------------------------------------------------------- Sort
+
+SortLogic::SortLogic(size_t column, SortOrder order)
+    : column_(column), order_(order) {}
+
+Status SortLogic::Prepare(size_t num_instances) {
+  instances_.clear();
+  for (size_t i = 0; i < num_instances; ++i) {
+    instances_.push_back(std::make_unique<InstanceState>());
+  }
+  return Status::OK();
+}
+
+void SortLogic::OnData(size_t instance, Tuple tuple, Emitter* out) {
+  (void)out;
+  InstanceState& state = *instances_[instance];
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.rows.push_back(std::move(tuple));
+}
+
+void SortLogic::OnFinish(size_t instance, Emitter* out) {
+  InstanceState& state = *instances_[instance];
+  std::lock_guard<std::mutex> lock(state.mu);
+  std::stable_sort(state.rows.begin(), state.rows.end(),
+                   [&](const Tuple& a, const Tuple& b) {
+                     if (order_ == SortOrder::kAscending) {
+                       return a.at(column_) < b.at(column_);
+                     }
+                     return b.at(column_) < a.at(column_);
+                   });
+  for (Tuple& t : state.rows) out->Emit(instance, std::move(t));
+  state.rows.clear();
+}
+
+NodeEstimate SortLogic::Estimate(const CostModel& cost_model,
+                                 double input_tuples) const {
+  NodeEstimate e;
+  const double lg = std::max(1.0, std::log2(1.0 + input_tuples));
+  e.total_work = input_tuples * lg * cost_model.scan_tuple;
+  e.activations = input_tuples;
+  e.output_tuples = input_tuples;
+  return e;
+}
+
+// --------------------------------------------------------------- SemiJoin
+
+PipelinedSemiJoinLogic::PipelinedSemiJoinLogic(const Relation* inner,
+                                               size_t inner_column,
+                                               size_t probe_column, bool anti)
+    : inner_(inner),
+      inner_column_(inner_column),
+      probe_column_(probe_column),
+      anti_(anti) {}
+
+Status PipelinedSemiJoinLogic::Prepare(size_t num_instances) {
+  if (num_instances > inner_->degree()) {
+    return Status::InvalidArgument(
+        "semi-join has " + std::to_string(num_instances) +
+        " instances but inner relation '" + inner_->name() + "' has only " +
+        std::to_string(inner_->degree()) + " fragments");
+  }
+  index_once_.clear();
+  indexes_.clear();
+  for (size_t i = 0; i < num_instances; ++i) {
+    index_once_.push_back(std::make_unique<std::once_flag>());
+    indexes_.push_back(nullptr);
+  }
+  return Status::OK();
+}
+
+const TempIndex* PipelinedSemiJoinLogic::IndexFor(size_t instance) {
+  std::call_once(*index_once_[instance], [&] {
+    indexes_[instance] = std::make_unique<TempIndex>(
+        inner_->fragment(instance), inner_column_);
+  });
+  return indexes_[instance].get();
+}
+
+void PipelinedSemiJoinLogic::OnData(size_t instance, Tuple tuple,
+                                    Emitter* out) {
+  const bool match =
+      !IndexFor(instance)->Lookup(tuple.at(probe_column_)).empty();
+  if (match != anti_) out->Emit(instance, std::move(tuple));
+}
+
+NodeEstimate PipelinedSemiJoinLogic::Estimate(const CostModel& cost_model,
+                                              double input_tuples) const {
+  NodeEstimate e;
+  const double build = static_cast<double>(inner_->cardinality()) *
+                       cost_model.index_build_tuple;
+  e.total_work = build + input_tuples * cost_model.index_probe;
+  e.activations = input_tuples;
+  e.output_tuples = input_tuples * 0.5;  // Unknown selectivity.
+  return e;
+}
+
+}  // namespace dbs3

@@ -1,0 +1,120 @@
+#ifndef DBS3_ENGINE_BLOCKING_OPERATORS_H_
+#define DBS3_ENGINE_BLOCKING_OPERATORS_H_
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/operator_logic.h"
+#include "engine/operators.h"
+#include "storage/relation.h"
+#include "storage/temp_index.h"
+
+namespace dbs3 {
+
+/// Aggregate kinds supported by GroupByLogic.
+enum class AggKind { kCount, kSum, kMin, kMax };
+
+const char* AggKindName(AggKind kind);
+
+/// One aggregate column specification: `kind` over input column `column`
+/// (column is ignored for kCount).
+struct AggSpec {
+  AggKind kind = AggKind::kCount;
+  size_t column = 0;
+};
+
+/// Pipelined hash group-by: data activations accumulate into per-instance
+/// hash tables; OnFinish emits one tuple per group —
+/// [group_key, agg_0, agg_1, ...].
+///
+/// Grouping is local to each instance: correct global groups require the
+/// input to be partitioned (or repartitioned by a kByColumn edge) on the
+/// grouping column, the same co-location argument as IdealJoin.
+class GroupByLogic : public OperatorLogic {
+ public:
+  GroupByLogic(size_t group_column, std::vector<AggSpec> aggregates);
+
+  Status Prepare(size_t num_instances) override;
+  void OnData(size_t instance, Tuple tuple, Emitter* out) override;
+  void OnFinish(size_t instance, Emitter* out) override;
+  std::string name() const override { return "group-by"; }
+  NodeEstimate Estimate(const CostModel& cost_model,
+                        double input_tuples) const override;
+
+ private:
+  struct GroupState {
+    int64_t count = 0;
+    std::vector<int64_t> values;  ///< One accumulator per aggregate.
+    std::vector<bool> seen;       ///< Min/max initialization flags.
+  };
+  struct InstanceState {
+    std::mutex mu;
+    std::map<Value, GroupState> groups;
+  };
+
+  size_t group_column_;
+  std::vector<AggSpec> aggregates_;
+  std::vector<std::unique_ptr<InstanceState>> instances_;
+};
+
+/// Sort direction for SortLogic.
+enum class SortOrder { kAscending, kDescending };
+
+/// Pipelined sort: gathers its input per instance and emits it ordered by
+/// `column` at OnFinish. Each instance's output is locally sorted (the
+/// partitioned-parallel sort of a fragmented relation; a global order
+/// additionally needs range partitioning upstream).
+class SortLogic : public OperatorLogic {
+ public:
+  SortLogic(size_t column, SortOrder order = SortOrder::kAscending);
+
+  Status Prepare(size_t num_instances) override;
+  void OnData(size_t instance, Tuple tuple, Emitter* out) override;
+  void OnFinish(size_t instance, Emitter* out) override;
+  std::string name() const override { return "sort"; }
+  NodeEstimate Estimate(const CostModel& cost_model,
+                        double input_tuples) const override;
+
+ private:
+  struct InstanceState {
+    std::mutex mu;
+    std::vector<Tuple> rows;
+  };
+
+  size_t column_;
+  SortOrder order_;
+  std::vector<std::unique_ptr<InstanceState>> instances_;
+};
+
+/// Pipelined semi-join (or anti-join): emits the probe tuple iff the inner
+/// fragment of the receiving instance contains (semi) / lacks (anti) a
+/// matching key. The existential form of the AssocJoin probe.
+class PipelinedSemiJoinLogic : public OperatorLogic {
+ public:
+  PipelinedSemiJoinLogic(const Relation* inner, size_t inner_column,
+                         size_t probe_column, bool anti = false);
+
+  Status Prepare(size_t num_instances) override;
+  void OnData(size_t instance, Tuple tuple, Emitter* out) override;
+  std::string name() const override { return anti_ ? "anti-join" : "semi-join"; }
+  NodeEstimate Estimate(const CostModel& cost_model,
+                        double input_tuples) const override;
+
+ private:
+  const TempIndex* IndexFor(size_t instance);
+
+  const Relation* inner_;
+  size_t inner_column_;
+  size_t probe_column_;
+  bool anti_;
+  std::vector<std::unique_ptr<std::once_flag>> index_once_;
+  std::vector<std::unique_ptr<TempIndex>> indexes_;
+};
+
+}  // namespace dbs3
+
+#endif  // DBS3_ENGINE_BLOCKING_OPERATORS_H_

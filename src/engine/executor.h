@@ -1,0 +1,39 @@
+#ifndef DBS3_ENGINE_EXECUTOR_H_
+#define DBS3_ENGINE_EXECUTOR_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "engine/operation.h"
+#include "engine/plan.h"
+
+namespace dbs3 {
+
+/// Outcome of one plan execution on the real multithreaded engine.
+struct ExecutionResult {
+  /// Wall-clock seconds from thread-pool start to the exit of the last
+  /// worker (includes start-up time, one of the paper's three barriers).
+  double seconds = 0.0;
+  /// Per-operation statistics, in plan node order.
+  std::vector<OperationStats> op_stats;
+};
+
+/// Runs a Plan with real threads on the host machine.
+///
+/// Execution follows Section 3: every operation gets its own pool of
+/// threads; triggered operations receive one control activation per
+/// instance; pipelined operations consume data activations pushed by their
+/// producers; an operation completes when all its producers have completed
+/// and its queues have drained.
+class Executor {
+ public:
+  Executor() = default;
+
+  /// Executes `plan` to completion. The plan's relations are read and (for
+  /// Store nodes) written. Returns timing and per-operation stats.
+  Result<ExecutionResult> Run(Plan& plan);
+};
+
+}  // namespace dbs3
+
+#endif  // DBS3_ENGINE_EXECUTOR_H_

@@ -1,0 +1,223 @@
+#include "engine/operation.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace dbs3 {
+
+/// Routes tuples emitted while processing an activation to the consumer
+/// operation, per the plan edge (same-instance or repartition-by-column).
+class OperationEmitter : public Emitter {
+ public:
+  explicit OperationEmitter(Operation* op) : op_(op) {}
+
+  void Emit(size_t producer_instance, Tuple tuple) override {
+    op_->emitted_.fetch_add(1, std::memory_order_relaxed);
+    const DataOutput& out = op_->output_;
+    if (out.consumer == nullptr) return;  // Terminal operation: discard.
+    size_t dest = producer_instance;
+    if (out.route == DataOutput::Route::kByColumn) {
+      dest = out.partitioner.FragmentOf(tuple.at(out.column));
+    }
+    out.consumer->PushData(dest, std::move(tuple));
+  }
+
+ private:
+  Operation* op_;
+};
+
+Operation::Operation(OperationConfig config, OperatorLogic* logic,
+                     DataOutput output)
+    : config_(std::move(config)), logic_(logic), output_(output) {
+  assert(config_.num_instances >= 1);
+  assert(config_.num_threads >= 1);
+  assert(config_.cache_size >= 1);
+  queues_.reserve(config_.num_instances);
+  for (size_t i = 0; i < config_.num_instances; ++i) {
+    queues_.push_back(
+        std::make_unique<ActivationQueue>(config_.queue_capacity));
+  }
+  visit_order_ = QueueVisitOrder(config_.strategy, config_.cost_estimates,
+                                 config_.num_instances);
+  per_thread_processed_.assign(config_.num_threads, 0);
+  per_instance_processed_ =
+      std::make_unique<std::atomic<uint64_t>[]>(config_.num_instances);
+  for (size_t i = 0; i < config_.num_instances; ++i) {
+    per_instance_processed_[i].store(0);
+  }
+}
+
+Operation::~Operation() {
+  // Defensive: a well-formed executor always Joins explicitly.
+  if (!threads_.empty()) {
+    producers_done_.store(true);
+    for (auto& q : queues_) q->Close();
+    work_cv_.notify_all();
+    Join();
+  }
+}
+
+void Operation::AddProducer() {
+  assert(threads_.empty() && "producers must be wired before Start()");
+  open_producers_.fetch_add(1);
+}
+
+void Operation::ProducerDone() {
+  const int64_t left = open_producers_.fetch_sub(1) - 1;
+  assert(left >= 0);
+  if (left == 0) {
+    for (auto& q : queues_) q->Close();
+    {
+      // Pairing the flag write with the wait mutex prevents a lost wakeup
+      // between a worker's predicate check and its wait.
+      std::lock_guard<std::mutex> lock(wait_mu_);
+      producers_done_.store(true);
+    }
+    work_cv_.notify_all();
+  }
+}
+
+void Operation::PushData(size_t instance, Tuple tuple) {
+  assert(instance < queues_.size());
+  if (!queues_[instance]->Push(Activation::Data(std::move(tuple)))) {
+    DBS3_LOG(kWarning) << "data activation dropped: queue " << instance
+                       << " of operation '" << config_.name << "' is closed";
+    return;
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  work_cv_.notify_one();
+}
+
+void Operation::PushTrigger(size_t instance) {
+  assert(instance < queues_.size());
+  if (!queues_[instance]->Push(Activation::Trigger())) {
+    DBS3_LOG(kWarning) << "trigger dropped: queue " << instance
+                       << " of operation '" << config_.name << "' is closed";
+    return;
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  work_cv_.notify_one();
+}
+
+void Operation::Start() {
+  assert(threads_.empty());
+  start_time_ = std::chrono::steady_clock::now();
+  threads_.reserve(config_.num_threads);
+  for (size_t t = 0; t < config_.num_threads; ++t) {
+    threads_.emplace_back([this, t] { WorkerLoop(t); });
+  }
+}
+
+void Operation::Join() {
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+void Operation::Finish() {
+  OperationEmitter emitter(this);
+  for (size_t i = 0; i < config_.num_instances; ++i) {
+    logic_->OnFinish(i, &emitter);
+  }
+}
+
+OperationStats Operation::stats() const {
+  OperationStats s;
+  s.name = config_.name;
+  s.per_thread_processed = per_thread_processed_;
+  s.per_instance_processed.resize(config_.num_instances);
+  for (size_t i = 0; i < config_.num_instances; ++i) {
+    s.per_instance_processed[i] = per_instance_processed_[i].load();
+  }
+  s.emitted = emitted_.load();
+  s.busy_seconds = static_cast<double>(busy_ns_.load()) * 1e-9;
+  for (const auto& q : queues_) {
+    s.queue_acquisitions += q->total_acquisitions();
+    s.queue_contended += q->contended_acquisitions();
+  }
+  return s;
+}
+
+void Operation::WorkerLoop(size_t thread_id) {
+  Rng rng(config_.seed * 0x9e3779b97f4a7c15ULL + thread_id + 1);
+  OperationEmitter emitter(this);
+  std::vector<Activation> batch;
+  batch.reserve(config_.cache_size);
+  while (true) {
+    batch.clear();
+    size_t instance = 0;
+    const size_t got = AcquireBatch(thread_id, rng, &batch, &instance);
+    if (got == 0) {
+      std::unique_lock<std::mutex> lock(wait_mu_);
+      work_cv_.wait(lock, [&] {
+        return pending_.load(std::memory_order_acquire) > 0 ||
+               producers_done_.load();
+      });
+      if (pending_.load(std::memory_order_acquire) <= 0 &&
+          producers_done_.load()) {
+        break;
+      }
+      continue;
+    }
+    for (Activation& a : batch) {
+      if (a.is_trigger()) {
+        logic_->OnTrigger(instance, &emitter);
+      } else {
+        logic_->OnData(instance, std::move(a.tuple), &emitter);
+      }
+    }
+    per_thread_processed_[thread_id] += got;
+    per_instance_processed_[instance].fetch_add(got,
+                                                std::memory_order_relaxed);
+  }
+  // Track the exit time of the slowest worker as the operation's busy span.
+  const auto now = std::chrono::steady_clock::now();
+  const int64_t span =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now - start_time_)
+          .count();
+  int64_t prev = busy_ns_.load();
+  while (prev < span && !busy_ns_.compare_exchange_weak(prev, span)) {
+  }
+}
+
+size_t Operation::AcquireBatch(size_t thread_id, Rng& rng,
+                               std::vector<Activation>* batch,
+                               size_t* instance) {
+  const size_t start = config_.strategy == Strategy::kRandom
+                           ? rng.Below(queues_.size())
+                           : 0;
+  // Main queues first; fall back to any queue (the paper's secondary scan).
+  size_t got = 0;
+  if (config_.use_main_queues) {
+    got = ScanQueues(start, thread_id, /*main_only=*/true, batch, instance);
+  }
+  if (got == 0) {
+    got = ScanQueues(start, thread_id, /*main_only=*/false, batch, instance);
+  }
+  if (got > 0) pending_.fetch_sub(static_cast<int64_t>(got));
+  return got;
+}
+
+size_t Operation::ScanQueues(size_t start, size_t thread_id, bool main_only,
+                             std::vector<Activation>* batch,
+                             size_t* instance) {
+  const size_t n = queues_.size();
+  for (size_t k = 0; k < n; ++k) {
+    const uint32_t q = visit_order_[(start + k) % n];
+    // Queues are distributed to threads round-robin: queue q is the main
+    // queue of thread q mod ThreadNb (paper: "all activation queues are
+    // equally distributed among the associated threads").
+    if (main_only && q % config_.num_threads != thread_id) continue;
+    const size_t got = queues_[q]->PopBatch(config_.cache_size, batch);
+    if (got > 0) {
+      *instance = q;
+      return got;
+    }
+  }
+  return 0;
+}
+
+}  // namespace dbs3

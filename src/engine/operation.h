@@ -1,0 +1,178 @@
+#ifndef DBS3_ENGINE_OPERATION_H_
+#define DBS3_ENGINE_OPERATION_H_
+
+#include <cstddef>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "engine/activation.h"
+#include "engine/activation_queue.h"
+#include "engine/operator_logic.h"
+#include "engine/strategy.h"
+#include "storage/partitioner.h"
+
+namespace dbs3 {
+
+class Operation;
+
+/// Where an operation sends its result tuples.
+struct DataOutput {
+  enum class Route {
+    /// Tuple from producer instance i goes to consumer instance i
+    /// (join_i -> store_i in Figures 10/11).
+    kSameInstance,
+    /// Tuple goes to the consumer instance chosen by applying `partitioner`
+    /// to column `column` of the tuple (dynamic repartitioning: the Transmit
+    /// -> Join edge of AssocJoin, or Filter -> Join in Figure 1).
+    kByColumn,
+  };
+
+  Operation* consumer = nullptr;
+  Route route = Route::kSameInstance;
+  size_t column = 0;
+  Partitioner partitioner{PartitionKind::kHash, 1};
+};
+
+/// Execution statistics of one operation, for load-balance analysis.
+struct OperationStats {
+  std::string name;
+  std::vector<uint64_t> per_thread_processed;
+  std::vector<uint64_t> per_instance_processed;
+  uint64_t emitted = 0;
+  /// Seconds between Start() and the exit of the last worker.
+  double busy_seconds = 0.0;
+  /// Queue-mutex acquisitions across all instance queues, and how many of
+  /// them hit a held mutex (producer/consumer interference).
+  uint64_t queue_acquisitions = 0;
+  uint64_t queue_contended = 0;
+};
+
+/// Runtime configuration of one operation (the `operation` struct of
+/// Figure 4: QueueNb, ThreadNb, CacheSize, StrategyId...).
+struct OperationConfig {
+  std::string name = "op";
+  /// Number of instances == number of activation queues (QueueNb).
+  size_t num_instances = 1;
+  /// Size of the thread pool (ThreadNb). The pool is shared by all
+  /// instances — this decoupling of parallelism from partitioning is the
+  /// paper's central mechanism.
+  size_t num_threads = 1;
+  Strategy strategy = Strategy::kRandom;
+  /// Internal activation cache size (CacheSize): activations fetched from a
+  /// queue under one mutex acquisition.
+  size_t cache_size = 1;
+  /// Per-queue capacity; 0 = unbounded.
+  size_t queue_capacity = 0;
+  /// Per-instance cost estimates for LPT ordering (empty = all equal).
+  std::vector<double> cost_estimates;
+  /// Prefer main queues before stealing from secondary queues (disable for
+  /// interference ablation only).
+  bool use_main_queues = true;
+  uint64_t seed = 1;
+};
+
+/// One node of the executing plan: a table of activation queues (one per
+/// instance) plus a pool of consumer threads that can all consume from all
+/// queues, preferring their main queues.
+class Operation {
+ public:
+  /// `logic` must outlive the operation. `output.consumer == nullptr` for
+  /// terminal operations.
+  Operation(OperationConfig config, OperatorLogic* logic, DataOutput output);
+  ~Operation();
+
+  Operation(const Operation&) = delete;
+  Operation& operator=(const Operation&) = delete;
+
+  const OperationConfig& config() const { return config_; }
+
+  /// Registers one upstream producer. Must be called before Start(); the
+  /// executor registers each incoming plan edge (and itself, for the
+  /// trigger source of a triggered operation).
+  void AddProducer();
+
+  /// Signals that one producer will push no more activations. When the last
+  /// producer finishes, queues are closed and idle workers drain and exit.
+  void ProducerDone();
+
+  /// Enqueues a data activation for `instance`.
+  void PushData(size_t instance, Tuple tuple);
+
+  /// Enqueues the control activation for `instance`.
+  void PushTrigger(size_t instance);
+
+  /// Spawns the worker pool. Prepare() of the logic must have succeeded.
+  void Start();
+
+  /// Blocks until every worker has exited (i.e. all producers done and all
+  /// queues drained).
+  void Join();
+
+  /// Runs the logic's OnFinish hook for every instance (emitting through
+  /// this operation's output edge). Must be called after Join() and before
+  /// the consumer's ProducerDone().
+  void Finish();
+
+  /// Statistics; valid after Join().
+  OperationStats stats() const;
+
+  /// Total activations currently queued (approximate, for monitoring; can
+  /// be transiently negative during producer/consumer races).
+  int64_t pending() const { return pending_.load(); }
+
+ private:
+  friend class OperationEmitter;
+
+  void WorkerLoop(size_t thread_id);
+
+  /// Pops a batch from the best queue per the strategy; returns the count
+  /// and sets `*instance` to the queue the batch came from.
+  size_t AcquireBatch(size_t thread_id, Rng& rng,
+                      std::vector<Activation>* batch, size_t* instance);
+
+  /// Scans the visit order starting at `start`, pops from the first
+  /// non-empty queue, restricted to main queues of `thread_id` when
+  /// `main_only`.
+  size_t ScanQueues(size_t start, size_t thread_id, bool main_only,
+                    std::vector<Activation>* batch, size_t* instance);
+
+  void NotifyWork();
+
+  OperationConfig config_;
+  OperatorLogic* logic_;
+  DataOutput output_;
+
+  std::vector<std::unique_ptr<ActivationQueue>> queues_;
+  /// Strategy-determined queue visit order (identity for Random, cost-sorted
+  /// for LPT).
+  std::vector<uint32_t> visit_order_;
+
+  std::vector<std::thread> threads_;
+
+  /// Producer/consumer synchronization across all queues.
+  std::mutex wait_mu_;
+  std::condition_variable work_cv_;
+  std::atomic<int64_t> pending_{0};
+  std::atomic<int64_t> open_producers_{0};
+  std::atomic<bool> producers_done_{false};
+
+  /// Stats.
+  std::vector<uint64_t> per_thread_processed_;
+  std::unique_ptr<std::atomic<uint64_t>[]> per_instance_processed_;
+  std::atomic<uint64_t> emitted_{0};
+  std::chrono::steady_clock::time_point start_time_;
+  std::atomic<int64_t> busy_ns_{0};
+};
+
+}  // namespace dbs3
+
+#endif  // DBS3_ENGINE_OPERATION_H_

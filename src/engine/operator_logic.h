@@ -1,0 +1,87 @@
+#ifndef DBS3_ENGINE_OPERATOR_LOGIC_H_
+#define DBS3_ENGINE_OPERATOR_LOGIC_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+#include "engine/cost_model.h"
+#include "storage/tuple.h"
+
+namespace dbs3 {
+
+/// Sink for tuples produced while processing one activation. The Operation
+/// implements this by routing the tuple to the consumer operation's instance
+/// queue (data activation), per the plan's edge routing rule.
+class Emitter {
+ public:
+  virtual ~Emitter() = default;
+
+  /// Sends one result tuple downstream. `producer_instance` is the instance
+  /// whose activation is being processed (needed for same-instance routing,
+  /// e.g. join_i -> store_i in the paper's plans).
+  virtual void Emit(size_t producer_instance, Tuple tuple) = 0;
+};
+
+/// The database function of an operation (the `DBFunc` field of Figure 4):
+/// filter, join, transmit, store...
+///
+/// Thread-safety contract: after Prepare(), OnTrigger/OnData are called
+/// concurrently by the operation's thread pool, possibly concurrently for
+/// the *same* instance (several threads may drain one queue). Implementations
+/// must synchronize any per-instance mutable state.
+class OperatorLogic {
+ public:
+  virtual ~OperatorLogic() = default;
+
+  /// Called once, before any activation, with the operation's instance
+  /// count. Allocate per-instance state here.
+  virtual Status Prepare(size_t num_instances) {
+    (void)num_instances;
+    return Status::OK();
+  }
+
+  /// Processes the control activation of `instance` (triggered operations:
+  /// the whole fragment is the unit of work).
+  virtual void OnTrigger(size_t instance, Emitter* out) {
+    (void)instance;
+    (void)out;
+  }
+
+  /// Processes one data activation (pipelined operations: one tuple is the
+  /// unit of work).
+  virtual void OnData(size_t instance, Tuple tuple, Emitter* out) {
+    (void)instance;
+    (void)tuple;
+    (void)out;
+  }
+
+  /// Called exactly once per instance after every activation of the
+  /// operation has been processed and before downstream operations are
+  /// closed. Blocking operators (group-by, sort) emit their results here.
+  /// Invoked sequentially (no concurrent OnFinish calls).
+  virtual void OnFinish(size_t instance, Emitter* out) {
+    (void)instance;
+    (void)out;
+  }
+
+  /// Operator name for plan display ("filter", "join", ...).
+  virtual std::string name() const = 0;
+
+  /// Static complexity estimate, used by the scheduler (Section 3, steps
+  /// 1-3) and to derive LPT cost estimates. `input_tuples` is the estimated
+  /// number of data activations this node will receive (0 for triggered
+  /// operations). The default says "free operator, passes tuples through".
+  virtual NodeEstimate Estimate(const CostModel& cost_model,
+                                double input_tuples) const {
+    (void)cost_model;
+    NodeEstimate e;
+    e.activations = input_tuples;
+    e.output_tuples = input_tuples;
+    return e;
+  }
+};
+
+}  // namespace dbs3
+
+#endif  // DBS3_ENGINE_OPERATOR_LOGIC_H_

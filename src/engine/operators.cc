@@ -1,0 +1,377 @@
+#include "engine/operators.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dbs3 {
+
+TuplePredicate ColumnEquals(size_t column, Value value) {
+  return [column, value = std::move(value)](const Tuple& t) {
+    return t.at(column) == value;
+  };
+}
+
+TuplePredicate ColumnBetween(size_t column, int64_t lo, int64_t hi) {
+  return [column, lo, hi](const Tuple& t) {
+    const Value& v = t.at(column);
+    if (!v.is_int()) return false;
+    return v.AsInt() >= lo && v.AsInt() <= hi;
+  };
+}
+
+TuplePredicate MatchAll() {
+  return [](const Tuple&) { return true; };
+}
+
+const char* JoinAlgorithmName(JoinAlgorithm a) {
+  switch (a) {
+    case JoinAlgorithm::kNestedLoop:
+      return "nested-loop";
+    case JoinAlgorithm::kHash:
+      return "hash";
+    case JoinAlgorithm::kTempIndex:
+      return "temp-index";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------- Filter
+
+FilterLogic::FilterLogic(const Relation* input, TuplePredicate predicate,
+                         double selectivity)
+    : input_(input),
+      predicate_(std::move(predicate)),
+      selectivity_(selectivity) {}
+
+NodeEstimate FilterLogic::Estimate(const CostModel& cost_model,
+                                   double input_tuples) const {
+  (void)input_tuples;  // Triggered: no data activations.
+  NodeEstimate e;
+  const std::vector<uint64_t> cards = input_->FragmentCardinalities();
+  e.per_instance_work.reserve(cards.size());
+  for (uint64_t c : cards) {
+    const double w = static_cast<double>(c) * cost_model.scan_tuple;
+    e.per_instance_work.push_back(w);
+    e.total_work += w;
+  }
+  e.activations = static_cast<double>(cards.size());
+  e.output_tuples =
+      static_cast<double>(input_->cardinality()) * selectivity_;
+  return e;
+}
+
+Status FilterLogic::Prepare(size_t num_instances) {
+  if (num_instances > input_->degree()) {
+    return Status::InvalidArgument(
+        "filter has " + std::to_string(num_instances) +
+        " instances but input relation '" + input_->name() + "' has only " +
+        std::to_string(input_->degree()) + " fragments");
+  }
+  return Status::OK();
+}
+
+void FilterLogic::OnTrigger(size_t instance, Emitter* out) {
+  const Fragment& frag = input_->fragment(instance);
+  for (const Tuple& t : frag.tuples) {
+    if (predicate_(t)) out->Emit(instance, t);
+  }
+}
+
+// -------------------------------------------------------------- Transmit
+
+TransmitLogic::TransmitLogic(const Relation* input) : input_(input) {}
+
+NodeEstimate TransmitLogic::Estimate(const CostModel& cost_model,
+                                     double input_tuples) const {
+  (void)input_tuples;  // Triggered: no data activations.
+  NodeEstimate e;
+  const std::vector<uint64_t> cards = input_->FragmentCardinalities();
+  const double per_tuple = cost_model.scan_tuple + cost_model.transfer_tuple;
+  e.per_instance_work.reserve(cards.size());
+  for (uint64_t c : cards) {
+    const double w = static_cast<double>(c) * per_tuple;
+    e.per_instance_work.push_back(w);
+    e.total_work += w;
+  }
+  e.activations = static_cast<double>(cards.size());
+  e.output_tuples = static_cast<double>(input_->cardinality());
+  return e;
+}
+
+Status TransmitLogic::Prepare(size_t num_instances) {
+  if (num_instances > input_->degree()) {
+    return Status::InvalidArgument(
+        "transmit has " + std::to_string(num_instances) +
+        " instances but input relation '" + input_->name() + "' has only " +
+        std::to_string(input_->degree()) + " fragments");
+  }
+  return Status::OK();
+}
+
+void TransmitLogic::OnTrigger(size_t instance, Emitter* out) {
+  const Fragment& frag = input_->fragment(instance);
+  for (const Tuple& t : frag.tuples) out->Emit(instance, t);
+}
+
+// -------------------------------------------------------- TriggeredJoin
+
+TriggeredJoinLogic::TriggeredJoinLogic(const Relation* outer,
+                                       size_t outer_column,
+                                       const Relation* inner,
+                                       size_t inner_column,
+                                       JoinAlgorithm algorithm)
+    : outer_(outer),
+      outer_column_(outer_column),
+      inner_(inner),
+      inner_column_(inner_column),
+      algorithm_(algorithm) {}
+
+NodeEstimate TriggeredJoinLogic::Estimate(const CostModel& cost_model,
+                                          double input_tuples) const {
+  (void)input_tuples;  // Triggered: no data activations.
+  NodeEstimate e;
+  const std::vector<uint64_t> outer = outer_->FragmentCardinalities();
+  const std::vector<uint64_t> inner = inner_->FragmentCardinalities();
+  const size_t m = std::min(outer.size(), inner.size());
+  e.per_instance_work.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    double w = 0.0;
+    if (algorithm_ == JoinAlgorithm::kNestedLoop) {
+      w = static_cast<double>(outer[i]) * static_cast<double>(inner[i]) *
+          cost_model.nl_pair;
+    } else {
+      w = static_cast<double>(inner[i]) * cost_model.index_build_tuple +
+          static_cast<double>(outer[i]) * cost_model.index_probe;
+    }
+    e.per_instance_work.push_back(w);
+    e.total_work += w;
+  }
+  e.activations = static_cast<double>(m);
+  // Join-cardinality estimate: one match per outer tuple (the foreign-key
+  // shape of the experiment databases).
+  e.output_tuples = static_cast<double>(outer_->cardinality());
+  return e;
+}
+
+Status TriggeredJoinLogic::Prepare(size_t num_instances) {
+  if (outer_->degree() != inner_->degree()) {
+    return Status::FailedPrecondition(
+        "IdealJoin requires co-partitioned operands: '" + outer_->name() +
+        "' has " + std::to_string(outer_->degree()) + " fragments, '" +
+        inner_->name() + "' has " + std::to_string(inner_->degree()));
+  }
+  if (num_instances != outer_->degree()) {
+    return Status::InvalidArgument(
+        "triggered join must have one instance per fragment (" +
+        std::to_string(outer_->degree()) + "), got " +
+        std::to_string(num_instances));
+  }
+  return Status::OK();
+}
+
+void TriggeredJoinLogic::OnTrigger(size_t instance, Emitter* out) {
+  const Fragment& outer = outer_->fragment(instance);
+  const Fragment& inner = inner_->fragment(instance);
+  switch (algorithm_) {
+    case JoinAlgorithm::kNestedLoop:
+      for (const Tuple& r : outer.tuples) {
+        const Value& key = r.at(outer_column_);
+        for (const Tuple& s : inner.tuples) {
+          if (s.at(inner_column_) == key) out->Emit(instance, r.Concat(s));
+        }
+      }
+      break;
+    case JoinAlgorithm::kHash:
+    case JoinAlgorithm::kTempIndex: {
+      // Build on the fly over the inner fragment, probe with the outer.
+      const TempIndex index(inner, inner_column_);
+      for (const Tuple& r : outer.tuples) {
+        for (uint32_t i : index.Lookup(r.at(outer_column_))) {
+          out->Emit(instance, r.Concat(inner.tuples[i]));
+        }
+      }
+      break;
+    }
+  }
+}
+
+// -------------------------------------------------------- PipelinedJoin
+
+PipelinedJoinLogic::PipelinedJoinLogic(const Relation* inner,
+                                       size_t inner_column,
+                                       size_t probe_column,
+                                       JoinAlgorithm algorithm)
+    : inner_(inner),
+      inner_column_(inner_column),
+      probe_column_(probe_column),
+      algorithm_(algorithm) {}
+
+NodeEstimate PipelinedJoinLogic::Estimate(const CostModel& cost_model,
+                                          double input_tuples) const {
+  NodeEstimate e;
+  const std::vector<uint64_t> inner = inner_->FragmentCardinalities();
+  const size_t m = inner.size();
+  const double probes_per_instance =
+      m > 0 ? input_tuples / static_cast<double>(m) : 0.0;
+  e.per_instance_work.reserve(m);
+  for (uint64_t c : inner) {
+    double w = 0.0;
+    if (algorithm_ == JoinAlgorithm::kNestedLoop) {
+      // Each probe scans the whole inner fragment.
+      w = probes_per_instance * static_cast<double>(c) * cost_model.nl_pair;
+    } else {
+      // One-time build amortized into the instance, constant-ish probes.
+      w = static_cast<double>(c) * cost_model.index_build_tuple +
+          probes_per_instance * cost_model.index_probe;
+    }
+    e.per_instance_work.push_back(w);
+    e.total_work += w;
+  }
+  e.activations = input_tuples;
+  e.output_tuples = input_tuples;  // One match per probe (foreign-key shape).
+  return e;
+}
+
+Status PipelinedJoinLogic::Prepare(size_t num_instances) {
+  if (num_instances > inner_->degree()) {
+    return Status::InvalidArgument(
+        "pipelined join has " + std::to_string(num_instances) +
+        " instances but inner relation '" + inner_->name() + "' has only " +
+        std::to_string(inner_->degree()) + " fragments");
+  }
+  index_once_.clear();
+  indexes_.clear();
+  for (size_t i = 0; i < num_instances; ++i) {
+    index_once_.push_back(std::make_unique<std::once_flag>());
+    indexes_.push_back(nullptr);
+  }
+  return Status::OK();
+}
+
+const TempIndex* PipelinedJoinLogic::IndexFor(size_t instance) {
+  std::call_once(*index_once_[instance], [&] {
+    indexes_[instance] =
+        std::make_unique<TempIndex>(inner_->fragment(instance),
+                                    inner_column_);
+  });
+  return indexes_[instance].get();
+}
+
+void PipelinedJoinLogic::OnData(size_t instance, Tuple tuple, Emitter* out) {
+  const Value& key = tuple.at(probe_column_);
+  const Fragment& inner = inner_->fragment(instance);
+  switch (algorithm_) {
+    case JoinAlgorithm::kNestedLoop:
+      for (const Tuple& s : inner.tuples) {
+        if (s.at(inner_column_) == key) out->Emit(instance, tuple.Concat(s));
+      }
+      break;
+    case JoinAlgorithm::kHash:
+    case JoinAlgorithm::kTempIndex: {
+      const TempIndex* index = IndexFor(instance);
+      for (uint32_t i : index->Lookup(key)) {
+        out->Emit(instance, tuple.Concat(inner.tuples[i]));
+      }
+      break;
+    }
+  }
+}
+
+// ------------------------------------------------------------------ Store
+
+StoreLogic::StoreLogic(Relation* result) : result_(result) {}
+
+NodeEstimate StoreLogic::Estimate(const CostModel& cost_model,
+                                  double input_tuples) const {
+  NodeEstimate e;
+  e.total_work = input_tuples * cost_model.store_tuple;
+  e.activations = input_tuples;
+  e.output_tuples = 0.0;
+  return e;
+}
+
+Status StoreLogic::Prepare(size_t num_instances) {
+  if (num_instances > result_->degree()) {
+    return Status::InvalidArgument(
+        "store has " + std::to_string(num_instances) +
+        " instances but result relation '" + result_->name() + "' has only " +
+        std::to_string(result_->degree()) + " fragments");
+  }
+  fragment_mu_.clear();
+  for (size_t i = 0; i < num_instances; ++i) {
+    fragment_mu_.push_back(std::make_unique<std::mutex>());
+  }
+  return Status::OK();
+}
+
+void StoreLogic::OnData(size_t instance, Tuple tuple, Emitter* out) {
+  (void)out;
+  std::lock_guard<std::mutex> lock(*fragment_mu_[instance]);
+  result_->AppendToFragment(instance, std::move(tuple));
+}
+
+// -------------------------------------------------------- PipelinedFilter
+
+PipelinedFilterLogic::PipelinedFilterLogic(TuplePredicate predicate,
+                                           double selectivity)
+    : predicate_(std::move(predicate)), selectivity_(selectivity) {}
+
+void PipelinedFilterLogic::OnData(size_t instance, Tuple tuple,
+                                  Emitter* out) {
+  if (predicate_(tuple)) out->Emit(instance, std::move(tuple));
+}
+
+NodeEstimate PipelinedFilterLogic::Estimate(const CostModel& cost_model,
+                                            double input_tuples) const {
+  NodeEstimate e;
+  e.total_work = input_tuples * cost_model.scan_tuple;
+  e.activations = input_tuples;
+  e.output_tuples = input_tuples * selectivity_;
+  return e;
+}
+
+// ---------------------------------------------------------------- Project
+
+ProjectLogic::ProjectLogic(std::vector<size_t> columns)
+    : columns_(std::move(columns)) {}
+
+void ProjectLogic::OnData(size_t instance, Tuple tuple, Emitter* out) {
+  std::vector<Value> values;
+  values.reserve(columns_.size());
+  for (size_t c : columns_) values.push_back(tuple.at(c));
+  out->Emit(instance, Tuple(std::move(values)));
+}
+
+NodeEstimate ProjectLogic::Estimate(const CostModel& cost_model,
+                                    double input_tuples) const {
+  NodeEstimate e;
+  e.total_work = input_tuples * cost_model.scan_tuple;
+  e.activations = input_tuples;
+  e.output_tuples = input_tuples;
+  return e;
+}
+
+// -------------------------------------------------------------------- Map
+
+MapLogic::MapLogic(std::function<Tuple(Tuple)> fn) : fn_(std::move(fn)) {}
+
+void MapLogic::OnData(size_t instance, Tuple tuple, Emitter* out) {
+  out->Emit(instance, fn_(std::move(tuple)));
+}
+
+// -------------------------------------------------------------- Aggregate
+
+AggregateLogic::AggregateLogic(std::optional<size_t> sum_column)
+    : sum_column_(sum_column) {}
+
+void AggregateLogic::OnData(size_t instance, Tuple tuple, Emitter* out) {
+  (void)instance;
+  (void)out;
+  count_.fetch_add(1, std::memory_order_relaxed);
+  if (sum_column_.has_value()) {
+    const Value& v = tuple.at(*sum_column_);
+    if (v.is_int()) sum_.fetch_add(v.AsInt(), std::memory_order_relaxed);
+  }
+}
+
+}  // namespace dbs3

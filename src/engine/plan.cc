@@ -1,0 +1,150 @@
+#include "engine/plan.h"
+
+#include <deque>
+
+namespace dbs3 {
+
+const char* ActivationModeName(ActivationMode mode) {
+  switch (mode) {
+    case ActivationMode::kTriggered:
+      return "triggered";
+    case ActivationMode::kPipelined:
+      return "pipelined";
+  }
+  return "unknown";
+}
+
+size_t Plan::AddNode(std::string name, ActivationMode mode, size_t instances,
+                     std::unique_ptr<OperatorLogic> logic) {
+  PlanNode node;
+  node.name = std::move(name);
+  node.mode = mode;
+  node.instances = instances;
+  node.logic = std::move(logic);
+  nodes_.push_back(std::move(node));
+  return nodes_.size() - 1;
+}
+
+Status Plan::ConnectSameInstance(size_t from, size_t to) {
+  if (from >= nodes_.size() || to >= nodes_.size()) {
+    return Status::InvalidArgument("ConnectSameInstance: node id out of range");
+  }
+  if (nodes_[from].output != -1) {
+    return Status::FailedPrecondition("node '" + nodes_[from].name +
+                                      "' already has an output edge");
+  }
+  if (nodes_[to].instances < nodes_[from].instances) {
+    return Status::InvalidArgument(
+        "same-instance edge needs consumer '" + nodes_[to].name +
+        "' to have at least " + std::to_string(nodes_[from].instances) +
+        " instances, has " + std::to_string(nodes_[to].instances));
+  }
+  nodes_[from].output = static_cast<int>(to);
+  nodes_[from].route = DataOutput::Route::kSameInstance;
+  nodes_[to].producers.push_back(from);
+  return Status::OK();
+}
+
+Status Plan::ConnectByColumn(size_t from, size_t to, size_t column,
+                             Partitioner partitioner) {
+  if (from >= nodes_.size() || to >= nodes_.size()) {
+    return Status::InvalidArgument("ConnectByColumn: node id out of range");
+  }
+  if (nodes_[from].output != -1) {
+    return Status::FailedPrecondition("node '" + nodes_[from].name +
+                                      "' already has an output edge");
+  }
+  if (partitioner.degree() != nodes_[to].instances) {
+    return Status::InvalidArgument(
+        "routing partitioner degree " + std::to_string(partitioner.degree()) +
+        " must equal consumer '" + nodes_[to].name + "' instance count " +
+        std::to_string(nodes_[to].instances));
+  }
+  nodes_[from].output = static_cast<int>(to);
+  nodes_[from].route = DataOutput::Route::kByColumn;
+  nodes_[from].route_column = column;
+  nodes_[from].route_partitioner = partitioner;
+  nodes_[to].producers.push_back(from);
+  return Status::OK();
+}
+
+Status Plan::Validate() const {
+  if (nodes_.empty()) return Status::InvalidArgument("plan has no nodes");
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const PlanNode& n = nodes_[i];
+    if (n.instances == 0) {
+      return Status::InvalidArgument("node '" + n.name +
+                                     "' has zero instances");
+    }
+    if (n.params.threads == 0) {
+      return Status::InvalidArgument("node '" + n.name + "' has zero threads");
+    }
+    if (n.params.cache_size == 0) {
+      return Status::InvalidArgument("node '" + n.name +
+                                     "' has zero cache size");
+    }
+    if (n.logic == nullptr) {
+      return Status::InvalidArgument("node '" + n.name + "' has no logic");
+    }
+    if (n.mode == ActivationMode::kTriggered && !n.producers.empty()) {
+      return Status::InvalidArgument(
+          "triggered node '" + n.name +
+          "' must not have data producers (it is started by the trigger)");
+    }
+    if (n.mode == ActivationMode::kPipelined && n.producers.empty()) {
+      return Status::InvalidArgument("pipelined node '" + n.name +
+                                     "' has no data producer");
+    }
+  }
+  return TopologicalOrder().status().ok()
+             ? Status::OK()
+             : Status::InvalidArgument("plan graph is cyclic");
+}
+
+Result<std::vector<size_t>> Plan::TopologicalOrder() const {
+  std::vector<size_t> in_degree(nodes_.size(), 0);
+  for (const PlanNode& n : nodes_) {
+    if (n.output >= 0) ++in_degree[static_cast<size_t>(n.output)];
+  }
+  std::deque<size_t> ready;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (in_degree[i] == 0) ready.push_back(i);
+  }
+  std::vector<size_t> order;
+  order.reserve(nodes_.size());
+  while (!ready.empty()) {
+    const size_t i = ready.front();
+    ready.pop_front();
+    order.push_back(i);
+    const int out = nodes_[i].output;
+    if (out >= 0 && --in_degree[static_cast<size_t>(out)] == 0) {
+      ready.push_back(static_cast<size_t>(out));
+    }
+  }
+  if (order.size() != nodes_.size()) {
+    return Status::InvalidArgument("plan graph is cyclic");
+  }
+  return order;
+}
+
+std::string Plan::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const PlanNode& n = nodes_[i];
+    out += "[" + std::to_string(i) + "] " + n.name + " (" +
+           ActivationModeName(n.mode) + ", " + n.logic->name() + ", " +
+           std::to_string(n.instances) + " instances, " +
+           std::to_string(n.params.threads) + " threads, " +
+           StrategyName(n.params.strategy) + ")";
+    if (n.output >= 0) {
+      out += " -> [" + std::to_string(n.output) + "]";
+      out += n.route == DataOutput::Route::kSameInstance
+                 ? " same-instance"
+                 : " repartition(col " + std::to_string(n.route_column) + ")";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace dbs3

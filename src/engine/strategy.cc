@@ -1,0 +1,34 @@
+#include "engine/strategy.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dbs3 {
+
+const char* StrategyName(Strategy s) {
+  switch (s) {
+    case Strategy::kRandom:
+      return "Random";
+    case Strategy::kLpt:
+      return "LPT";
+  }
+  return "unknown";
+}
+
+std::vector<uint32_t> QueueVisitOrder(Strategy strategy,
+                                      const std::vector<double>& estimates,
+                                      size_t num_queues) {
+  std::vector<uint32_t> order(num_queues);
+  std::iota(order.begin(), order.end(), 0);
+  if (strategy == Strategy::kLpt && !estimates.empty()) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&](uint32_t a, uint32_t b) {
+                       const double ea = a < estimates.size() ? estimates[a] : 0.0;
+                       const double eb = b < estimates.size() ? estimates[b] : 0.0;
+                       return ea > eb;
+                     });
+  }
+  return order;
+}
+
+}  // namespace dbs3

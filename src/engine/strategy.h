@@ -1,0 +1,41 @@
+#ifndef DBS3_ENGINE_STRATEGY_H_
+#define DBS3_ENGINE_STRATEGY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dbs3 {
+
+/// Queue consumption strategies (Section 3, step 4).
+///
+/// For every strategy a thread considers its *main* queues before any
+/// *secondary* queue; the strategy decides the order within each group.
+enum class Strategy {
+  /// Default: choose uniformly at random among non-empty queues. Good when
+  /// activations are plentiful or fragments even.
+  kRandom,
+  /// Longest Processing Time first [Graham69]: visit queues in decreasing
+  /// order of estimated activation cost. The paper implements LPT without
+  /// per-activation timing by ordering operation instances by estimated
+  /// fragment size — same here, via static per-instance cost estimates.
+  kLpt,
+};
+
+const char* StrategyName(Strategy s);
+
+/// Precomputed queue visit order for one strategy.
+///
+/// Given per-instance cost estimates, yields the permutation of queue
+/// indices a thread should scan. For kRandom the permutation is the identity
+/// and callers randomize the starting point per scan; for kLpt it is the
+/// instance indices sorted by decreasing estimate (stable, so equal
+/// estimates keep instance order).
+std::vector<uint32_t> QueueVisitOrder(Strategy strategy,
+                                      const std::vector<double>& estimates,
+                                      size_t num_queues);
+
+}  // namespace dbs3
+
+#endif  // DBS3_ENGINE_STRATEGY_H_

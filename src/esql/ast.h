@@ -1,0 +1,73 @@
+#ifndef DBS3_ESQL_AST_H_
+#define DBS3_ESQL_AST_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/blocking_operators.h"
+#include "storage/value.h"
+
+namespace dbs3 {
+
+/// A possibly-qualified column reference: `city` or `residents.city`.
+struct ColumnRef {
+  std::string relation;  ///< Empty when unqualified.
+  std::string column;
+
+  std::string ToString() const {
+    return relation.empty() ? column : relation + "." + column;
+  }
+};
+
+/// One item of the SELECT list.
+struct SelectItem {
+  enum class Kind { kStar, kColumn, kAggregate };
+  Kind kind = Kind::kStar;
+  ColumnRef column;              ///< For kColumn and kAggregate (arg).
+  AggKind aggregate = AggKind::kCount;
+  bool count_star = false;       ///< COUNT(*).
+  std::string alias;             ///< Optional AS name.
+};
+
+/// A WHERE conjunct: `column op literal`.
+struct Comparison {
+  enum class Op { kEq, kNe, kLt, kLe, kGt, kGe };
+  ColumnRef column;
+  Op op = Op::kEq;
+  Value literal;
+};
+
+const char* ComparisonOpName(Comparison::Op op);
+
+/// An ORDER BY clause.
+struct OrderBy {
+  ColumnRef column;
+  SortOrder order = SortOrder::kAscending;
+};
+
+/// A parsed ESQL query:
+///   SELECT items FROM rel [JOIN rel2 ON a = b] [WHERE c (AND c)*]
+///   [GROUP BY col] [ORDER BY col [ASC|DESC]]
+struct EsqlQuery {
+  std::vector<SelectItem> items;
+  std::string from;
+  struct JoinClause {
+    std::string relation;
+    ColumnRef left;
+    ColumnRef right;
+  };
+  /// JOIN clauses in syntactic order (left-deep chain).
+  std::vector<JoinClause> joins;
+  std::vector<Comparison> where;  ///< AND-ed conjuncts.
+  std::optional<ColumnRef> group_by;
+  std::optional<OrderBy> order_by;
+
+  /// Query rendering for logs / the shell.
+  std::string ToString() const;
+};
+
+}  // namespace dbs3
+
+#endif  // DBS3_ESQL_AST_H_

@@ -1,0 +1,33 @@
+#ifndef DBS3_ESQL_LEXER_H_
+#define DBS3_ESQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dbs3 {
+
+/// One lexical token of the ESQL subset.
+struct Token {
+  enum class Kind {
+    kIdent,    ///< Bare identifier or keyword (keywords resolved upward).
+    kInt,      ///< Integer literal.
+    kString,   ///< 'single-quoted' string literal (quotes stripped).
+    kSymbol,   ///< Punctuation / operator: one of ( ) , ; . * = <> != <= >= < >
+    kEnd,
+  };
+  Kind kind = Kind::kEnd;
+  std::string text;   ///< Identifier/symbol text (identifiers keep case).
+  int64_t value = 0;  ///< For kInt.
+  size_t position = 0;  ///< Byte offset in the query, for error messages.
+};
+
+/// Splits `input` into tokens. Fails with the offending position on
+/// unterminated strings or unexpected characters.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace dbs3
+
+#endif  // DBS3_ESQL_LEXER_H_

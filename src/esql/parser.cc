@@ -1,0 +1,276 @@
+#include "esql/parser.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "esql/lexer.h"
+
+namespace dbs3 {
+
+const char* ComparisonOpName(Comparison::Op op) {
+  switch (op) {
+    case Comparison::Op::kEq:
+      return "=";
+    case Comparison::Op::kNe:
+      return "<>";
+    case Comparison::Op::kLt:
+      return "<";
+    case Comparison::Op::kLe:
+      return "<=";
+    case Comparison::Op::kGt:
+      return ">";
+    case Comparison::Op::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string EsqlQuery::ToString() const {
+  std::string out = "SELECT ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    const SelectItem& item = items[i];
+    switch (item.kind) {
+      case SelectItem::Kind::kStar:
+        out += "*";
+        break;
+      case SelectItem::Kind::kColumn:
+        out += item.column.ToString();
+        break;
+      case SelectItem::Kind::kAggregate:
+        out += AggKindName(item.aggregate);
+        out += "(";
+        out += item.count_star ? "*" : item.column.ToString();
+        out += ")";
+        break;
+    }
+    if (!item.alias.empty()) out += " AS " + item.alias;
+  }
+  out += " FROM " + from;
+  for (const JoinClause& join : joins) {
+    out += " JOIN " + join.relation + " ON " + join.left.ToString() +
+           " = " + join.right.ToString();
+  }
+  for (size_t i = 0; i < where.size(); ++i) {
+    out += i == 0 ? " WHERE " : " AND ";
+    out += where[i].column.ToString();
+    out += " ";
+    out += ComparisonOpName(where[i].op);
+    out += " ";
+    out += where[i].literal.is_int() ? where[i].literal.ToString()
+                                     : "'" + where[i].literal.ToString() + "'";
+  }
+  if (group_by.has_value()) out += " GROUP BY " + group_by->ToString();
+  if (order_by.has_value()) {
+    out += " ORDER BY " + order_by->column.ToString();
+    out += order_by->order == SortOrder::kDescending ? " DESC" : " ASC";
+  }
+  return out;
+}
+
+namespace {
+
+std::string Upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::toupper(c));
+  });
+  return s;
+}
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<EsqlQuery> Parse() {
+    EsqlQuery query;
+    DBS3_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    DBS3_RETURN_IF_ERROR(ParseSelectList(&query));
+    DBS3_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    DBS3_ASSIGN_OR_RETURN(query.from, ExpectIdent("relation name"));
+    while (AcceptKeyword("JOIN")) {
+      EsqlQuery::JoinClause join;
+      DBS3_ASSIGN_OR_RETURN(join.relation, ExpectIdent("joined relation"));
+      DBS3_RETURN_IF_ERROR(ExpectKeyword("ON"));
+      DBS3_ASSIGN_OR_RETURN(join.left, ParseColumnRef());
+      DBS3_RETURN_IF_ERROR(ExpectSymbol("="));
+      DBS3_ASSIGN_OR_RETURN(join.right, ParseColumnRef());
+      query.joins.push_back(std::move(join));
+    }
+    if (AcceptKeyword("WHERE")) {
+      do {
+        DBS3_ASSIGN_OR_RETURN(Comparison cmp, ParseComparison());
+        query.where.push_back(std::move(cmp));
+      } while (AcceptKeyword("AND"));
+    }
+    if (AcceptKeyword("GROUP")) {
+      DBS3_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      DBS3_ASSIGN_OR_RETURN(ColumnRef col, ParseColumnRef());
+      query.group_by = std::move(col);
+    }
+    if (AcceptKeyword("ORDER")) {
+      DBS3_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      OrderBy order;
+      DBS3_ASSIGN_OR_RETURN(order.column, ParseColumnRef());
+      if (AcceptKeyword("DESC")) {
+        order.order = SortOrder::kDescending;
+      } else {
+        AcceptKeyword("ASC");
+      }
+      query.order_by = std::move(order);
+    }
+    AcceptSymbol(";");
+    if (Current().kind != Token::Kind::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return query;
+  }
+
+ private:
+  const Token& Current() const { return tokens_[pos_]; }
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument(
+        what + " at position " + std::to_string(Current().position) +
+        (Current().kind == Token::Kind::kEnd
+             ? " (end of query)"
+             : " (near '" + Current().text + "')"));
+  }
+
+  bool AcceptKeyword(const std::string& keyword) {
+    if (Current().kind == Token::Kind::kIdent &&
+        Upper(Current().text) == keyword) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(const std::string& keyword) {
+    if (!AcceptKeyword(keyword)) return Error("expected " + keyword);
+    return Status::OK();
+  }
+
+  bool AcceptSymbol(const std::string& symbol) {
+    if (Current().kind == Token::Kind::kSymbol && Current().text == symbol) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectSymbol(const std::string& symbol) {
+    if (!AcceptSymbol(symbol)) return Error("expected '" + symbol + "'");
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdent(const std::string& what) {
+    if (Current().kind != Token::Kind::kIdent) {
+      return Error("expected " + what);
+    }
+    std::string text = Current().text;
+    ++pos_;
+    return text;
+  }
+
+  Result<ColumnRef> ParseColumnRef() {
+    DBS3_ASSIGN_OR_RETURN(std::string first, ExpectIdent("column name"));
+    ColumnRef ref;
+    if (AcceptSymbol(".")) {
+      ref.relation = std::move(first);
+      DBS3_ASSIGN_OR_RETURN(ref.column, ExpectIdent("column name"));
+    } else {
+      ref.column = std::move(first);
+    }
+    return ref;
+  }
+
+  static bool AggFromKeyword(const std::string& upper, AggKind* kind) {
+    if (upper == "COUNT") *kind = AggKind::kCount;
+    else if (upper == "SUM") *kind = AggKind::kSum;
+    else if (upper == "MIN") *kind = AggKind::kMin;
+    else if (upper == "MAX") *kind = AggKind::kMax;
+    else return false;
+    return true;
+  }
+
+  Status ParseSelectList(EsqlQuery* query) {
+    if (AcceptSymbol("*")) {
+      SelectItem star;
+      star.kind = SelectItem::Kind::kStar;
+      query->items.push_back(star);
+      return Status::OK();
+    }
+    do {
+      SelectItem item;
+      AggKind agg;
+      if (Current().kind == Token::Kind::kIdent &&
+          AggFromKeyword(Upper(Current().text), &agg) &&
+          pos_ + 1 < tokens_.size() &&
+          tokens_[pos_ + 1].kind == Token::Kind::kSymbol &&
+          tokens_[pos_ + 1].text == "(") {
+        ++pos_;  // Aggregate keyword.
+        DBS3_RETURN_IF_ERROR(ExpectSymbol("("));
+        item.kind = SelectItem::Kind::kAggregate;
+        item.aggregate = agg;
+        if (AcceptSymbol("*")) {
+          if (agg != AggKind::kCount) {
+            return Error("only COUNT may take '*'");
+          }
+          item.count_star = true;
+        } else {
+          DBS3_ASSIGN_OR_RETURN(item.column, ParseColumnRef());
+        }
+        DBS3_RETURN_IF_ERROR(ExpectSymbol(")"));
+      } else {
+        item.kind = SelectItem::Kind::kColumn;
+        DBS3_ASSIGN_OR_RETURN(item.column, ParseColumnRef());
+      }
+      if (AcceptKeyword("AS")) {
+        DBS3_ASSIGN_OR_RETURN(item.alias, ExpectIdent("alias"));
+      }
+      query->items.push_back(std::move(item));
+    } while (AcceptSymbol(","));
+    return Status::OK();
+  }
+
+  Result<Comparison> ParseComparison() {
+    Comparison cmp;
+    DBS3_ASSIGN_OR_RETURN(cmp.column, ParseColumnRef());
+    if (Current().kind != Token::Kind::kSymbol) {
+      return Error("expected comparison operator");
+    }
+    const std::string op = Current().text;
+    if (op == "=") cmp.op = Comparison::Op::kEq;
+    else if (op == "<>" || op == "!=") cmp.op = Comparison::Op::kNe;
+    else if (op == "<") cmp.op = Comparison::Op::kLt;
+    else if (op == "<=") cmp.op = Comparison::Op::kLe;
+    else if (op == ">") cmp.op = Comparison::Op::kGt;
+    else if (op == ">=") cmp.op = Comparison::Op::kGe;
+    else return Error("expected comparison operator");
+    ++pos_;
+    if (Current().kind == Token::Kind::kInt) {
+      cmp.literal = Value(Current().value);
+      ++pos_;
+    } else if (Current().kind == Token::Kind::kString) {
+      cmp.literal = Value(Current().text);
+      ++pos_;
+    } else {
+      return Error("expected integer or 'string' literal");
+    }
+    return cmp;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<EsqlQuery> ParseEsql(const std::string& query) {
+  DBS3_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(query));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace dbs3

@@ -1,0 +1,31 @@
+#ifndef DBS3_ESQL_PARSER_H_
+#define DBS3_ESQL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "esql/ast.h"
+
+namespace dbs3 {
+
+/// Parses one query of the ESQL subset:
+///
+///   SELECT { * | item [, item]* }
+///   FROM relation
+///   [JOIN relation ON col = col]
+///   [WHERE col op literal [AND col op literal]*]
+///   [GROUP BY col]
+///   [ORDER BY col [ASC | DESC]]
+///   [;]
+///
+/// where item is `col [AS alias]` or `AGG(col) [AS alias]` with AGG in
+/// {COUNT, SUM, MIN, MAX} (COUNT(*) allowed), col is `name` or
+/// `relation.name`, op is one of = <> != < <= > >=, and literal is an
+/// integer or a 'string'. Keywords are case-insensitive.
+///
+/// Errors carry the byte position and what was expected.
+Result<EsqlQuery> ParseEsql(const std::string& query);
+
+}  // namespace dbs3
+
+#endif  // DBS3_ESQL_PARSER_H_

@@ -1,0 +1,58 @@
+#ifndef DBS3_ESQL_PLANNER_H_
+#define DBS3_ESQL_PLANNER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "dbs3/database.h"
+#include "engine/executor.h"
+#include "engine/operators.h"
+#include "esql/ast.h"
+#include "sched/scheduler.h"
+
+namespace dbs3 {
+
+/// Execution knobs of the ESQL layer.
+struct EsqlOptions {
+  ScheduleOptions schedule;
+  CostModel cost_model;
+  JoinAlgorithm algorithm = JoinAlgorithm::kHash;
+  std::string result_name = "esql_result";
+};
+
+/// Outcome of one ESQL query.
+struct EsqlResult {
+  /// The materialized result.
+  std::unique_ptr<Relation> result;
+  /// Execution stats of the final plan phase.
+  ExecutionResult execution;
+  /// Scheduling decisions of the final plan phase.
+  ScheduleReport schedule;
+  /// Human-readable physical strategy, e.g. "IdealJoin" or
+  /// "repartition(B) ; AssocJoin(probe=A)".
+  std::string physical_plan;
+  /// Number of pipeline chains executed (materialization boundaries + 1).
+  size_t phases = 1;
+};
+
+/// Compiles and executes `query` against `db`.
+///
+/// Physical planning follows the paper's repertoire: a join between
+/// co-partitioned relations becomes an IdealJoin (Figure 10); a join where
+/// one side is partitioned on its join attribute becomes an AssocJoin
+/// probing with the other side (Figure 11); otherwise one side is first
+/// repartitioned into a materialized temporary (a subquery boundary,
+/// Figure 5) and an AssocJoin follows. WHERE conjuncts are pushed into the
+/// probe-side scan where possible; GROUP BY repartitions on the grouping
+/// attribute; ORDER BY sorts each result fragment.
+Result<EsqlResult> ExecuteEsql(Database& db, const std::string& query,
+                               const EsqlOptions& options = {});
+
+/// Same, over an already-parsed query.
+Result<EsqlResult> ExecuteEsql(Database& db, const EsqlQuery& query,
+                               const EsqlOptions& options = {});
+
+}  // namespace dbs3
+
+#endif  // DBS3_ESQL_PLANNER_H_

@@ -1,0 +1,65 @@
+#include "model/analysis.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/zipf.h"
+
+namespace dbs3 {
+
+OperationProfile ProfileFromCosts(const std::vector<double>& costs) {
+  OperationProfile p;
+  p.activations = costs.size();
+  if (costs.empty()) return p;
+  double sum = 0.0;
+  for (double c : costs) {
+    sum += c;
+    p.max_cost = std::max(p.max_cost, c);
+  }
+  p.mean_cost = sum / static_cast<double>(costs.size());
+  return p;
+}
+
+double TIdeal(const OperationProfile& p, size_t n) {
+  assert(n >= 1);
+  return p.TotalWork() / static_cast<double>(n);
+}
+
+double TWorst(const OperationProfile& p, size_t n) {
+  assert(n >= 1);
+  return (p.TotalWork() - p.max_cost) / static_cast<double>(n) + p.max_cost;
+}
+
+double OverheadBound(const OperationProfile& p, size_t n) {
+  assert(n >= 1);
+  if (p.activations == 0 || p.mean_cost == 0.0) return 0.0;
+  return (p.max_cost / p.mean_cost) * static_cast<double>(n - 1) /
+         static_cast<double>(p.activations);
+}
+
+double NMax(const OperationProfile& p) {
+  if (p.max_cost == 0.0) return 0.0;
+  return p.TotalWork() / p.max_cost;
+}
+
+double PredictedSpeedup(const OperationProfile& p, size_t n,
+                        size_t processors) {
+  assert(n >= 1);
+  assert(processors >= 1);
+  const double total = p.TotalWork();
+  if (total == 0.0) return 1.0;
+  const size_t effective = std::min(n, processors);
+  const double bound =
+      std::max(total / static_cast<double>(effective), p.max_cost);
+  return total / bound;
+}
+
+OperationProfile ZipfProfile(double total_work, size_t activations,
+                             double theta) {
+  const std::vector<double> shares = ZipfShares(activations, theta);
+  std::vector<double> costs(activations);
+  for (size_t i = 0; i < activations; ++i) costs[i] = shares[i] * total_work;
+  return ProfileFromCosts(costs);
+}
+
+}  // namespace dbs3

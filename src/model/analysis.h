@@ -1,0 +1,61 @@
+#ifndef DBS3_MODEL_ANALYSIS_H_
+#define DBS3_MODEL_ANALYSIS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dbs3 {
+
+/// The cost shape of one operation execution, as seen by the analysis of
+/// Section 4.1: `a` activations with mean processing time `P` (mean_cost)
+/// and most expensive activation `Pmax` (max_cost). Cost units are
+/// arbitrary but must be consistent.
+struct OperationProfile {
+  uint64_t activations = 0;  ///< a
+  double mean_cost = 0.0;    ///< P
+  double max_cost = 0.0;     ///< Pmax
+  /// Total work a * P.
+  double TotalWork() const {
+    return static_cast<double>(activations) * mean_cost;
+  }
+};
+
+/// Builds a profile from per-activation costs.
+OperationProfile ProfileFromCosts(const std::vector<double>& costs);
+
+/// Ideal execution time with `n` threads: Tideal = a·P / n (Equation 1,
+/// all threads complete simultaneously). Requires n >= 1.
+double TIdeal(const OperationProfile& p, size_t n);
+
+/// Worst-case execution time with `n` threads (Equation 2):
+/// Tworst = (a·P − Pmax)/n + Pmax — every activation but the most expensive
+/// is processed first, then one thread alone runs the most expensive one.
+double TWorst(const OperationProfile& p, size_t n);
+
+/// Upper bound on the skew overhead v such that Tworst = (1+v)·Tideal
+/// (Equation 3): v ≤ (Pmax/P)·(n−1)/a.
+double OverheadBound(const OperationProfile& p, size_t n);
+
+/// Maximum useful degree of parallelism (Section 5.5): past
+/// nmax = a·P / Pmax the response time is bounded by the longest activation
+/// and adding threads gains nothing.
+double NMax(const OperationProfile& p);
+
+/// Speed-up the model predicts for `n` threads on `processors` processors:
+/// the sequential time a·P over the per-thread bound, additionally capped by
+/// the longest activation — min(n, processors, nmax)-style ceiling with the
+/// exact Tworst-driven shape:
+///   speedup(n) = (a·P) / max(Tideal(min(n, processors)), Pmax).
+double PredictedSpeedup(const OperationProfile& p, size_t n,
+                        size_t processors);
+
+/// Profile of a Zipf-skewed triggered operation: `a` activations whose costs
+/// are proportional to ZipfCounts-style shares of `total_work` (the paper's
+/// skewed IdealJoin, where activation cost follows fragment cardinality).
+OperationProfile ZipfProfile(double total_work, size_t activations,
+                             double theta);
+
+}  // namespace dbs3
+
+#endif  // DBS3_MODEL_ANALYSIS_H_

@@ -1,0 +1,133 @@
+#include "sched/subquery.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dbs3 {
+
+size_t SubqueryTree::AddNode(std::string name, double complexity) {
+  SubqueryNode n;
+  n.name = std::move(name);
+  n.complexity = complexity;
+  nodes_.push_back(std::move(n));
+  parent_.push_back(-1);
+  return nodes_.size() - 1;
+}
+
+Status SubqueryTree::AddChild(size_t parent, size_t child) {
+  if (parent >= nodes_.size() || child >= nodes_.size()) {
+    return Status::InvalidArgument("subquery node id out of range");
+  }
+  if (parent_[child] != -1) {
+    return Status::FailedPrecondition("subquery '" + nodes_[child].name +
+                                      "' already has a parent");
+  }
+  if (parent == child) {
+    return Status::InvalidArgument("subquery cannot be its own child");
+  }
+  nodes_[parent].children.push_back(child);
+  parent_[child] = static_cast<int>(parent);
+  return Status::OK();
+}
+
+Result<size_t> SubqueryTree::Root() const {
+  if (nodes_.empty()) return Status::InvalidArgument("empty subquery tree");
+  int root = -1;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (parent_[i] == -1) {
+      if (root != -1) {
+        return Status::InvalidArgument("subquery tree has several roots");
+      }
+      root = static_cast<int>(i);
+    }
+  }
+  if (root == -1) return Status::InvalidArgument("subquery tree is cyclic");
+  return static_cast<size_t>(root);
+}
+
+double SubqueryTree::SubtreeComplexity(size_t i) const {
+  double total = nodes_[i].complexity;
+  for (size_t c : nodes_[i].children) total += SubtreeComplexity(c);
+  return total;
+}
+
+Result<std::vector<double>> SubqueryTree::SolveThreadAllocation(
+    double total_threads) const {
+  DBS3_ASSIGN_OR_RETURN(const size_t root, Root());
+  if (total_threads <= 0.0) {
+    return Status::InvalidArgument("total_threads must be > 0");
+  }
+  std::vector<double> threads(nodes_.size(), 0.0);
+  threads[root] = total_threads;
+  // Top-down: children split the parent's full allocation proportionally to
+  // subtree complexity (they execute in an earlier phase, when the parent's
+  // CPU power is free for them — hence sum(children) == parent).
+  std::vector<size_t> stack = {root};
+  while (!stack.empty()) {
+    const size_t i = stack.back();
+    stack.pop_back();
+    const SubqueryNode& n = nodes_[i];
+    if (n.children.empty()) continue;
+    double denom = 0.0;
+    for (size_t c : n.children) denom += SubtreeComplexity(c);
+    for (size_t c : n.children) {
+      threads[c] = denom > 0.0
+                       ? threads[i] * SubtreeComplexity(c) / denom
+                       : threads[i] / static_cast<double>(n.children.size());
+      stack.push_back(c);
+    }
+  }
+  return threads;
+}
+
+std::vector<size_t> SplitChainThreads(const std::vector<double>& complexities,
+                                      size_t total) {
+  const size_t n = complexities.size();
+  std::vector<size_t> out(n, 1);
+  if (n == 0) return out;
+  if (total < n) total = n;  // Every operator pool needs >= 1 thread.
+  double sum = std::accumulate(complexities.begin(), complexities.end(), 0.0);
+  if (sum <= 0.0) {
+    // Degenerate: spread evenly.
+    size_t base = total / n, extra = total % n;
+    for (size_t i = 0; i < n; ++i) out[i] = base + (i < extra ? 1 : 0);
+    for (size_t& t : out) t = std::max<size_t>(t, 1);
+    return out;
+  }
+  // Largest-remainder apportionment with a floor of 1 thread per operator.
+  std::vector<double> ideal(n);
+  size_t assigned = 0;
+  for (size_t i = 0; i < n; ++i) {
+    ideal[i] = static_cast<double>(total) * complexities[i] / sum;
+    out[i] = std::max<size_t>(1, static_cast<size_t>(ideal[i]));
+    assigned += out[i];
+  }
+  // Distribute any remaining threads by largest fractional remainder;
+  // if floors overshot (possible with many tiny operators), trim from the
+  // smallest-remainder operators that still have > 1 thread.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return ideal[a] - static_cast<double>(out[a]) >
+           ideal[b] - static_cast<double>(out[b]);
+  });
+  size_t k = 0;
+  while (assigned < total) {
+    ++out[order[k % n]];
+    ++assigned;
+    ++k;
+  }
+  k = n;
+  while (assigned > total) {
+    const size_t i = order[(k - 1) % n];
+    if (out[i] > 1) {
+      --out[i];
+      --assigned;
+    }
+    --k;
+    if (k == 0) k = n;  // Wrap; loop terminates because total >= n.
+  }
+  return out;
+}
+
+}  // namespace dbs3

@@ -1,0 +1,66 @@
+#ifndef DBS3_SCHED_SUBQUERY_H_
+#define DBS3_SCHED_SUBQUERY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dbs3 {
+
+/// A node of the subquery tree of Section 3 (Figure 5, step 2): the
+/// execution graph of a query viewed as an inverted tree of pipelined
+/// chains separated by result materializations.
+struct SubqueryNode {
+  std::string name;
+  /// Estimated sequential complexity of this subquery alone (Ti).
+  double complexity = 0.0;
+  /// Child subqueries (producers of this subquery's materialized inputs).
+  std::vector<size_t> children;
+};
+
+/// The subquery tree. Node 0 need not be the root; the root is the unique
+/// node that is nobody's child.
+class SubqueryTree {
+ public:
+  /// Adds a node and returns its id.
+  size_t AddNode(std::string name, double complexity);
+
+  /// Makes `child` a child of `parent`.
+  Status AddChild(size_t parent, size_t child);
+
+  size_t num_nodes() const { return nodes_.size(); }
+  const SubqueryNode& node(size_t i) const { return nodes_[i]; }
+
+  /// The unique root, or an error if the tree is malformed.
+  Result<size_t> Root() const;
+
+  /// Complexity of the subtree rooted at `i` (Ti plus all descendants) —
+  /// the T1+T2+T3 term of the paper's equations.
+  double SubtreeComplexity(size_t i) const;
+
+  /// Step 2 of the paper: solves the proportional-allocation equations.
+  /// The root gets all `total_threads`; each node's children split their
+  /// parent's allocation proportionally to subtree complexity (this
+  /// reproduces the paper's example system: N5 = N, N3 + N4 = N5 with
+  /// (T1+T2+T3)/N3 = T4/N4, N1 + N2 = N3 with T1/N1 = T2/N2).
+  /// Returns fractional thread counts per node, index-aligned with nodes.
+  Result<std::vector<double>> SolveThreadAllocation(
+      double total_threads) const;
+
+ private:
+  std::vector<SubqueryNode> nodes_;
+  std::vector<int> parent_;
+};
+
+/// Step 3 of the paper: splits a chain's thread budget over its operators
+/// proportionally to complexity: NbThreads(Op_i) = NbThreads(chain) *
+/// Complexity(Op_i) / Complexity(chain). Returns integer counts, each >= 1,
+/// summing to max(total, #ops) (largest-remainder rounding).
+std::vector<size_t> SplitChainThreads(const std::vector<double>& complexities,
+                                      size_t total);
+
+}  // namespace dbs3
+
+#endif  // DBS3_SCHED_SUBQUERY_H_

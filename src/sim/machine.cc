@@ -1,0 +1,407 @@
+#include "sim/machine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace dbs3 {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// A scheduled delivery of data activations to the consumer, expressed as a
+/// work threshold within the producing activation (pipelining: tuples flow
+/// while the producer is still running).
+struct Chunk {
+  double at_work = 0.0;
+  uint32_t dest_inst = 0;
+  uint64_t count = 0;
+};
+
+/// The activation (or batch of identical data activations) a thread is
+/// currently executing.
+struct RunningAct {
+  double total = 0.0;
+  double done = 0.0;
+  std::vector<Chunk> chunks;
+  size_t next_chunk = 0;
+  size_t instance = 0;
+  uint64_t units = 1;
+};
+
+struct ThreadState {
+  size_t op = 0;
+  size_t local_id = 0;
+  double alive_at = 0.0;
+  bool running = false;
+  RunningAct act;
+  double work_done = 0.0;
+  uint64_t processed = 0;
+};
+
+struct OpState {
+  const SimOpSpec* spec = nullptr;
+  std::vector<uint8_t> trigger_pending;
+  std::vector<uint64_t> data_pending;
+  std::vector<uint8_t> setup_charged;
+  std::vector<double> emit_accum;
+  uint64_t queued = 0;
+  size_t open_producers = 0;
+  size_t running = 0;
+  bool completed = false;
+  double complete_time = 0.0;
+  std::vector<uint32_t> visit_order;
+  std::vector<uint64_t> per_instance_processed;
+};
+
+Status ValidateSpec(const SimPlanSpec& plan) {
+  if (plan.ops.empty()) {
+    return Status::InvalidArgument("sim plan has no operations");
+  }
+  for (size_t i = 0; i < plan.ops.size(); ++i) {
+    const SimOpSpec& op = plan.ops[i];
+    if (op.instances == 0 || op.threads == 0 || op.cache_size == 0) {
+      return Status::InvalidArgument("sim op '" + op.name +
+                                     "' has a zero instance/thread/cache");
+    }
+    if (op.triggered()) {
+      if (op.triggers.size() != op.instances) {
+        return Status::InvalidArgument(
+            "triggered sim op '" + op.name + "' needs one trigger per " +
+            "instance: " + std::to_string(op.triggers.size()) + " vs " +
+            std::to_string(op.instances));
+      }
+    } else {
+      if (op.data_cost.size() != op.instances) {
+        return Status::InvalidArgument(
+            "pipelined sim op '" + op.name +
+            "' needs data_cost per instance");
+      }
+      bool has_producer = false;
+      for (const SimOpSpec& other : plan.ops) {
+        if (other.output == static_cast<int>(i)) has_producer = true;
+      }
+      if (!has_producer) {
+        return Status::InvalidArgument("pipelined sim op '" + op.name +
+                                       "' has no producer");
+      }
+    }
+    if (!op.data_setup_cost.empty() &&
+        op.data_setup_cost.size() != op.instances) {
+      return Status::InvalidArgument("sim op '" + op.name +
+                                     "' data_setup_cost size mismatch");
+    }
+    if (op.output >= 0) {
+      if (static_cast<size_t>(op.output) >= plan.ops.size() ||
+          static_cast<size_t>(op.output) == i) {
+        return Status::InvalidArgument("sim op '" + op.name +
+                                       "' has an invalid output index");
+      }
+      for (const SimTriggerActivation& t : op.triggers) {
+        for (const SimEmission& e : t.emissions) {
+          if (e.dest_instance >=
+              plan.ops[static_cast<size_t>(op.output)].instances) {
+            return Status::InvalidArgument(
+                "sim op '" + op.name + "' emits to out-of-range instance");
+          }
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+/// Expands a trigger's emission groups into pipelined delivery chunks,
+/// spread uniformly over the activation's execution.
+std::vector<Chunk> BuildChunks(const SimTriggerActivation& trigger,
+                               double total_cost) {
+  std::vector<Chunk> chunks;
+  for (const SimEmission& e : trigger.emissions) {
+    if (e.count == 0) continue;
+    const uint64_t nchunks = e.count <= 4 ? 1 : std::min<uint64_t>(8, e.count);
+    const uint64_t base = e.count / nchunks;
+    uint64_t extra = e.count % nchunks;
+    for (uint64_t k = 0; k < nchunks; ++k) {
+      Chunk c;
+      c.dest_inst = e.dest_instance;
+      c.count = base + (extra > 0 ? 1 : 0);
+      if (extra > 0) --extra;
+      chunks.push_back(c);
+    }
+  }
+  const size_t n = chunks.size();
+  for (size_t k = 0; k < n; ++k) {
+    chunks[k].at_work =
+        total_cost * static_cast<double>(k + 1) / static_cast<double>(n + 1);
+  }
+  return chunks;
+}
+
+}  // namespace
+
+SimMachine::SimMachine(SimMachineConfig config) : config_(config) {}
+
+Result<SimResult> SimMachine::Run(const SimPlanSpec& plan) {
+  DBS3_RETURN_IF_ERROR(ValidateSpec(plan));
+  if (config_.processors == 0) {
+    return Status::InvalidArgument("simulated machine needs >= 1 processor");
+  }
+  Rng rng(config_.seed);
+
+  // --- Build operation and thread state.
+  const size_t nops = plan.ops.size();
+  std::vector<OpState> ops(nops);
+  size_t total_queues = 0;
+  for (size_t i = 0; i < nops; ++i) {
+    const SimOpSpec& spec = plan.ops[i];
+    OpState& op = ops[i];
+    op.spec = &spec;
+    op.trigger_pending.assign(spec.instances, 0);
+    op.data_pending.assign(spec.instances, 0);
+    op.setup_charged.assign(spec.instances, 0);
+    op.emit_accum.assign(spec.instances, 0.0);
+    op.per_instance_processed.assign(spec.instances, 0);
+    total_queues += spec.instances;
+    // LPT estimates default to the trigger costs / per-instance data costs.
+    std::vector<double> estimates = spec.cost_estimates;
+    if (estimates.empty()) {
+      if (spec.triggered()) {
+        for (const SimTriggerActivation& t : spec.triggers) {
+          estimates.push_back(t.cost);
+        }
+      } else {
+        estimates = spec.data_cost;
+      }
+    }
+    op.visit_order = QueueVisitOrder(spec.strategy, estimates, spec.instances);
+    if (spec.triggered()) {
+      for (size_t q = 0; q < spec.instances; ++q) op.trigger_pending[q] = 1;
+      op.queued = spec.instances;
+    }
+  }
+  // Producer counts: one per upstream op (the executor's trigger source is
+  // instantaneous, so triggered ops start with zero open producers).
+  for (size_t i = 0; i < nops; ++i) {
+    if (plan.ops[i].output >= 0) {
+      ++ops[static_cast<size_t>(plan.ops[i].output)].open_producers;
+    }
+  }
+
+  const double init_time =
+      config_.queue_create_cost * static_cast<double>(total_queues);
+  std::vector<ThreadState> threads;
+  std::vector<std::vector<size_t>> op_threads(nops);
+  size_t global_tid = 0;
+  for (size_t i = 0; i < nops; ++i) {
+    for (size_t t = 0; t < plan.ops[i].threads; ++t) {
+      ThreadState ts;
+      ts.op = i;
+      ts.local_id = t;
+      ts.alive_at = init_time + config_.thread_startup_cost *
+                                    static_cast<double>(global_tid + 1);
+      op_threads[i].push_back(threads.size());
+      threads.push_back(ts);
+      ++global_tid;
+    }
+  }
+
+  // --- Acquisition: pick a queue per strategy, main queues first.
+  auto acquire = [&](ThreadState& ts) -> bool {
+    OpState& op = ops[ts.op];
+    const SimOpSpec& spec = *op.spec;
+    if (op.queued == 0) return false;
+    const size_t m = spec.instances;
+    const size_t start =
+        spec.strategy == Strategy::kRandom ? rng.Below(m) : 0;
+    int found = -1;
+    for (int pass = 0; pass < 2 && found < 0; ++pass) {
+      const bool main_only =
+          pass == 0 && config_.use_main_queues && spec.threads > 1;
+      if (pass == 1 && !(config_.use_main_queues && spec.threads > 1)) break;
+      for (size_t k = 0; k < m; ++k) {
+        const uint32_t q = op.visit_order[(start + k) % m];
+        if (main_only && q % spec.threads != ts.local_id) continue;
+        if (op.trigger_pending[q] || op.data_pending[q] > 0) {
+          found = static_cast<int>(q);
+          break;
+        }
+      }
+      if (!config_.use_main_queues || spec.threads <= 1) break;
+    }
+    if (found < 0) return false;
+    const size_t q = static_cast<size_t>(found);
+
+    RunningAct act;
+    act.instance = q;
+    const double scan_overhead =
+        config_.queue_scan_cost * static_cast<double>(m);
+    if (op.trigger_pending[q]) {
+      op.trigger_pending[q] = 0;
+      op.queued -= 1;
+      const SimTriggerActivation& trig = spec.triggers[q];
+      act.total = trig.cost + scan_overhead;
+      act.units = 1;
+      act.chunks = BuildChunks(trig, act.total);
+    } else {
+      const uint64_t batch =
+          std::min<uint64_t>(spec.cache_size, op.data_pending[q]);
+      op.data_pending[q] -= batch;
+      op.queued -= batch;
+      act.total =
+          static_cast<double>(batch) * spec.data_cost[q] + scan_overhead;
+      if (!op.setup_charged[q] && !spec.data_setup_cost.empty()) {
+        act.total += spec.data_setup_cost[q];
+        op.setup_charged[q] = 1;
+      }
+      act.units = batch;
+      if (spec.output >= 0 && spec.data_fanout > 0.0) {
+        op.emit_accum[q] += static_cast<double>(batch) * spec.data_fanout;
+        const uint64_t emit = static_cast<uint64_t>(op.emit_accum[q]);
+        op.emit_accum[q] -= static_cast<double>(emit);
+        if (emit > 0) {
+          Chunk c;
+          c.at_work = act.total;
+          c.dest_inst = static_cast<uint32_t>(q);
+          c.count = emit;
+          act.chunks.push_back(c);
+        }
+      }
+    }
+    ts.act = std::move(act);
+    ts.running = true;
+    ++op.running;
+    return true;
+  };
+
+  // --- Completion cascade.
+  double now = 0.0;
+  auto check_complete = [&](size_t start_op) {
+    size_t i = start_op;
+    while (true) {
+      OpState& op = ops[i];
+      if (op.completed || op.open_producers > 0 || op.queued > 0 ||
+          op.running > 0) {
+        return;
+      }
+      op.completed = true;
+      op.complete_time = now;
+      const int out = op.spec->output;
+      if (out < 0) return;
+      OpState& consumer = ops[static_cast<size_t>(out)];
+      assert(consumer.open_producers > 0);
+      --consumer.open_producers;
+      i = static_cast<size_t>(out);
+    }
+  };
+
+  // --- Event loop (processor-sharing fluid model).
+  SimResult result;
+  result.init_time = init_time;
+  const double P = static_cast<double>(config_.processors);
+  size_t completed_ops = 0;
+  // Initial cascade for ops that never get work (defensive).
+  for (size_t i = 0; i < nops; ++i) check_complete(i);
+  for (size_t i = 0; i < nops; ++i) completed_ops += ops[i].completed ? 1 : 0;
+
+  size_t safety = 0;
+  const size_t kMaxEvents = 200'000'000;
+  while (completed_ops < nops) {
+    if (++safety > kMaxEvents) {
+      return Status::Internal("simulation exceeded event budget");
+    }
+    // Dispatch idle, alive threads.
+    for (ThreadState& ts : threads) {
+      if (!ts.running && ts.alive_at <= now + kEps && !ops[ts.op].completed) {
+        acquire(ts);
+      }
+    }
+    // Count busy threads and find the next event.
+    size_t busy = 0;
+    for (const ThreadState& ts : threads) busy += ts.running ? 1 : 0;
+    double next_alive = std::numeric_limits<double>::infinity();
+    for (const ThreadState& ts : threads) {
+      if (!ts.running && ts.alive_at > now + kEps && !ops[ts.op].completed) {
+        next_alive = std::min(next_alive, ts.alive_at);
+      }
+    }
+    if (busy == 0) {
+      if (std::isinf(next_alive)) {
+        return Status::Internal(
+            "simulation stalled: queued work but no runnable thread");
+      }
+      now = next_alive;
+      continue;
+    }
+    double rate = std::min(1.0, P / static_cast<double>(busy));
+    if (static_cast<double>(busy) > P && config_.context_switch_overhead > 0.0) {
+      const double ratio = static_cast<double>(busy) / P;
+      rate /= 1.0 + config_.context_switch_overhead * (ratio - 1.0);
+    }
+    double dt = std::numeric_limits<double>::infinity();
+    for (const ThreadState& ts : threads) {
+      if (!ts.running) continue;
+      const RunningAct& a = ts.act;
+      const double boundary = a.next_chunk < a.chunks.size()
+                                  ? std::min(a.chunks[a.next_chunk].at_work,
+                                             a.total)
+                                  : a.total;
+      dt = std::min(dt, (boundary - a.done) / rate);
+    }
+    if (next_alive < now + dt) dt = next_alive - now;
+    dt = std::max(dt, 0.0);
+    now += dt;
+    // Advance all running activations and handle boundary crossings.
+    for (ThreadState& ts : threads) {
+      if (!ts.running) continue;
+      RunningAct& a = ts.act;
+      a.done += rate * dt;
+      while (a.next_chunk < a.chunks.size() &&
+             a.chunks[a.next_chunk].at_work <= a.done + kEps) {
+        const Chunk& c = a.chunks[a.next_chunk];
+        OpState& consumer =
+            ops[static_cast<size_t>(ops[ts.op].spec->output)];
+        consumer.data_pending[c.dest_inst] += c.count;
+        consumer.queued += c.count;
+        ++a.next_chunk;
+      }
+      if (a.done + kEps >= a.total) {
+        // Completion.
+        OpState& op = ops[ts.op];
+        ts.work_done += a.total;
+        ts.processed += a.units;
+        op.per_instance_processed[a.instance] += a.units;
+        --op.running;
+        ts.running = false;
+        const size_t before = completed_ops;
+        check_complete(ts.op);
+        (void)before;
+      }
+    }
+    completed_ops = 0;
+    for (size_t i = 0; i < nops; ++i) completed_ops += ops[i].completed ? 1 : 0;
+  }
+
+  // --- Collect results.
+  result.ops.resize(nops);
+  for (size_t i = 0; i < nops; ++i) {
+    SimOpStats& s = result.ops[i];
+    s.name = plan.ops[i].name;
+    s.complete_time = ops[i].complete_time;
+    s.per_thread_work.assign(plan.ops[i].threads, 0.0);
+    s.per_thread_processed.assign(plan.ops[i].threads, 0);
+    for (size_t tid : op_threads[i]) {
+      s.per_thread_work[threads[tid].local_id] = threads[tid].work_done;
+      s.per_thread_processed[threads[tid].local_id] = threads[tid].processed;
+      result.total_work += threads[tid].work_done;
+    }
+    s.per_instance_processed = ops[i].per_instance_processed;
+    result.elapsed = std::max(result.elapsed, ops[i].complete_time);
+  }
+  return result;
+}
+
+}  // namespace dbs3

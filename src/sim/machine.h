@@ -1,0 +1,90 @@
+#ifndef DBS3_SIM_MACHINE_H_
+#define DBS3_SIM_MACHINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sim/spec.h"
+
+namespace dbs3 {
+
+/// The virtual shared-memory multiprocessor the experiments run on — the
+/// stand-in for the 72-node KSR1.
+///
+/// Processors are modeled as a processor-sharing pool: when more threads
+/// are runnable than processors, every runnable thread progresses at rate
+/// P / busy (fluid timeslicing). Start-up (a paper barrier: "proportional
+/// to the degree of parallelism") is a sequential initialization phase:
+/// queue creation plus a per-thread spawn cost staggering thread
+/// availability.
+struct SimMachineConfig {
+  size_t processors = 70;
+  /// Sequential start-up cost per thread (virtual seconds): thread k of the
+  /// query becomes available at init_time + (k+1) * this.
+  double thread_startup_cost = 0.0;
+  /// Sequential initialization cost per activation queue created.
+  double queue_create_cost = 0.0;
+  /// Queue-access overhead added to every batch acquisition, per queue of
+  /// the operation (the cost of finding work among many queues — what makes
+  /// a very high degree of partitioning eventually counterproductive,
+  /// Section 5.6.1).
+  double queue_scan_cost = 0.0;
+  /// Disable the main/secondary queue split (ablation: all queues shared).
+  bool use_main_queues = true;
+  /// Throughput lost to scheduling/cache interference when more threads are
+  /// runnable than processors: with oversubscription ratio r = busy/P > 1,
+  /// every thread's rate is additionally divided by
+  /// 1 + context_switch_overhead * (r - 1). 0 = pure processor sharing
+  /// (work-conserving, the default for the single-query figures).
+  double context_switch_overhead = 0.0;
+  uint64_t seed = 42;
+};
+
+/// Per-operation outcome of a simulation.
+struct SimOpStats {
+  std::string name;
+  /// Virtual CPU work executed by each thread of the pool (the
+  /// load-balance signal: ideal balance = equal entries).
+  std::vector<double> per_thread_work;
+  /// Activations processed by each thread.
+  std::vector<uint64_t> per_thread_processed;
+  /// Activations processed per instance.
+  std::vector<uint64_t> per_instance_processed;
+  /// Virtual time at which the operation completed.
+  double complete_time = 0.0;
+};
+
+/// Outcome of one simulated execution.
+struct SimResult {
+  /// Virtual seconds from time zero (init start) to the completion of the
+  /// last operation.
+  double elapsed = 0.0;
+  /// Sequential initialization time (queue creation; thread start-up is
+  /// staggered on top).
+  double init_time = 0.0;
+  /// Total CPU work of all activations (virtual seconds); elapsed >=
+  /// work / processors.
+  double total_work = 0.0;
+  std::vector<SimOpStats> ops;
+};
+
+/// Discrete-event simulator executing a SimPlanSpec with DBS3's scheduling
+/// policies (per-operation thread pools, main/secondary queues, Random and
+/// LPT consumption) under virtual time.
+class SimMachine {
+ public:
+  explicit SimMachine(SimMachineConfig config);
+
+  /// Runs the plan to completion. Deterministic for a given config seed.
+  Result<SimResult> Run(const SimPlanSpec& plan);
+
+ private:
+  SimMachineConfig config_;
+};
+
+}  // namespace dbs3
+
+#endif  // DBS3_SIM_MACHINE_H_

@@ -1,0 +1,73 @@
+#ifndef DBS3_SIM_SPEC_H_
+#define DBS3_SIM_SPEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/strategy.h"
+
+namespace dbs3 {
+
+/// Tuples emitted to one consumer instance while an activation executes.
+struct SimEmission {
+  uint32_t dest_instance = 0;
+  uint64_t count = 0;
+};
+
+/// One control activation of a triggered simulated operation.
+struct SimTriggerActivation {
+  /// CPU cost in virtual seconds.
+  double cost = 0.0;
+  /// Data activations this activation produces, delivered in chunks spread
+  /// across its execution (pipelining).
+  std::vector<SimEmission> emissions;
+};
+
+/// One operation of a simulated plan.
+///
+/// A triggered operation lists one SimTriggerActivation per instance. A
+/// pipelined operation is described by per-instance costs: every data
+/// activation arriving at instance i costs `data_cost[i]` virtual seconds
+/// (the granularity the analysis of Section 4.1 works at).
+struct SimOpSpec {
+  std::string name = "op";
+  size_t instances = 1;
+  size_t threads = 1;
+  Strategy strategy = Strategy::kRandom;
+  /// Internal activation cache: a thread drains up to this many data
+  /// activations from one queue as a single sequential batch.
+  size_t cache_size = 1;
+  /// Consumer operation index in the plan, or -1 for a terminal operation.
+  int output = -1;
+
+  /// Triggered form: exactly `instances` entries (activation i starts in
+  /// queue i). Empty for pipelined operations.
+  std::vector<SimTriggerActivation> triggers;
+
+  /// Pipelined form: cost of one data activation at instance i.
+  std::vector<double> data_cost;
+  /// One-time extra cost charged to the first batch acquired at instance i
+  /// (e.g. building a temporary index on first probe).
+  std::vector<double> data_setup_cost;
+  /// Tuples emitted downstream per data activation processed (delivered to
+  /// the same consumer instance, like join_i -> store_i). May be
+  /// fractional; the simulator carries remainders.
+  double data_fanout = 0.0;
+
+  /// Per-instance cost estimates used for LPT queue ordering. When empty,
+  /// trigger costs (triggered) or data_cost (pipelined) are used.
+  std::vector<double> cost_estimates;
+
+  bool triggered() const { return !triggers.empty(); }
+};
+
+/// A simulated plan: operations wired by their `output` indices.
+struct SimPlanSpec {
+  std::vector<SimOpSpec> ops;
+};
+
+}  // namespace dbs3
+
+#endif  // DBS3_SIM_SPEC_H_

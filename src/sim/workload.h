@@ -1,0 +1,75 @@
+#ifndef DBS3_SIM_WORKLOAD_H_
+#define DBS3_SIM_WORKLOAD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/result.h"
+#include "engine/operators.h"
+#include "model/analysis.h"
+#include "sim/allcache.h"
+#include "sim/costs.h"
+#include "sim/spec.h"
+
+namespace dbs3 {
+
+/// Parameters of one simulated join experiment — the knobs Section 5
+/// sweeps: skew factor (theta), degree of parallelism (threads) and degree
+/// of partitioning (degree).
+struct JoinWorkloadSpec {
+  uint64_t a_cardinality = 100'000;
+  uint64_t b_cardinality = 10'000;
+  /// Degree of partitioning of both relations.
+  size_t degree = 200;
+  /// Zipf skew factor of A's fragment cardinalities, in [0, 1].
+  double theta = 0.0;
+  JoinAlgorithm algorithm = JoinAlgorithm::kNestedLoop;
+  /// Total threads for the query (AssocJoin splits them over transmit and
+  /// join proportionally to complexity, per the scheduler's step 3).
+  size_t threads = 10;
+  Strategy strategy = Strategy::kRandom;
+  /// Internal activation cache size of the pipelined join.
+  size_t cache_size = 1;
+};
+
+/// Builds the simulated IdealJoin plan (Figure 10): one triggered join
+/// operation, co-partitioned operands, one activation per fragment. Result
+/// materialization cost is folded into the join activations (see
+/// DESIGN.md).
+Result<SimPlanSpec> BuildIdealJoinSim(const JoinWorkloadSpec& spec,
+                                      const SimCosts& costs);
+
+/// Builds the simulated AssocJoin plan (Figure 11): a triggered transmit
+/// redistributing B' (one activation per B' fragment, pipelined emissions)
+/// feeding a pipelined join (one data activation per redistributed tuple).
+Result<SimPlanSpec> BuildAssocJoinSim(const JoinWorkloadSpec& spec,
+                                      const SimCosts& costs);
+
+/// The analytical profile (a, P, Pmax of Section 4.1) of the operation that
+/// dominates the plan: the join. Used to overlay Tworst / nmax curves on the
+/// measurements.
+Result<OperationProfile> JoinProfile(const JoinWorkloadSpec& spec,
+                                     const SimCosts& costs, bool pipelined);
+
+/// Parameters of the simulated parallel selection of Section 5.2
+/// (Figures 8/9).
+struct ScanWorkloadSpec {
+  uint64_t cardinality = 200'000;
+  /// Bytes per tuple (Wisconsin tuples are 208 bytes).
+  uint64_t tuple_bytes = 208;
+  size_t degree = 200;
+  size_t threads = 10;
+  /// When true, the relation starts in remote caches and every subpage is
+  /// shipped on first touch (Tr); when false all data is already local (Tl).
+  bool remote = false;
+  AllcacheModel allcache;
+};
+
+/// Builds the simulated selection: one triggered filter, one activation per
+/// fragment, with the Allcache surcharge in remote mode.
+Result<SimPlanSpec> BuildScanSim(const ScanWorkloadSpec& spec,
+                                 const SimCosts& costs);
+
+}  // namespace dbs3
+
+#endif  // DBS3_SIM_WORKLOAD_H_

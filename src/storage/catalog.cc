@@ -1,0 +1,37 @@
+#include "storage/catalog.h"
+
+namespace dbs3 {
+
+Status Catalog::Add(std::unique_ptr<Relation> relation) {
+  const std::string& name = relation->name();
+  auto [it, inserted] = relations_.emplace(name, std::move(relation));
+  if (!inserted) {
+    return Status::AlreadyExists("relation '" + name +
+                                 "' already exists in catalog");
+  }
+  return Status::OK();
+}
+
+Result<Relation*> Catalog::Get(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation '" + name + "' not found in catalog");
+  }
+  return it->second.get();
+}
+
+Status Catalog::Drop(const std::string& name) {
+  if (relations_.erase(name) == 0) {
+    return Status::NotFound("relation '" + name + "' not found in catalog");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::Names() const {
+  std::vector<std::string> out;
+  out.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) out.push_back(name);
+  return out;
+}
+
+}  // namespace dbs3

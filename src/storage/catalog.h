@@ -1,0 +1,49 @@
+#ifndef DBS3_STORAGE_CATALOG_H_
+#define DBS3_STORAGE_CATALOG_H_
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/relation.h"
+
+namespace dbs3 {
+
+/// Owns the database's relations and resolves them by name.
+///
+/// Relations are heap-allocated and stable: pointers returned by Get()
+/// remain valid until the relation is dropped.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
+
+  /// Registers `relation` under its name. Fails on duplicate names.
+  Status Add(std::unique_ptr<Relation> relation);
+
+  /// The relation named `name`, or NotFound.
+  Result<Relation*> Get(const std::string& name) const;
+
+  /// Removes the relation named `name`, or NotFound.
+  Status Drop(const std::string& name);
+
+  /// Names of all registered relations, sorted.
+  std::vector<std::string> Names() const;
+
+  size_t size() const { return relations_.size(); }
+
+ private:
+  std::map<std::string, std::unique_ptr<Relation>> relations_;
+};
+
+}  // namespace dbs3
+
+#endif  // DBS3_STORAGE_CATALOG_H_

@@ -1,0 +1,40 @@
+#include "storage/disk.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dbs3 {
+
+DiskArray::DiskArray(size_t num_disks) : disks_(num_disks) {
+  assert(num_disks >= 1);
+  for (size_t i = 0; i < num_disks; ++i) disks_[i].id = static_cast<int>(i);
+}
+
+void DiskArray::Place(Relation& relation) {
+  for (size_t f = 0; f < relation.degree(); ++f) {
+    Disk& d = disks_[next_];
+    d.fragments.emplace_back(relation.name(), f);
+    relation.fragment(f).disk_id = d.id;
+    // Attribute the fragment's share of the relation bytes to the disk.
+    next_ = (next_ + 1) % disks_.size();
+  }
+  const uint64_t total = relation.EstimatedBytes();
+  const uint64_t card = std::max<uint64_t>(relation.cardinality(), 1);
+  for (size_t f = 0; f < relation.degree(); ++f) {
+    const Fragment& frag = relation.fragment(f);
+    disks_[static_cast<size_t>(frag.disk_id)].bytes +=
+        total * frag.cardinality() / card;
+  }
+}
+
+size_t DiskArray::FragmentCountSpread() const {
+  size_t lo = disks_.front().fragments.size();
+  size_t hi = lo;
+  for (const Disk& d : disks_) {
+    lo = std::min(lo, d.fragments.size());
+    hi = std::max(hi, d.fragments.size());
+  }
+  return hi - lo;
+}
+
+}  // namespace dbs3

@@ -1,0 +1,49 @@
+#ifndef DBS3_STORAGE_DISK_H_
+#define DBS3_STORAGE_DISK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/relation.h"
+
+namespace dbs3 {
+
+/// A simulated disk: a placement target for fragments. The paper stores
+/// fragments round-robin across disks so that the degree of partitioning can
+/// exceed the number of disks; experiments run with relations cached in main
+/// memory, so disks matter only for placement accounting here.
+struct Disk {
+  int id = 0;
+  /// (relation name, fragment index) pairs placed on this disk.
+  std::vector<std::pair<std::string, size_t>> fragments;
+  uint64_t bytes = 0;
+};
+
+/// A fixed array of simulated disks with round-robin fragment placement.
+class DiskArray {
+ public:
+  /// Requires num_disks >= 1.
+  explicit DiskArray(size_t num_disks);
+
+  size_t num_disks() const { return disks_.size(); }
+  const Disk& disk(size_t i) const { return disks_[i]; }
+
+  /// Places every fragment of `relation` round-robin, starting after the
+  /// last placement (so consecutive relations interleave like the paper's
+  /// storage model), and stamps Fragment::disk_id.
+  void Place(Relation& relation);
+
+  /// Max fragment count over disks minus min fragment count: 0 or 1 for a
+  /// single placed relation (round-robin balance invariant).
+  size_t FragmentCountSpread() const;
+
+ private:
+  std::vector<Disk> disks_;
+  size_t next_ = 0;
+};
+
+}  // namespace dbs3
+
+#endif  // DBS3_STORAGE_DISK_H_

@@ -1,0 +1,38 @@
+#include "storage/partitioner.h"
+
+#include <cassert>
+
+namespace dbs3 {
+
+Partitioner::Partitioner(PartitionKind kind, size_t degree)
+    : kind_(kind), degree_(degree) {
+  assert(degree >= 1);
+}
+
+size_t Partitioner::FragmentOf(const Value& value) const {
+  switch (kind_) {
+    case PartitionKind::kHash:
+      return static_cast<size_t>(value.Hash() % degree_);
+    case PartitionKind::kModulo: {
+      if (!value.is_int()) {
+        // Strings have no natural modulo; fall back to the hash function.
+        return static_cast<size_t>(value.Hash() % degree_);
+      }
+      const int64_t m = static_cast<int64_t>(degree_);
+      int64_t r = value.AsInt() % m;
+      if (r < 0) r += m;
+      return static_cast<size_t>(r);
+    }
+  }
+  return 0;
+}
+
+std::string Partitioner::ToString() const {
+  std::string out =
+      kind_ == PartitionKind::kHash ? "hash(" : "modulo(";
+  out += std::to_string(degree_);
+  out += ")";
+  return out;
+}
+
+}  // namespace dbs3

@@ -1,0 +1,49 @@
+#ifndef DBS3_STORAGE_PARTITIONER_H_
+#define DBS3_STORAGE_PARTITIONER_H_
+
+#include <cstddef>
+#include <string>
+
+#include "storage/value.h"
+
+namespace dbs3 {
+
+/// How a partitioning function maps an attribute value to a fragment.
+///
+/// The paper's storage model partitions relations "by hashing on one or more
+/// attributes" (Section 2). kHash is that function. kModulo (key mod degree)
+/// is the deliberately transparent variant used by the skewed-database
+/// generator so experiments can construct a wanted tuple-placement skew while
+/// keeping joins co-partitioned — the paper builds >50 such databases the
+/// same way, by controlling tuple distribution within fragments.
+enum class PartitionKind { kHash, kModulo };
+
+/// Maps an attribute value to a fragment index in [0, degree).
+///
+/// Two relations partitioned with equal Partitioners on their join attribute
+/// are co-partitioned: matching keys land in fragments with equal indices
+/// (the precondition for IdealJoin).
+class Partitioner {
+ public:
+  /// Requires degree >= 1.
+  Partitioner(PartitionKind kind, size_t degree);
+
+  size_t FragmentOf(const Value& value) const;
+
+  PartitionKind kind() const { return kind_; }
+  size_t degree() const { return degree_; }
+
+  bool operator==(const Partitioner& other) const {
+    return kind_ == other.kind_ && degree_ == other.degree_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  PartitionKind kind_;
+  size_t degree_;
+};
+
+}  // namespace dbs3
+
+#endif  // DBS3_STORAGE_PARTITIONER_H_

@@ -1,0 +1,89 @@
+#ifndef DBS3_STORAGE_RELATION_H_
+#define DBS3_STORAGE_RELATION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/partitioner.h"
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace dbs3 {
+
+/// One horizontal fragment of a relation: the unit of static partitioning,
+/// and (for a triggered operation) the unit of sequential work.
+struct Fragment {
+  std::vector<Tuple> tuples;
+  /// Simulated disk the fragment is placed on (round-robin), -1 if unplaced.
+  int disk_id = -1;
+
+  uint64_t cardinality() const { return tuples.size(); }
+};
+
+/// A statically partitioned relation (Lera-par storage model, Section 2):
+/// tuples are split into `degree` fragments by a partitioning function on one
+/// attribute; fragments are distributed onto disks round-robin, so the degree
+/// of partitioning is independent of the number of disks.
+class Relation {
+ public:
+  /// Creates an empty relation with `partitioner.degree()` fragments,
+  /// partitioned on column index `partition_column` of `schema`.
+  Relation(std::string name, Schema schema, size_t partition_column,
+           Partitioner partitioner);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t partition_column() const { return partition_column_; }
+  const Partitioner& partitioner() const { return partitioner_; }
+
+  /// Degree of partitioning (number of fragments).
+  size_t degree() const { return fragments_.size(); }
+
+  /// Total number of tuples across fragments.
+  uint64_t cardinality() const;
+
+  const Fragment& fragment(size_t i) const { return fragments_[i]; }
+  Fragment& fragment(size_t i) { return fragments_[i]; }
+
+  /// Cardinality of each fragment, indexed by fragment.
+  std::vector<uint64_t> FragmentCardinalities() const;
+
+  /// Routes `tuple` to its fragment via the partitioning function.
+  /// Fails if the tuple arity does not match the schema.
+  Status Insert(Tuple tuple);
+
+  /// Appends directly to fragment `f`, bypassing the partitioning function.
+  /// Used by generators that construct a wanted placement (and by Store,
+  /// whose input was already routed by a Transmit). Requires f < degree().
+  void AppendToFragment(size_t f, Tuple tuple);
+
+  /// All tuples of all fragments, in fragment order. Convenience for tests.
+  std::vector<Tuple> Scan() const;
+
+  /// Estimated in-memory size in bytes (used for disk placement accounting
+  /// and the Allcache model).
+  uint64_t EstimatedBytes() const;
+
+  /// Returns a copy of this relation repartitioned to `new_degree`
+  /// fragments with the same partitioning kind and column — the paper's
+  /// dynamic raise of the degree of partitioning (Section 5.5: "the initial
+  /// degree of partitioning can be dynamically raised to increase the
+  /// number of activations and reduce their execution time").
+  Result<std::unique_ptr<Relation>> Repartitioned(size_t new_degree) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  size_t partition_column_;
+  Partitioner partitioner_;
+  std::vector<Fragment> fragments_;
+};
+
+}  // namespace dbs3
+
+#endif  // DBS3_STORAGE_RELATION_H_

@@ -1,0 +1,41 @@
+#include "storage/schema.h"
+
+namespace dbs3 {
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named '" + name + "' in schema " +
+                          ToString());
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right,
+                      const std::string& prefix) {
+  std::vector<Column> cols = left.columns_;
+  cols.reserve(left.num_columns() + right.num_columns());
+  for (const Column& c : right.columns_) {
+    Column out = c;
+    if (left.IndexOf(c.name).ok()) out.name = prefix + c.name;
+    cols.push_back(std::move(out));
+  }
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ":";
+    out += ValueTypeName(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  return columns_ == other.columns_;
+}
+
+}  // namespace dbs3

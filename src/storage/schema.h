@@ -1,0 +1,52 @@
+#ifndef DBS3_STORAGE_SCHEMA_H_
+#define DBS3_STORAGE_SCHEMA_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/value.h"
+
+namespace dbs3 {
+
+/// One column of a relation schema.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+};
+
+/// An ordered list of named, typed columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column named `name`, or NotFound.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  /// Schema of the concatenation of two tuples (join output). Columns from
+  /// `right` that collide with a `left` name get `prefix` prepended.
+  static Schema Concat(const Schema& left, const Schema& right,
+                       const std::string& prefix = "r_");
+
+  /// "name:type, name:type, ..." for debugging.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+inline bool operator==(const Column& a, const Column& b) {
+  return a.name == b.name && a.type == b.type;
+}
+
+}  // namespace dbs3
+
+#endif  // DBS3_STORAGE_SCHEMA_H_

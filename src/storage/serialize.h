@@ -1,0 +1,26 @@
+#ifndef DBS3_STORAGE_SERIALIZE_H_
+#define DBS3_STORAGE_SERIALIZE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/relation.h"
+
+namespace dbs3 {
+
+/// Writes `relation` to `path` in the DBS3 binary relation format:
+/// magic + version, name, schema, partitioning spec, then the fragments
+/// with their tuples (little-endian, the only byte order this library
+/// targets). Overwrites an existing file.
+Status WriteRelation(const Relation& relation, const std::string& path);
+
+/// Reads a relation previously written by WriteRelation. Fails with
+/// actionable messages on missing files, bad magic, unsupported versions
+/// and truncated payloads.
+Result<std::unique_ptr<Relation>> ReadRelation(const std::string& path);
+
+}  // namespace dbs3
+
+#endif  // DBS3_STORAGE_SERIALIZE_H_

@@ -1,0 +1,61 @@
+#include "storage/skew.h"
+
+#include "common/rng.h"
+#include "common/zipf.h"
+
+namespace dbs3 {
+
+Schema SkewSchema() {
+  return Schema({{"key", ValueType::kInt64}, {"payload", ValueType::kInt64}});
+}
+
+Result<SkewedDatabase> BuildSkewedDatabase(const SkewSpec& spec) {
+  if (spec.degree == 0) {
+    return Status::InvalidArgument("skew degree must be > 0");
+  }
+  if (spec.theta < 0.0 || spec.theta > 1.0) {
+    return Status::InvalidArgument("skew theta must be in [0, 1], got " +
+                                   std::to_string(spec.theta));
+  }
+  if (spec.b_cardinality < spec.degree) {
+    return Status::InvalidArgument(
+        "B' cardinality (" + std::to_string(spec.b_cardinality) +
+        ") must be >= degree (" + std::to_string(spec.degree) +
+        ") so every fragment has at least one key to join");
+  }
+  const Schema schema = SkewSchema();
+  const Partitioner part(PartitionKind::kModulo, spec.degree);
+  SkewedDatabase db;
+  db.a = std::make_unique<Relation>("A", schema, /*partition_column=*/0, part);
+  db.b = std::make_unique<Relation>("Bp", schema, /*partition_column=*/0, part);
+
+  // B': fragment i holds keys {i, i+m, i+2m, ...}, b/m keys per fragment
+  // (remainder spread over the first fragments). Unskewed by construction.
+  const size_t m = spec.degree;
+  std::vector<uint64_t> b_per_fragment(m, spec.b_cardinality / m);
+  for (size_t i = 0; i < spec.b_cardinality % m; ++i) ++b_per_fragment[i];
+  for (size_t i = 0; i < m; ++i) {
+    for (uint64_t j = 0; j < b_per_fragment[i]; ++j) {
+      const int64_t key = static_cast<int64_t>(i + j * m);
+      db.b->AppendToFragment(
+          i, Tuple({Value(key), Value(static_cast<int64_t>(j))}));
+    }
+  }
+
+  // A: fragment cardinalities follow Zipf(theta); keys drawn uniformly from
+  // the B' keys of the same fragment, so each A tuple has exactly one match.
+  const std::vector<uint64_t> a_counts =
+      ZipfCounts(spec.a_cardinality, m, spec.theta);
+  Rng rng(spec.seed);
+  for (size_t i = 0; i < m; ++i) {
+    for (uint64_t j = 0; j < a_counts[i]; ++j) {
+      const uint64_t pick = rng.Below(b_per_fragment[i]);
+      const int64_t key = static_cast<int64_t>(i + pick * m);
+      db.a->AppendToFragment(
+          i, Tuple({Value(key), Value(static_cast<int64_t>(j))}));
+    }
+  }
+  return db;
+}
+
+}  // namespace dbs3

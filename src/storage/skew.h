@@ -1,0 +1,53 @@
+#ifndef DBS3_STORAGE_SKEW_H_
+#define DBS3_STORAGE_SKEW_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "storage/relation.h"
+
+namespace dbs3 {
+
+/// Specification of one skewed experiment database (Section 5.4): a pair of
+/// relations A and B' partitioned on the join attribute in the same number
+/// of fragments, with A's fragment cardinalities following Zipf(theta).
+///
+/// The paper verified experimentally that skewing one relation and leaving
+/// the other unskewed is equivalent to skewing both, so only A is skewed.
+struct SkewSpec {
+  uint64_t a_cardinality = 100'000;
+  uint64_t b_cardinality = 10'000;
+  /// Degree of partitioning of both relations.
+  size_t degree = 200;
+  /// Zipf skew factor in [0, 1]: 0 = no skew, 1 = high skew.
+  double theta = 0.0;
+  uint64_t seed = 42;
+};
+
+/// A skewed database: co-partitioned A (skewed) and B' (unskewed).
+struct SkewedDatabase {
+  std::unique_ptr<Relation> a;
+  std::unique_ptr<Relation> b;
+};
+
+/// Builds the database per `spec`.
+///
+/// Schema of both relations: (key:int64, payload:int64). Both are
+/// modulo-partitioned on `key` with `spec.degree` fragments, so fragment i
+/// holds keys congruent to i — A_i joins exactly B'_i (the IdealJoin
+/// precondition). Fragment i of A holds ZipfCounts(a_cardinality, degree,
+/// theta)[i] tuples (tuple placement skew, TPS); each A key is drawn
+/// uniformly from B's key domain within the fragment, so every A tuple
+/// matches exactly one B' tuple and the join product mirrors A's skew.
+/// B' spreads its tuples evenly: fragment i holds keys {i + degree * j}.
+Result<SkewedDatabase> BuildSkewedDatabase(const SkewSpec& spec);
+
+/// The schema used by BuildSkewedDatabase: (key:int64, payload:int64).
+Schema SkewSchema();
+
+}  // namespace dbs3
+
+#endif  // DBS3_STORAGE_SKEW_H_

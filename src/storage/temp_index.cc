@@ -1,0 +1,24 @@
+#include "storage/temp_index.h"
+
+namespace dbs3 {
+
+TempIndex::TempIndex(const Fragment& fragment, size_t key_column)
+    : fragment_(fragment), key_column_(key_column) {
+  buckets_.reserve(fragment.tuples.size());
+  for (uint32_t i = 0; i < fragment.tuples.size(); ++i) {
+    const Value& key = fragment.tuples[i].at(key_column_);
+    buckets_[key.Hash()].push_back(i);
+  }
+}
+
+std::vector<uint32_t> TempIndex::Lookup(const Value& key) const {
+  std::vector<uint32_t> out;
+  auto it = buckets_.find(key.Hash());
+  if (it == buckets_.end()) return out;
+  for (uint32_t i : it->second) {
+    if (fragment_.tuples[i].at(key_column_) == key) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace dbs3

@@ -1,0 +1,41 @@
+#ifndef DBS3_STORAGE_TEMP_INDEX_H_
+#define DBS3_STORAGE_TEMP_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/relation.h"
+
+namespace dbs3 {
+
+/// A temporary hash index over one fragment, built on the fly.
+///
+/// The paper builds indexes on the fly for the 500K-tuple databases so the
+/// join algorithm's cost does not mask the scheduling effects ("we use
+/// larger databases and build indexes on the fly", Section 5.3). IndexJoin
+/// builds one of these per inner fragment at trigger time.
+class TempIndex {
+ public:
+  /// Builds the index over `fragment` keyed on column `key_column`.
+  TempIndex(const Fragment& fragment, size_t key_column);
+
+  /// Indices (into the fragment's tuple vector) of tuples whose key equals
+  /// `key`. Empty when there is no match.
+  std::vector<uint32_t> Lookup(const Value& key) const;
+
+  /// Number of distinct keys.
+  size_t distinct_keys() const { return buckets_.size(); }
+
+ private:
+  const Fragment& fragment_;
+  size_t key_column_;
+  /// Hash of key -> tuple indices; probe re-checks value equality so hash
+  /// collisions cannot produce wrong matches.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> buckets_;
+};
+
+}  // namespace dbs3
+
+#endif  // DBS3_STORAGE_TEMP_INDEX_H_

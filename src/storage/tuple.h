@@ -1,0 +1,58 @@
+#ifndef DBS3_STORAGE_TUPLE_H_
+#define DBS3_STORAGE_TUPLE_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace dbs3 {
+
+/// A row: an ordered vector of values, positionally matched to a Schema.
+///
+/// Tuples are plain values (copyable, movable); the engine moves them through
+/// activation queues by value, which is what makes one data activation a
+/// self-contained sequential unit of work.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  size_t size() const { return values_.size(); }
+  const Value& at(size_t i) const { return values_[i]; }
+  Value& at(size_t i) { return values_[i]; }
+
+  void Append(Value v) { values_.push_back(std::move(v)); }
+
+  const std::vector<Value>& values() const { return values_; }
+
+  /// The concatenation of this tuple and `other` (join output row).
+  Tuple Concat(const Tuple& other) const {
+    std::vector<Value> out = values_;
+    out.insert(out.end(), other.values_.begin(), other.values_.end());
+    return Tuple(std::move(out));
+  }
+
+  bool operator==(const Tuple& other) const { return values_ == other.values_; }
+  bool operator<(const Tuple& other) const { return values_ < other.values_; }
+
+  /// "[v0, v1, ...]" for debugging.
+  std::string ToString() const {
+    std::string out = "[";
+    for (size_t i = 0; i < values_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += values_[i].ToString();
+    }
+    out += "]";
+    return out;
+  }
+
+ private:
+  std::vector<Value> values_;
+};
+
+}  // namespace dbs3
+
+#endif  // DBS3_STORAGE_TUPLE_H_

@@ -1,0 +1,27 @@
+#include "storage/value.h"
+
+#include "common/hash.h"
+
+namespace dbs3 {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+uint64_t Value::Hash() const {
+  if (is_int()) return HashInt64(static_cast<uint64_t>(AsInt()));
+  return HashBytes(AsString());
+}
+
+std::string Value::ToString() const {
+  if (is_int()) return std::to_string(AsInt());
+  return AsString();
+}
+
+}  // namespace dbs3

@@ -1,0 +1,55 @@
+#ifndef DBS3_STORAGE_VALUE_H_
+#define DBS3_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace dbs3 {
+
+/// Column data types. The Wisconsin benchmark needs exactly integers and
+/// fixed-width strings, so the type system stays deliberately small.
+enum class ValueType { kInt64, kString };
+
+/// Name of a ValueType ("int64" / "string").
+const char* ValueTypeName(ValueType type);
+
+/// A single attribute value: a 64-bit integer or a string.
+class Value {
+ public:
+  /// Default-constructs the integer 0.
+  Value() : data_(int64_t{0}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+
+  ValueType type() const {
+    return std::holds_alternative<int64_t>(data_) ? ValueType::kInt64
+                                                  : ValueType::kString;
+  }
+  bool is_int() const { return type() == ValueType::kInt64; }
+
+  /// The integer payload. Requires is_int().
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+
+  /// The string payload. Requires !is_int().
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  /// A well-distributed 64-bit hash of the value; equal values hash equally.
+  uint64_t Hash() const;
+
+  /// Debug/benchmark rendering: the integer in decimal, or the raw string.
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Orders ints before strings, then by payload. Total order for sorting.
+  bool operator<(const Value& other) const { return data_ < other.data_; }
+
+ private:
+  std::variant<int64_t, std::string> data_;
+};
+
+}  // namespace dbs3
+
+#endif  // DBS3_STORAGE_VALUE_H_

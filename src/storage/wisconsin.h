@@ -1,0 +1,56 @@
+#ifndef DBS3_STORAGE_WISCONSIN_H_
+#define DBS3_STORAGE_WISCONSIN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "storage/relation.h"
+
+namespace dbs3 {
+
+/// Options for generating one Wisconsin benchmark relation [Bitton83].
+///
+/// The paper's experiments use these relations (e.g. the 200K-tuple DewittA
+/// relation for the Allcache scan, 100K/10K and 500K/50K pairs for the join
+/// experiments), hash-partitioned across fragments.
+struct WisconsinOptions {
+  /// Number of tuples.
+  uint64_t cardinality = 1000;
+  /// Degree of partitioning (number of fragments).
+  size_t degree = 1;
+  /// Partitioning attribute (must name a Wisconsin column, default the key).
+  std::string partition_column = "unique1";
+  /// Partitioning function.
+  PartitionKind partition_kind = PartitionKind::kHash;
+  /// Generate the three 52-char string columns (stringu1, stringu2,
+  /// string4). Off by default: integer columns suffice for every experiment
+  /// and string generation dominates build time at 500K tuples.
+  bool with_strings = false;
+  /// Seed for the unique1 permutation.
+  uint64_t seed = 42;
+};
+
+/// The Wisconsin schema implied by `with_strings`. 13 integer columns:
+/// unique1, unique2, two, four, ten, twenty, onePercent, tenPercent,
+/// twentyPercent, fiftyPercent, unique3, evenOnePercent, oddOnePercent;
+/// plus stringu1, stringu2, string4 when strings are enabled.
+Schema WisconsinSchema(bool with_strings);
+
+/// Generates the relation `name` per `options`.
+///
+/// Column semantics follow the benchmark: unique2 is sequential 0..n-1,
+/// unique1 is a random permutation of 0..n-1 (so selections on unique1 hit
+/// fragments uniformly), and the modulo columns derive from unique1.
+Result<std::unique_ptr<Relation>> GenerateWisconsin(
+    const std::string& name, const WisconsinOptions& options);
+
+/// The 52-character Wisconsin string for `value`: the value encoded in
+/// base-26 capital letters (7 chars), padded with 'x'. Exposed for tests.
+std::string WisconsinString(uint64_t value);
+
+}  // namespace dbs3
+
+#endif  // DBS3_STORAGE_WISCONSIN_H_

@@ -1,0 +1,220 @@
+#include "engine/blocking_operators.h"
+
+#include <mutex>
+
+#include <gtest/gtest.h>
+
+#include "dbs3/database.h"
+#include "dbs3/query.h"
+#include "engine/executor.h"
+#include "storage/skew.h"
+
+namespace dbs3 {
+namespace {
+
+class CapturingEmitter : public Emitter {
+ public:
+  void Emit(size_t producer_instance, Tuple tuple) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    emitted_.emplace_back(producer_instance, std::move(tuple));
+  }
+  std::vector<std::pair<size_t, Tuple>> take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::move(emitted_);
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::pair<size_t, Tuple>> emitted_;
+};
+
+Tuple Row(int64_t a, int64_t b) { return Tuple({Value(a), Value(b)}); }
+
+TEST(GroupByLogicTest, CountSumMinMax) {
+  GroupByLogic group(
+      0, {{AggKind::kCount, 0}, {AggKind::kSum, 1}, {AggKind::kMin, 1},
+          {AggKind::kMax, 1}});
+  ASSERT_TRUE(group.Prepare(1).ok());
+  group.OnData(0, Row(1, 10), nullptr);
+  group.OnData(0, Row(1, 30), nullptr);
+  group.OnData(0, Row(2, -5), nullptr);
+  CapturingEmitter out;
+  group.OnFinish(0, &out);
+  auto rows = out.take();
+  ASSERT_EQ(rows.size(), 2u);  // Groups 1 and 2 (map order: ascending).
+  const Tuple& g1 = rows[0].second;
+  EXPECT_EQ(g1.at(0).AsInt(), 1);
+  EXPECT_EQ(g1.at(1).AsInt(), 2);   // count
+  EXPECT_EQ(g1.at(2).AsInt(), 40);  // sum
+  EXPECT_EQ(g1.at(3).AsInt(), 10);  // min
+  EXPECT_EQ(g1.at(4).AsInt(), 30);  // max
+  const Tuple& g2 = rows[1].second;
+  EXPECT_EQ(g2.at(0).AsInt(), 2);
+  EXPECT_EQ(g2.at(1).AsInt(), 1);
+  EXPECT_EQ(g2.at(2).AsInt(), -5);
+  EXPECT_EQ(g2.at(3).AsInt(), -5);
+  EXPECT_EQ(g2.at(4).AsInt(), -5);
+}
+
+TEST(GroupByLogicTest, InstancesIsolated) {
+  GroupByLogic group(0, {{AggKind::kCount, 0}});
+  ASSERT_TRUE(group.Prepare(2).ok());
+  group.OnData(0, Row(7, 0), nullptr);
+  group.OnData(1, Row(7, 0), nullptr);
+  CapturingEmitter out;
+  group.OnFinish(0, &out);
+  group.OnFinish(1, &out);
+  auto rows = out.take();
+  ASSERT_EQ(rows.size(), 2u);  // One group per instance (no merge).
+  EXPECT_EQ(rows[0].first, 0u);
+  EXPECT_EQ(rows[1].first, 1u);
+}
+
+TEST(GroupByLogicTest, FinishTwiceEmitsNothingSecondTime) {
+  GroupByLogic group(0, {{AggKind::kCount, 0}});
+  ASSERT_TRUE(group.Prepare(1).ok());
+  group.OnData(0, Row(1, 1), nullptr);
+  CapturingEmitter out;
+  group.OnFinish(0, &out);
+  EXPECT_EQ(out.take().size(), 1u);
+  group.OnFinish(0, &out);
+  EXPECT_TRUE(out.take().empty());
+}
+
+TEST(GroupByLogicTest, StringGroupKeys) {
+  GroupByLogic group(0, {{AggKind::kSum, 1}});
+  ASSERT_TRUE(group.Prepare(1).ok());
+  group.OnData(0, Tuple({Value(std::string("paris")), Value(int64_t{2})}),
+               nullptr);
+  group.OnData(0, Tuple({Value(std::string("paris")), Value(int64_t{3})}),
+               nullptr);
+  group.OnData(0, Tuple({Value(std::string("lyon")), Value(int64_t{1})}),
+               nullptr);
+  CapturingEmitter out;
+  group.OnFinish(0, &out);
+  auto rows = out.take();
+  ASSERT_EQ(rows.size(), 2u);
+  // Value ordering puts ints before strings; both keys are strings sorted
+  // lexicographically: lyon then paris.
+  EXPECT_EQ(rows[0].second.at(0).AsString(), "lyon");
+  EXPECT_EQ(rows[1].second.at(0).AsString(), "paris");
+  EXPECT_EQ(rows[1].second.at(1).AsInt(), 5);
+}
+
+TEST(SortLogicTest, AscendingAndDescending) {
+  for (SortOrder order : {SortOrder::kAscending, SortOrder::kDescending}) {
+    SortLogic sort(0, order);
+    ASSERT_TRUE(sort.Prepare(1).ok());
+    sort.OnData(0, Row(3, 0), nullptr);
+    sort.OnData(0, Row(1, 1), nullptr);
+    sort.OnData(0, Row(2, 2), nullptr);
+    CapturingEmitter out;
+    sort.OnFinish(0, &out);
+    auto rows = out.take();
+    ASSERT_EQ(rows.size(), 3u);
+    if (order == SortOrder::kAscending) {
+      EXPECT_EQ(rows[0].second.at(0).AsInt(), 1);
+      EXPECT_EQ(rows[2].second.at(0).AsInt(), 3);
+    } else {
+      EXPECT_EQ(rows[0].second.at(0).AsInt(), 3);
+      EXPECT_EQ(rows[2].second.at(0).AsInt(), 1);
+    }
+  }
+}
+
+TEST(SortLogicTest, StableOnEqualKeys) {
+  SortLogic sort(0, SortOrder::kAscending);
+  ASSERT_TRUE(sort.Prepare(1).ok());
+  sort.OnData(0, Row(1, 100), nullptr);
+  sort.OnData(0, Row(1, 200), nullptr);
+  CapturingEmitter out;
+  sort.OnFinish(0, &out);
+  auto rows = out.take();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].second.at(1).AsInt(), 100);  // Arrival order kept.
+  EXPECT_EQ(rows[1].second.at(1).AsInt(), 200);
+}
+
+std::unique_ptr<Relation> InnerRelation() {
+  auto r = std::make_unique<Relation>(
+      "inner", SkewSchema(), 0, Partitioner(PartitionKind::kModulo, 2));
+  for (int64_t k : {0, 2, 4, 1}) {
+    EXPECT_TRUE(r->Insert(Tuple({Value(k), Value(k)})).ok());
+  }
+  return r;
+}
+
+TEST(SemiJoinTest, EmitsProbeOnMatch) {
+  auto inner = InnerRelation();
+  PipelinedSemiJoinLogic semi(inner.get(), 0, 0, /*anti=*/false);
+  ASSERT_TRUE(semi.Prepare(2).ok());
+  CapturingEmitter out;
+  semi.OnData(0, Row(2, 99), &out);   // 2 is in fragment 0.
+  semi.OnData(0, Row(6, 99), &out);   // 6 is not.
+  semi.OnData(1, Row(1, 99), &out);   // 1 is in fragment 1.
+  auto rows = out.take();
+  ASSERT_EQ(rows.size(), 2u);
+  // Probe tuples pass through unchanged (no inner columns).
+  EXPECT_EQ(rows[0].second.at(0).AsInt(), 2);
+  EXPECT_EQ(rows[0].second.at(1).AsInt(), 99);
+  EXPECT_EQ(rows[1].second.at(0).AsInt(), 1);
+}
+
+TEST(SemiJoinTest, AntiJoinInverts) {
+  auto inner = InnerRelation();
+  PipelinedSemiJoinLogic anti(inner.get(), 0, 0, /*anti=*/true);
+  ASSERT_TRUE(anti.Prepare(2).ok());
+  EXPECT_EQ(anti.name(), "anti-join");
+  CapturingEmitter out;
+  anti.OnData(0, Row(2, 0), &out);  // Match -> suppressed.
+  anti.OnData(0, Row(6, 0), &out);  // No match -> emitted.
+  auto rows = out.take();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].second.at(0).AsInt(), 6);
+}
+
+TEST(BlockingInPlanTest, GroupByThroughExecutor) {
+  // End-to-end: scan -> repartition-by-key -> group-by -> store on the real
+  // engine, exercising the OnFinish flush between Join and downstream
+  // close.
+  Database db(2);
+  SkewSpec spec;
+  spec.a_cardinality = 1'000;
+  spec.b_cardinality = 100;
+  spec.degree = 10;
+  ASSERT_TRUE(db.CreateSkewedPair(spec, "A", "B").ok());
+  Relation* a = db.relation("A").value();
+
+  Relation result("counts",
+                  Schema({{"key", ValueType::kInt64},
+                          {"cnt", ValueType::kInt64}}),
+                  0, Partitioner(PartitionKind::kHash, 10));
+  Plan plan;
+  const size_t scan =
+      plan.AddNode("scan", ActivationMode::kTriggered, 10,
+                   std::make_unique<FilterLogic>(a, MatchAll()));
+  const size_t group = plan.AddNode(
+      "group", ActivationMode::kPipelined, 10,
+      std::make_unique<GroupByLogic>(
+          0, std::vector<AggSpec>{{AggKind::kCount, 0}}));
+  const size_t store = plan.AddNode(
+      "store", ActivationMode::kPipelined, 10,
+      std::make_unique<StoreLogic>(&result));
+  ASSERT_TRUE(plan.ConnectByColumn(scan, group, 0,
+                                   Partitioner(PartitionKind::kHash, 10))
+                  .ok());
+  ASSERT_TRUE(plan.ConnectSameInstance(group, store).ok());
+  for (size_t i = 0; i < plan.num_nodes(); ++i) plan.params(i).threads = 2;
+
+  Executor executor;
+  auto run = executor.Run(plan);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  // 100 distinct keys (B's key set), counts summing to 1000.
+  EXPECT_EQ(result.cardinality(), 100u);
+  int64_t total = 0;
+  for (const Tuple& t : result.Scan()) total += t.at(1).AsInt();
+  EXPECT_EQ(total, 1'000);
+}
+
+}  // namespace
+}  // namespace dbs3

@@ -1,0 +1,122 @@
+#include "storage/disk.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/catalog.h"
+
+namespace dbs3 {
+namespace {
+
+Schema KeyOnly() { return Schema({{"key", ValueType::kInt64}}); }
+
+std::unique_ptr<Relation> MakeRelation(const std::string& name,
+                                       size_t degree, uint64_t tuples) {
+  auto r = std::make_unique<Relation>(
+      name, KeyOnly(), 0, Partitioner(PartitionKind::kModulo, degree));
+  for (uint64_t k = 0; k < tuples; ++k) {
+    EXPECT_TRUE(r->Insert(Tuple({Value(static_cast<int64_t>(k))})).ok());
+  }
+  return r;
+}
+
+TEST(DiskArrayTest, RoundRobinPlacementIsBalanced) {
+  DiskArray disks(4);
+  auto r = MakeRelation("R", 16, 160);
+  disks.Place(*r);
+  EXPECT_EQ(disks.FragmentCountSpread(), 0u);  // 16 % 4 == 0.
+  for (size_t d = 0; d < 4; ++d) {
+    EXPECT_EQ(disks.disk(d).fragments.size(), 4u);
+  }
+  // Every fragment got stamped with its disk.
+  for (size_t f = 0; f < r->degree(); ++f) {
+    EXPECT_EQ(r->fragment(f).disk_id, static_cast<int>(f % 4));
+  }
+}
+
+TEST(DiskArrayTest, SpreadAtMostOneWhenNotDivisible) {
+  DiskArray disks(4);
+  auto r = MakeRelation("R", 10, 10);
+  disks.Place(*r);
+  EXPECT_LE(disks.FragmentCountSpread(), 1u);
+}
+
+TEST(DiskArrayTest, DegreeCanExceedDiskCount) {
+  // The paper's point: the degree of partitioning is independent of the
+  // number of disks.
+  DiskArray disks(2);
+  auto r = MakeRelation("R", 200, 400);
+  disks.Place(*r);
+  EXPECT_EQ(disks.disk(0).fragments.size() + disks.disk(1).fragments.size(),
+            200u);
+  EXPECT_LE(disks.FragmentCountSpread(), 1u);
+}
+
+TEST(DiskArrayTest, ConsecutiveRelationsInterleave) {
+  DiskArray disks(4);
+  auto r1 = MakeRelation("R1", 3, 3);  // Disks 0,1,2.
+  auto r2 = MakeRelation("R2", 3, 3);  // Continues at disk 3,0,1.
+  disks.Place(*r1);
+  disks.Place(*r2);
+  EXPECT_EQ(r2->fragment(0).disk_id, 3);
+  EXPECT_EQ(r2->fragment(1).disk_id, 0);
+}
+
+TEST(DiskArrayTest, BytesAttributedProportionally) {
+  DiskArray disks(2);
+  auto r = MakeRelation("R", 2, 100);
+  disks.Place(*r);
+  const uint64_t total = disks.disk(0).bytes + disks.disk(1).bytes;
+  EXPECT_GT(total, 0u);
+  EXPECT_NEAR(static_cast<double>(disks.disk(0).bytes),
+              static_cast<double>(disks.disk(1).bytes),
+              static_cast<double>(total) * 0.05);
+}
+
+TEST(CatalogTest, AddGetDrop) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.Add(MakeRelation("A", 2, 4)).ok());
+  ASSERT_TRUE(catalog.Add(MakeRelation("B", 2, 4)).ok());
+  EXPECT_EQ(catalog.size(), 2u);
+  auto a = catalog.Get("A");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value()->name(), "A");
+  EXPECT_TRUE(catalog.Drop("A").ok());
+  EXPECT_FALSE(catalog.Get("A").ok());
+  EXPECT_EQ(catalog.size(), 1u);
+}
+
+TEST(CatalogTest, DuplicateNameRejected) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.Add(MakeRelation("A", 2, 0)).ok());
+  const Status s = catalog.Add(MakeRelation("A", 4, 0));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, DropMissingIsNotFound) {
+  Catalog catalog;
+  EXPECT_EQ(catalog.Drop("nope").code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, NamesSorted) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.Add(MakeRelation("zeta", 1, 0)).ok());
+  ASSERT_TRUE(catalog.Add(MakeRelation("alpha", 1, 0)).ok());
+  const std::vector<std::string> names = catalog.Names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "zeta");
+}
+
+TEST(CatalogTest, PointersStableAcrossAdds) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.Add(MakeRelation("A", 2, 4)).ok());
+  Relation* a = catalog.Get("A").value();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(catalog.Add(MakeRelation("R" + std::to_string(i), 1, 1)).ok());
+  }
+  EXPECT_EQ(catalog.Get("A").value(), a);
+}
+
+}  // namespace
+}  // namespace dbs3

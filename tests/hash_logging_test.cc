@@ -1,0 +1,73 @@
+#include "common/hash.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace dbs3 {
+namespace {
+
+TEST(HashTest, IntHashIsDeterministic) {
+  EXPECT_EQ(HashInt64(42), HashInt64(42));
+  EXPECT_NE(HashInt64(42), HashInt64(43));
+}
+
+TEST(HashTest, SequentialKeysSpreadOverBuckets) {
+  // The property hash partitioning relies on: consecutive keys land in
+  // near-equal fragment counts.
+  constexpr size_t kBuckets = 16;
+  constexpr size_t kKeys = 16'000;
+  std::vector<size_t> counts(kBuckets, 0);
+  for (size_t k = 0; k < kKeys; ++k) ++counts[HashInt64(k) % kBuckets];
+  const double expected = static_cast<double>(kKeys) / kBuckets;
+  for (size_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), expected, expected * 0.10);
+  }
+}
+
+TEST(HashTest, BytesHashDiffersByContent) {
+  EXPECT_EQ(HashBytes("abc"), HashBytes("abc"));
+  EXPECT_NE(HashBytes("abc"), HashBytes("abd"));
+  EXPECT_NE(HashBytes(""), HashBytes("a"));
+}
+
+TEST(HashTest, CombineIsOrderSensitive) {
+  const uint64_t a = HashInt64(1), b = HashInt64(2);
+  EXPECT_NE(HashCombine(a, b), HashCombine(b, a));
+  EXPECT_EQ(HashCombine(a, b), HashCombine(a, b));
+}
+
+TEST(HashTest, FewCollisionsOnRandomInputs) {
+  std::set<uint64_t> hashes;
+  for (uint64_t i = 0; i < 10'000; ++i) hashes.insert(HashInt64(i * 77));
+  EXPECT_EQ(hashes.size(), 10'000u);
+}
+
+TEST(LoggingTest, LevelGateWorks) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // Below-threshold logging must not evaluate into output (smoke: the macro
+  // compiles in all positions and the stream is swallowed).
+  DBS3_LOG(kDebug) << "this must not appear";
+  DBS3_LOG(kInfo) << "nor this";
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, MacroUsableInIfWithoutBraces) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  bool flag = true;
+  if (flag)
+    DBS3_LOG(kDebug) << "swallowed";
+  else
+    flag = false;
+  EXPECT_TRUE(flag);
+  SetLogLevel(before);
+}
+
+}  // namespace
+}  // namespace dbs3

@@ -1,0 +1,126 @@
+#include "model/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "common/zipf.h"
+
+namespace dbs3 {
+namespace {
+
+TEST(ModelTest, ProfileFromCosts) {
+  const OperationProfile p = ProfileFromCosts({1.0, 2.0, 3.0, 6.0});
+  EXPECT_EQ(p.activations, 4u);
+  EXPECT_DOUBLE_EQ(p.mean_cost, 3.0);
+  EXPECT_DOUBLE_EQ(p.max_cost, 6.0);
+  EXPECT_DOUBLE_EQ(p.TotalWork(), 12.0);
+}
+
+TEST(ModelTest, EmptyProfile) {
+  const OperationProfile p = ProfileFromCosts({});
+  EXPECT_EQ(p.activations, 0u);
+  EXPECT_EQ(p.TotalWork(), 0.0);
+  EXPECT_EQ(NMax(p), 0.0);
+}
+
+TEST(ModelTest, TIdealDividesWork) {
+  const OperationProfile p = ProfileFromCosts({2.0, 2.0, 2.0, 2.0});
+  EXPECT_DOUBLE_EQ(TIdeal(p, 1), 8.0);
+  EXPECT_DOUBLE_EQ(TIdeal(p, 4), 2.0);
+}
+
+TEST(ModelTest, TWorstEquationTwo) {
+  // Tworst = (a*P - Pmax)/n + Pmax.
+  const OperationProfile p = ProfileFromCosts({1.0, 1.0, 1.0, 5.0});
+  EXPECT_DOUBLE_EQ(TWorst(p, 2), (8.0 - 5.0) / 2.0 + 5.0);
+  // With one thread, worst == ideal == total.
+  EXPECT_DOUBLE_EQ(TWorst(p, 1), 8.0);
+  EXPECT_DOUBLE_EQ(TIdeal(p, 1), 8.0);
+}
+
+TEST(ModelTest, OverheadBoundEquationThree) {
+  // v <= (Pmax/P) * (n-1) / a.
+  const OperationProfile p = ProfileFromCosts({1.0, 1.0, 1.0, 5.0});
+  EXPECT_DOUBLE_EQ(OverheadBound(p, 3), (5.0 / 2.0) * 2.0 / 4.0);
+  EXPECT_DOUBLE_EQ(OverheadBound(p, 1), 0.0);
+}
+
+TEST(ModelTest, WorstConsistentWithOverheadBound) {
+  // Tworst <= (1 + v) * Tideal must hold by construction.
+  const OperationProfile p = ProfileFromCosts({1, 2, 3, 4, 5, 6, 7, 20});
+  for (size_t n : {1ul, 2ul, 4ul, 8ul}) {
+    EXPECT_LE(TWorst(p, n), (1.0 + OverheadBound(p, n)) * TIdeal(p, n) + 1e-9)
+        << "n = " << n;
+  }
+}
+
+TEST(ModelTest, NMaxIsWorkOverMax) {
+  const OperationProfile p = ProfileFromCosts({1.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(NMax(p), 4.0 / 2.0);
+}
+
+TEST(ModelTest, PredictedSpeedupLinearThenCapped) {
+  // 100 equal activations of cost 1: linear until the processor count.
+  std::vector<double> costs(100, 1.0);
+  const OperationProfile p = ProfileFromCosts(costs);
+  EXPECT_DOUBLE_EQ(PredictedSpeedup(p, 10, 70), 10.0);
+  EXPECT_DOUBLE_EQ(PredictedSpeedup(p, 70, 70), 70.0);
+  EXPECT_DOUBLE_EQ(PredictedSpeedup(p, 100, 70), 70.0);
+}
+
+TEST(ModelTest, PredictedSpeedupCappedByLongestActivation) {
+  // Pmax = 10 out of total 20: speedup can never exceed 2.
+  const OperationProfile p = ProfileFromCosts({10.0, 5.0, 5.0});
+  EXPECT_DOUBLE_EQ(PredictedSpeedup(p, 64, 64), 2.0);
+  EXPECT_DOUBLE_EQ(PredictedSpeedup(p, 1, 64), 1.0);
+}
+
+TEST(ModelTest, ZipfProfileMatchesPaperAnchors) {
+  // Section 5.5 footnote: Zipf = 1 over 200 buckets -> Pmax = 34 P, and
+  // with 70 threads over 20,000 activations v = 0.117.
+  const OperationProfile p = ZipfProfile(1000.0, 200, 1.0);
+  EXPECT_NEAR(p.max_cost / p.mean_cost, 34.0, 0.5);
+
+  OperationProfile pipelined = p;
+  pipelined.activations = 20'000;
+  pipelined.mean_cost = 1000.0 / 20'000.0;
+  // Keep the same Pmax/P ratio by scaling max_cost accordingly.
+  pipelined.max_cost = 34.0 * pipelined.mean_cost;
+  EXPECT_NEAR(OverheadBound(pipelined, 70), 0.117, 0.005);
+}
+
+TEST(ModelTest, NMaxAnchorsFromFigure15) {
+  // nmax = a*P/Pmax = 200/(Pmax/P): 6 at Zipf 1, 19 at 0.6, 40 at 0.4.
+  EXPECT_NEAR(NMax(ZipfProfile(1.0, 200, 1.0)), 6.0, 0.3);
+  EXPECT_NEAR(NMax(ZipfProfile(1.0, 200, 0.6)), 19.0, 1.0);
+  EXPECT_NEAR(NMax(ZipfProfile(1.0, 200, 0.4)), 40.0, 2.0);
+}
+
+TEST(ModelTest, ZipfProfilePreservesTotalWork) {
+  for (double theta : {0.0, 0.5, 1.0}) {
+    const OperationProfile p = ZipfProfile(500.0, 64, theta);
+    EXPECT_NEAR(p.TotalWork(), 500.0, 1e-6) << "theta " << theta;
+  }
+}
+
+/// Property sweep: Tideal <= Tworst, and the overhead bound shrinks as
+/// activations multiply (the paper's pipelined-absorbs-skew argument).
+class ModelPropertyTest
+    : public ::testing::TestWithParam<std::tuple<double, size_t>> {};
+
+TEST_P(ModelPropertyTest, BoundsOrdered) {
+  const auto [theta, n] = GetParam();
+  const OperationProfile coarse = ZipfProfile(100.0, 200, theta);
+  const OperationProfile fine = ZipfProfile(100.0, 20'000, theta);
+  EXPECT_LE(TIdeal(coarse, n), TWorst(coarse, n) + 1e-12);
+  EXPECT_LE(TIdeal(fine, n), TWorst(fine, n) + 1e-12);
+  // More activations => smaller worst-case overhead at equal skew.
+  EXPECT_LE(OverheadBound(fine, n), OverheadBound(coarse, n) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SkewAndThreads, ModelPropertyTest,
+    ::testing::Combine(::testing::Values(0.0, 0.4, 0.8, 1.0),
+                       ::testing::Values(1ul, 10ul, 70ul)));
+
+}  // namespace
+}  // namespace dbs3

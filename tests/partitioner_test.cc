@@ -1,0 +1,92 @@
+#include "storage/partitioner.h"
+
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dbs3 {
+namespace {
+
+TEST(PartitionerTest, ModuloRoutesByResidue) {
+  Partitioner p(PartitionKind::kModulo, 8);
+  EXPECT_EQ(p.FragmentOf(Value(int64_t{0})), 0u);
+  EXPECT_EQ(p.FragmentOf(Value(int64_t{7})), 7u);
+  EXPECT_EQ(p.FragmentOf(Value(int64_t{8})), 0u);
+  EXPECT_EQ(p.FragmentOf(Value(int64_t{13})), 5u);
+}
+
+TEST(PartitionerTest, ModuloHandlesNegativeKeys) {
+  Partitioner p(PartitionKind::kModulo, 8);
+  EXPECT_EQ(p.FragmentOf(Value(int64_t{-1})), 7u);
+  EXPECT_EQ(p.FragmentOf(Value(int64_t{-8})), 0u);
+  EXPECT_EQ(p.FragmentOf(Value(int64_t{-13})), 3u);
+}
+
+TEST(PartitionerTest, ModuloStringFallsBackToHash) {
+  Partitioner p(PartitionKind::kModulo, 8);
+  const size_t f = p.FragmentOf(Value(std::string("paris")));
+  EXPECT_LT(f, 8u);
+  EXPECT_EQ(f, p.FragmentOf(Value(std::string("paris"))));
+}
+
+TEST(PartitionerTest, EqualityAndToString) {
+  Partitioner a(PartitionKind::kHash, 4);
+  Partitioner b(PartitionKind::kHash, 4);
+  Partitioner c(PartitionKind::kModulo, 4);
+  Partitioner d(PartitionKind::kHash, 8);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+  EXPECT_EQ(a.ToString(), "hash(4)");
+  EXPECT_EQ(c.ToString(), "modulo(4)");
+}
+
+/// Property sweep: every key routes inside [0, degree) and identically on
+/// repeated calls, for both kinds and several degrees.
+class PartitionerPropertyTest
+    : public ::testing::TestWithParam<std::tuple<PartitionKind, size_t>> {};
+
+TEST_P(PartitionerPropertyTest, RoutesInRangeAndDeterministically) {
+  const auto [kind, degree] = GetParam();
+  Partitioner p(kind, degree);
+  EXPECT_EQ(p.degree(), degree);
+  for (int64_t key = -500; key < 500; ++key) {
+    const size_t f = p.FragmentOf(Value(key));
+    EXPECT_LT(f, degree);
+    EXPECT_EQ(f, p.FragmentOf(Value(key)));
+  }
+}
+
+TEST_P(PartitionerPropertyTest, CoPartitionedRelationsAgree) {
+  // Two partitioners with equal kind and degree route every key the same
+  // way — the precondition for IdealJoin.
+  const auto [kind, degree] = GetParam();
+  Partitioner a(kind, degree), b(kind, degree);
+  for (int64_t key = 0; key < 1000; key += 7) {
+    EXPECT_EQ(a.FragmentOf(Value(key)), b.FragmentOf(Value(key)));
+  }
+}
+
+TEST_P(PartitionerPropertyTest, SpreadIsBalancedOnSequentialKeys) {
+  const auto [kind, degree] = GetParam();
+  Partitioner p(kind, degree);
+  std::vector<size_t> counts(degree, 0);
+  const size_t keys = degree * 1000;
+  for (size_t k = 0; k < keys; ++k) {
+    ++counts[p.FragmentOf(Value(static_cast<int64_t>(k)))];
+  }
+  const double expected = static_cast<double>(keys) / degree;
+  for (size_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), expected, expected * 0.15);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndDegrees, PartitionerPropertyTest,
+    ::testing::Combine(::testing::Values(PartitionKind::kHash,
+                                         PartitionKind::kModulo),
+                       ::testing::Values(1ul, 2ul, 16ul, 200ul)));
+
+}  // namespace
+}  // namespace dbs3

@@ -1,0 +1,141 @@
+#include "engine/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/operators.h"
+#include "storage/skew.h"
+
+namespace dbs3 {
+namespace {
+
+std::unique_ptr<Relation> SmallRelation(size_t degree) {
+  auto r = std::make_unique<Relation>(
+      "R", SkewSchema(), 0, Partitioner(PartitionKind::kModulo, degree));
+  for (int64_t k = 0; k < static_cast<int64_t>(4 * degree); ++k) {
+    EXPECT_TRUE(r->Insert(Tuple({Value(k), Value(k)})).ok());
+  }
+  return r;
+}
+
+class PlanTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<Relation> input_ = SmallRelation(4);
+  std::unique_ptr<Relation> result_ = SmallRelation(4);
+
+  std::unique_ptr<OperatorLogic> Filter() {
+    return std::make_unique<FilterLogic>(input_.get(), MatchAll());
+  }
+  std::unique_ptr<OperatorLogic> Store() {
+    return std::make_unique<StoreLogic>(result_.get());
+  }
+};
+
+TEST_F(PlanTest, ValidSingleChain) {
+  Plan plan;
+  const size_t f =
+      plan.AddNode("filter", ActivationMode::kTriggered, 4, Filter());
+  const size_t s =
+      plan.AddNode("store", ActivationMode::kPipelined, 4, Store());
+  ASSERT_TRUE(plan.ConnectSameInstance(f, s).ok());
+  EXPECT_TRUE(plan.Validate().ok());
+  auto order = plan.TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(order.value(), (std::vector<size_t>{f, s}));
+}
+
+TEST_F(PlanTest, EmptyPlanInvalid) {
+  Plan plan;
+  EXPECT_FALSE(plan.Validate().ok());
+}
+
+TEST_F(PlanTest, PipelinedWithoutProducerInvalid) {
+  Plan plan;
+  plan.AddNode("store", ActivationMode::kPipelined, 4, Store());
+  const Status s = plan.Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("no data producer"), std::string::npos);
+}
+
+TEST_F(PlanTest, TriggeredWithProducerInvalid) {
+  Plan plan;
+  const size_t a =
+      plan.AddNode("filter", ActivationMode::kTriggered, 4, Filter());
+  const size_t b =
+      plan.AddNode("filter2", ActivationMode::kTriggered, 4, Filter());
+  ASSERT_TRUE(plan.ConnectSameInstance(a, b).ok());
+  EXPECT_FALSE(plan.Validate().ok());
+}
+
+TEST_F(PlanTest, ZeroThreadsInvalid) {
+  Plan plan;
+  const size_t f =
+      plan.AddNode("filter", ActivationMode::kTriggered, 4, Filter());
+  plan.params(f).threads = 0;
+  EXPECT_FALSE(plan.Validate().ok());
+}
+
+TEST_F(PlanTest, DoubleOutputRejected) {
+  Plan plan;
+  const size_t f =
+      plan.AddNode("filter", ActivationMode::kTriggered, 4, Filter());
+  const size_t s1 =
+      plan.AddNode("store1", ActivationMode::kPipelined, 4, Store());
+  const size_t s2 =
+      plan.AddNode("store2", ActivationMode::kPipelined, 4, Store());
+  ASSERT_TRUE(plan.ConnectSameInstance(f, s1).ok());
+  EXPECT_EQ(plan.ConnectSameInstance(f, s2).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PlanTest, SameInstanceNeedsEnoughConsumerInstances) {
+  Plan plan;
+  const size_t f =
+      plan.AddNode("filter", ActivationMode::kTriggered, 4, Filter());
+  const size_t s =
+      plan.AddNode("store", ActivationMode::kPipelined, 2, Store());
+  EXPECT_EQ(plan.ConnectSameInstance(f, s).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(PlanTest, ByColumnNeedsMatchingPartitionerDegree) {
+  Plan plan;
+  const size_t f =
+      plan.AddNode("filter", ActivationMode::kTriggered, 4, Filter());
+  const size_t s =
+      plan.AddNode("store", ActivationMode::kPipelined, 4, Store());
+  EXPECT_FALSE(
+      plan.ConnectByColumn(f, s, 0, Partitioner(PartitionKind::kModulo, 8))
+          .ok());
+  EXPECT_TRUE(
+      plan.ConnectByColumn(f, s, 0, Partitioner(PartitionKind::kModulo, 4))
+          .ok());
+}
+
+TEST_F(PlanTest, OutOfRangeNodeIds) {
+  Plan plan;
+  const size_t f =
+      plan.AddNode("filter", ActivationMode::kTriggered, 4, Filter());
+  EXPECT_FALSE(plan.ConnectSameInstance(f, 99).ok());
+  EXPECT_FALSE(plan.ConnectSameInstance(99, f).ok());
+}
+
+TEST_F(PlanTest, ToStringShowsStructure) {
+  Plan plan;
+  const size_t f =
+      plan.AddNode("filter", ActivationMode::kTriggered, 4, Filter());
+  const size_t s =
+      plan.AddNode("store", ActivationMode::kPipelined, 4, Store());
+  ASSERT_TRUE(plan.ConnectSameInstance(f, s).ok());
+  const std::string text = plan.ToString();
+  EXPECT_NE(text.find("filter"), std::string::npos);
+  EXPECT_NE(text.find("triggered"), std::string::npos);
+  EXPECT_NE(text.find("same-instance"), std::string::npos);
+}
+
+TEST(ActivationModeTest, Names) {
+  EXPECT_STREQ(ActivationModeName(ActivationMode::kTriggered), "triggered");
+  EXPECT_STREQ(ActivationModeName(ActivationMode::kPipelined), "pipelined");
+}
+
+}  // namespace
+}  // namespace dbs3

@@ -1,0 +1,314 @@
+#include "sim/machine.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace dbs3 {
+namespace {
+
+SimOpSpec TriggeredOp(std::vector<double> costs, size_t threads,
+                      Strategy strategy = Strategy::kRandom) {
+  SimOpSpec op;
+  op.name = "op";
+  op.instances = costs.size();
+  op.threads = threads;
+  op.strategy = strategy;
+  op.triggers.resize(costs.size());
+  for (size_t i = 0; i < costs.size(); ++i) op.triggers[i].cost = costs[i];
+  return op;
+}
+
+SimMachineConfig BareMachine(size_t processors) {
+  SimMachineConfig config;
+  config.processors = processors;
+  return config;  // No startup or queue costs: pure scheduling.
+}
+
+TEST(SimMachineTest, SingleThreadRunsSequentially) {
+  SimPlanSpec plan;
+  plan.ops.push_back(TriggeredOp({1.0, 2.0, 3.0}, 1));
+  SimMachine machine(BareMachine(4));
+  auto result = machine.Run(plan);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NEAR(result.value().elapsed, 6.0, 1e-9);
+  EXPECT_NEAR(result.value().total_work, 6.0, 1e-9);
+}
+
+TEST(SimMachineTest, EqualActivationsSplitPerfectly) {
+  SimPlanSpec plan;
+  plan.ops.push_back(TriggeredOp(std::vector<double>(8, 1.0), 4));
+  SimMachine machine(BareMachine(8));
+  auto result = machine.Run(plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().elapsed, 2.0, 1e-9);  // 8 x 1.0 over 4 threads.
+}
+
+TEST(SimMachineTest, ProcessorSharingWhenOversubscribed) {
+  // 4 threads on 2 processors: everyone runs at rate 1/2, elapsed = work/2.
+  SimPlanSpec plan;
+  plan.ops.push_back(TriggeredOp(std::vector<double>(4, 1.0), 4));
+  SimMachine machine(BareMachine(2));
+  auto result = machine.Run(plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().elapsed, 2.0, 1e-9);
+}
+
+TEST(SimMachineTest, MakespanBoundedByLongestActivation) {
+  SimPlanSpec plan;
+  plan.ops.push_back(TriggeredOp({10.0, 1.0, 1.0, 1.0}, 4));
+  SimMachine machine(BareMachine(8));
+  auto result = machine.Run(plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().elapsed, 10.0, 1e-9);
+}
+
+TEST(SimMachineTest, LptBeatsRandomOnSkewedTriggers) {
+  // Two expensive + many cheap activations, 2 threads: LPT starts the
+  // expensive ones first and finishes in max(10, total/2); a bad order can
+  // leave an expensive activation for last.
+  std::vector<double> costs = {10.0, 10.0};
+  for (int i = 0; i < 20; ++i) costs.push_back(1.0);
+  // Shuffle the expensive ones to the back for Random's natural order.
+  std::rotate(costs.begin(), costs.begin() + 2, costs.end());
+  SimPlanSpec lpt_plan;
+  lpt_plan.ops.push_back(TriggeredOp(costs, 2, Strategy::kLpt));
+  SimPlanSpec random_plan;
+  random_plan.ops.push_back(TriggeredOp(costs, 2, Strategy::kRandom));
+  SimMachine m1(BareMachine(4)), m2(BareMachine(4));
+  auto lpt = m1.Run(lpt_plan);
+  auto random = m2.Run(random_plan);
+  ASSERT_TRUE(lpt.ok() && random.ok());
+  EXPECT_NEAR(lpt.value().elapsed, 20.0, 1e-9);  // Perfect LPT schedule.
+  EXPECT_LE(lpt.value().elapsed, random.value().elapsed + 1e-9);
+}
+
+TEST(SimMachineTest, PipelineOverlapsProducerAndConsumer) {
+  // Producer: one trigger of cost 10 emitting 100 tuples; consumer: 0.1
+  // per tuple with its own thread. Pipelined execution overlaps them, so
+  // elapsed is well under the serial 20.
+  SimPlanSpec plan;
+  SimOpSpec producer = TriggeredOp({10.0}, 1);
+  producer.output = 1;
+  producer.triggers[0].emissions.push_back({0, 100});
+  SimOpSpec consumer;
+  consumer.name = "consumer";
+  consumer.instances = 1;
+  consumer.threads = 1;
+  consumer.data_cost = {0.1};
+  plan.ops.push_back(producer);
+  plan.ops.push_back(consumer);
+  SimMachine machine(BareMachine(4));
+  auto result = machine.Run(plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result.value().elapsed, 15.0);
+  EXPECT_GE(result.value().elapsed, 10.0 - 1e-9);
+  // All 100 data activations processed.
+  uint64_t processed = 0;
+  for (uint64_t c : result.value().ops[1].per_thread_processed) {
+    processed += c;
+  }
+  EXPECT_EQ(processed, 100u);
+}
+
+TEST(SimMachineTest, DataSetupCostChargedOnce) {
+  SimPlanSpec plan;
+  SimOpSpec producer = TriggeredOp({0.0}, 1);
+  producer.output = 1;
+  producer.triggers[0].emissions.push_back({0, 10});
+  SimOpSpec consumer;
+  consumer.instances = 1;
+  consumer.threads = 1;
+  consumer.data_cost = {1.0};
+  consumer.data_setup_cost = {5.0};
+  plan.ops.push_back(producer);
+  plan.ops.push_back(consumer);
+  SimMachine machine(BareMachine(2));
+  auto result = machine.Run(plan);
+  ASSERT_TRUE(result.ok());
+  // 10 x 1.0 + one-time 5.0 setup.
+  EXPECT_NEAR(result.value().elapsed, 15.0, 1e-6);
+}
+
+TEST(SimMachineTest, CacheSizeBatchesDataActivations) {
+  SimPlanSpec plan;
+  SimOpSpec producer = TriggeredOp({0.0}, 1);
+  producer.output = 1;
+  producer.triggers[0].emissions.push_back({0, 64});
+  SimOpSpec consumer;
+  consumer.instances = 1;
+  consumer.threads = 1;
+  consumer.cache_size = 16;
+  consumer.data_cost = {1.0};
+  plan.ops.push_back(producer);
+  plan.ops.push_back(consumer);
+  SimMachine machine(BareMachine(2));
+  auto result = machine.Run(plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().elapsed, 64.0, 1e-6);
+  // All 64 counted even though acquired in batches.
+  EXPECT_EQ(result.value().ops[1].per_instance_processed[0], 64u);
+}
+
+TEST(SimMachineTest, ThreadStartupStaggersAvailability) {
+  SimMachineConfig config = BareMachine(8);
+  config.thread_startup_cost = 1.0;
+  SimPlanSpec plan;
+  plan.ops.push_back(TriggeredOp(std::vector<double>(4, 1.0), 4));
+  SimMachine machine(config);
+  auto result = machine.Run(plan);
+  ASSERT_TRUE(result.ok());
+  // Thread k alive at k+1; the 4th activation finishes at 4 + 1 = 5 in the
+  // worst case, but earlier threads steal the remaining work: thread 0
+  // (alive at 1) can do two activations by t=3. Elapsed must exceed the
+  // no-startup 1.0 and reflect the staggering.
+  EXPECT_GT(result.value().elapsed, 2.0 - 1e-9);
+  EXPECT_LE(result.value().elapsed, 5.0 + 1e-9);
+}
+
+TEST(SimMachineTest, QueueCreationDelaysEverything) {
+  SimMachineConfig config = BareMachine(8);
+  config.queue_create_cost = 0.5;
+  SimPlanSpec plan;
+  plan.ops.push_back(TriggeredOp({1.0, 1.0}, 2));
+  SimMachine machine(config);
+  auto result = machine.Run(plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().init_time, 1.0, 1e-9);  // Two queues.
+  EXPECT_NEAR(result.value().elapsed, 2.0, 1e-9);    // Init + parallel work.
+}
+
+TEST(SimMachineTest, QueueScanOverheadAddedPerAcquisition) {
+  SimMachineConfig config = BareMachine(4);
+  config.queue_scan_cost = 0.1;
+  SimPlanSpec plan;
+  plan.ops.push_back(TriggeredOp(std::vector<double>(4, 1.0), 1));
+  SimMachine machine(config);
+  auto result = machine.Run(plan);
+  ASSERT_TRUE(result.ok());
+  // Four acquisitions, each paying 0.1 * 4 queues.
+  EXPECT_NEAR(result.value().elapsed, 4.0 + 4 * 0.4, 1e-6);
+}
+
+TEST(SimMachineTest, EmissionsRouteToDeclaredInstances) {
+  SimPlanSpec plan;
+  SimOpSpec producer = TriggeredOp({1.0, 1.0}, 1);
+  producer.output = 1;
+  producer.triggers[0].emissions.push_back({2, 5});
+  producer.triggers[1].emissions.push_back({0, 3});
+  SimOpSpec consumer;
+  consumer.instances = 3;
+  consumer.threads = 1;
+  consumer.data_cost = {0.1, 0.1, 0.1};
+  plan.ops.push_back(producer);
+  plan.ops.push_back(consumer);
+  SimMachine machine(BareMachine(4));
+  auto result = machine.Run(plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().ops[1].per_instance_processed[2], 5u);
+  EXPECT_EQ(result.value().ops[1].per_instance_processed[0], 3u);
+  EXPECT_EQ(result.value().ops[1].per_instance_processed[1], 0u);
+}
+
+TEST(SimMachineTest, WorkConservation) {
+  SimPlanSpec plan;
+  SimOpSpec producer = TriggeredOp({2.0, 3.0}, 2);
+  producer.output = 1;
+  producer.triggers[0].emissions.push_back({0, 10});
+  SimOpSpec consumer;
+  consumer.instances = 1;
+  consumer.threads = 2;
+  consumer.data_cost = {0.5};
+  plan.ops.push_back(producer);
+  plan.ops.push_back(consumer);
+  SimMachine machine(BareMachine(8));
+  auto result = machine.Run(plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().total_work, 2.0 + 3.0 + 10 * 0.5, 1e-6);
+}
+
+TEST(SimMachineTest, DeterministicAcrossRuns) {
+  std::vector<double> costs;
+  for (int i = 0; i < 50; ++i) costs.push_back(0.1 * (i % 7 + 1));
+  SimPlanSpec plan;
+  plan.ops.push_back(TriggeredOp(costs, 5, Strategy::kRandom));
+  SimMachine m1(BareMachine(8)), m2(BareMachine(8));
+  auto a = m1.Run(plan);
+  auto b = m2.Run(plan);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value().elapsed, b.value().elapsed);
+}
+
+TEST(SimMachineTest, MainQueueAblationStillCompletes) {
+  SimMachineConfig config = BareMachine(4);
+  config.use_main_queues = false;
+  SimPlanSpec plan;
+  plan.ops.push_back(TriggeredOp(std::vector<double>(8, 1.0), 4));
+  SimMachine machine(config);
+  auto result = machine.Run(plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().elapsed, 2.0, 1e-9);
+}
+
+TEST(SimMachineTest, ContextSwitchOverheadSlowsOversubscription) {
+  SimPlanSpec plan;
+  plan.ops.push_back(TriggeredOp(std::vector<double>(8, 1.0), 8));
+  // 8 threads on 2 processors.
+  SimMachineConfig pure = BareMachine(2);
+  SimMachineConfig penalized = BareMachine(2);
+  penalized.context_switch_overhead = 0.5;
+  SimMachine m1(pure), m2(penalized);
+  auto t_pure = m1.Run(plan);
+  auto t_pen = m2.Run(plan);
+  ASSERT_TRUE(t_pure.ok() && t_pen.ok());
+  EXPECT_NEAR(t_pure.value().elapsed, 4.0, 1e-9);  // Work-conserving PS.
+  // Ratio 4 => rate divided by 1 + 0.5 * 3 = 2.5.
+  EXPECT_NEAR(t_pen.value().elapsed, 4.0 * 2.5, 1e-6);
+  // No penalty when threads <= processors.
+  SimPlanSpec small;
+  small.ops.push_back(TriggeredOp(std::vector<double>(2, 1.0), 2));
+  SimMachine m3(penalized);
+  auto t_small = m3.Run(small);
+  ASSERT_TRUE(t_small.ok());
+  EXPECT_NEAR(t_small.value().elapsed, 1.0, 1e-9);
+}
+
+TEST(SimMachineTest, ValidatesSpecs) {
+  SimMachine machine(BareMachine(2));
+  // Empty plan.
+  EXPECT_FALSE(machine.Run(SimPlanSpec{}).ok());
+  // Pipelined op without producer.
+  SimPlanSpec orphan;
+  SimOpSpec op;
+  op.instances = 1;
+  op.threads = 1;
+  op.data_cost = {1.0};
+  orphan.ops.push_back(op);
+  EXPECT_FALSE(machine.Run(orphan).ok());
+  // Trigger count mismatch.
+  SimPlanSpec mismatch;
+  SimOpSpec bad = TriggeredOp({1.0}, 1);
+  bad.instances = 2;
+  mismatch.ops.push_back(bad);
+  EXPECT_FALSE(machine.Run(mismatch).ok());
+  // Out-of-range emission.
+  SimPlanSpec bad_emit;
+  SimOpSpec producer = TriggeredOp({1.0}, 1);
+  producer.output = 1;
+  producer.triggers[0].emissions.push_back({5, 1});
+  SimOpSpec consumer;
+  consumer.instances = 1;
+  consumer.threads = 1;
+  consumer.data_cost = {1.0};
+  bad_emit.ops.push_back(producer);
+  bad_emit.ops.push_back(consumer);
+  EXPECT_FALSE(machine.Run(bad_emit).ok());
+  // Zero processors.
+  SimMachine zero(BareMachine(0));
+  SimPlanSpec ok_plan;
+  ok_plan.ops.push_back(TriggeredOp({1.0}, 1));
+  EXPECT_FALSE(zero.Run(ok_plan).ok());
+}
+
+}  // namespace
+}  // namespace dbs3

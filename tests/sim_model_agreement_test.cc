@@ -1,0 +1,147 @@
+// Property tests: the simulated executions respect the analytical envelope
+// of Section 4.1 — Tideal <= elapsed <= Tworst (within scheduling
+// tolerance) — across the skew x parallelism grid, with LPT.
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "model/analysis.h"
+#include "sim/machine.h"
+#include "sim/workload.h"
+
+namespace dbs3 {
+namespace {
+
+class SimModelAgreementTest
+    : public ::testing::TestWithParam<std::tuple<double, size_t>> {};
+
+TEST_P(SimModelAgreementTest, IdealJoinWithinAnalyticalEnvelope) {
+  const auto [theta, threads] = GetParam();
+  SimCosts costs;
+  JoinWorkloadSpec spec;
+  spec.a_cardinality = 50'000;
+  spec.b_cardinality = 5'000;
+  spec.degree = 100;
+  spec.theta = theta;
+  spec.threads = threads;
+  spec.strategy = Strategy::kLpt;
+  auto plan = BuildIdealJoinSim(spec, costs);
+  ASSERT_TRUE(plan.ok());
+  // Bare machine: no init costs, so the envelope is exact.
+  SimMachineConfig config;
+  config.processors = 128;
+  SimMachine machine(config);
+  auto result = machine.Run(plan.value());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  auto profile = JoinProfile(spec, costs, /*pipelined=*/false);
+  ASSERT_TRUE(profile.ok());
+  const size_t n = plan.value().ops[0].threads;
+  const double tideal = TIdeal(profile.value(), n);
+  const double tworst = TWorst(profile.value(), n);
+  EXPECT_GE(result.value().elapsed, tideal * (1.0 - 1e-9))
+      << "theta=" << theta << " threads=" << threads;
+  EXPECT_LE(result.value().elapsed, tworst * (1.0 + 1e-9))
+      << "theta=" << theta << " threads=" << threads;
+  // And never below the longest activation.
+  EXPECT_GE(result.value().elapsed,
+            profile.value().max_cost * (1.0 - 1e-9));
+}
+
+TEST_P(SimModelAgreementTest, AssocJoinCloseToIdealTime) {
+  const auto [theta, threads] = GetParam();
+  if (threads < 2) GTEST_SKIP() << "AssocJoin needs two pools";
+  SimCosts costs;
+  JoinWorkloadSpec spec;
+  spec.a_cardinality = 50'000;
+  spec.b_cardinality = 5'000;
+  spec.degree = 100;
+  spec.theta = theta;
+  spec.threads = threads;
+  auto plan = BuildAssocJoinSim(spec, costs);
+  ASSERT_TRUE(plan.ok());
+  SimMachineConfig config;
+  config.processors = 128;
+  SimMachine machine(config);
+  auto result = machine.Run(plan.value());
+  ASSERT_TRUE(result.ok());
+
+  // The paper's core claim: pipelined operations absorb skew. The measured
+  // time never exceeds the join pool's Tworst by more than the pipeline
+  // warm-up slack.
+  auto profile = JoinProfile(spec, costs, /*pipelined=*/true);
+  ASSERT_TRUE(profile.ok());
+  const size_t join_threads = plan.value().ops[1].threads;
+  const double tworst = TWorst(profile.value(), join_threads);
+  EXPECT_LE(result.value().elapsed, tworst * 1.20)
+      << "theta=" << theta << " threads=" << threads;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SkewByThreads, SimModelAgreementTest,
+    ::testing::Combine(::testing::Values(0.0, 0.3, 0.6, 0.9, 1.0),
+                       ::testing::Values(1ul, 4ul, 10ul, 40ul)));
+
+/// The monotone property behind Figure 15: adding threads never makes a
+/// triggered LPT execution slower (on a bare machine with enough
+/// processors).
+TEST(SimMonotonicityTest, MoreThreadsNeverSlowerUnderLpt) {
+  SimCosts costs;
+  double prev = 1e30;
+  for (size_t threads : {1ul, 2ul, 4ul, 8ul, 16ul, 32ul}) {
+    JoinWorkloadSpec spec;
+    spec.a_cardinality = 20'000;
+    spec.b_cardinality = 2'000;
+    spec.degree = 64;
+    spec.theta = 0.8;
+    spec.threads = threads;
+    spec.strategy = Strategy::kLpt;
+    auto plan = BuildIdealJoinSim(spec, costs);
+    ASSERT_TRUE(plan.ok());
+    SimMachineConfig config;
+    config.processors = 64;
+    SimMachine machine(config);
+    auto result = machine.Run(plan.value());
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result.value().elapsed, prev * (1.0 + 1e-9))
+        << "threads=" << threads;
+    prev = result.value().elapsed;
+  }
+}
+
+/// The plateau property: past nmax, adding threads gains nothing.
+TEST(SimMonotonicityTest, PlateauAtNMax) {
+  SimCosts costs;
+  JoinWorkloadSpec spec;
+  spec.a_cardinality = 20'000;
+  spec.b_cardinality = 2'000;
+  spec.degree = 64;
+  spec.theta = 1.0;
+  spec.strategy = Strategy::kLpt;
+  auto profile = JoinProfile(spec, costs, /*pipelined=*/false);
+  ASSERT_TRUE(profile.ok());
+  const double nmax = NMax(profile.value());
+  // Run with double nmax and with 64 threads: same elapsed (the longest
+  // activation bounds both).
+  double elapsed[2];
+  int i = 0;
+  for (size_t threads :
+       {static_cast<size_t>(2 * nmax), static_cast<size_t>(64)}) {
+    spec.threads = threads;
+    auto plan = BuildIdealJoinSim(spec, costs);
+    ASSERT_TRUE(plan.ok());
+    SimMachineConfig config;
+    config.processors = 128;
+    SimMachine machine(config);
+    auto result = machine.Run(plan.value());
+    ASSERT_TRUE(result.ok());
+    elapsed[i++] = result.value().elapsed;
+  }
+  EXPECT_NEAR(elapsed[0], elapsed[1], elapsed[0] * 0.02);
+  EXPECT_NEAR(elapsed[0], profile.value().max_cost,
+              profile.value().max_cost * 0.05);
+}
+
+}  // namespace
+}  // namespace dbs3

@@ -1,0 +1,133 @@
+#include "storage/skew.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/zipf.h"
+
+namespace dbs3 {
+namespace {
+
+TEST(SkewTest, CardinalitiesMatchSpec) {
+  SkewSpec spec;
+  spec.a_cardinality = 10'000;
+  spec.b_cardinality = 1'000;
+  spec.degree = 50;
+  spec.theta = 0.7;
+  auto db = BuildSkewedDatabase(spec);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ(db.value().a->cardinality(), 10'000u);
+  EXPECT_EQ(db.value().b->cardinality(), 1'000u);
+  EXPECT_EQ(db.value().a->degree(), 50u);
+  EXPECT_EQ(db.value().b->degree(), 50u);
+}
+
+TEST(SkewTest, FragmentCardinalitiesFollowZipf) {
+  SkewSpec spec;
+  spec.a_cardinality = 100'000;
+  spec.b_cardinality = 10'000;
+  spec.degree = 200;
+  spec.theta = 1.0;
+  auto db = BuildSkewedDatabase(spec);
+  ASSERT_TRUE(db.ok());
+  const std::vector<uint64_t> expected = ZipfCounts(100'000, 200, 1.0);
+  EXPECT_EQ(db.value().a->FragmentCardinalities(), expected);
+  // The paper anchor: largest fragment is ~34x the mean at Zipf 1 / 200
+  // fragments.
+  EXPECT_NEAR(static_cast<double>(expected.front()) / 500.0, 34.0, 0.5);
+}
+
+TEST(SkewTest, BFragmentsAreUniform) {
+  SkewSpec spec;
+  spec.a_cardinality = 1'000;
+  spec.b_cardinality = 1'000;
+  spec.degree = 40;
+  spec.theta = 0.9;
+  auto db = BuildSkewedDatabase(spec);
+  ASSERT_TRUE(db.ok());
+  for (uint64_t c : db.value().b->FragmentCardinalities()) {
+    EXPECT_EQ(c, 25u);
+  }
+}
+
+TEST(SkewTest, CoPartitionedByConstruction) {
+  SkewSpec spec;
+  spec.a_cardinality = 5'000;
+  spec.b_cardinality = 500;
+  spec.degree = 25;
+  spec.theta = 0.5;
+  auto db = BuildSkewedDatabase(spec);
+  ASSERT_TRUE(db.ok());
+  // Fragment f of both relations holds keys congruent to f mod degree.
+  for (size_t f = 0; f < 25; ++f) {
+    for (const Tuple& t : db.value().a->fragment(f).tuples) {
+      EXPECT_EQ(t.at(0).AsInt() % 25, static_cast<int64_t>(f));
+    }
+    for (const Tuple& t : db.value().b->fragment(f).tuples) {
+      EXPECT_EQ(t.at(0).AsInt() % 25, static_cast<int64_t>(f));
+    }
+  }
+}
+
+TEST(SkewTest, EveryAKeyHasExactlyOneBMatch) {
+  SkewSpec spec;
+  spec.a_cardinality = 3'000;
+  spec.b_cardinality = 300;
+  spec.degree = 30;
+  spec.theta = 0.8;
+  auto db = BuildSkewedDatabase(spec);
+  ASSERT_TRUE(db.ok());
+  std::map<int64_t, int> b_keys;
+  for (const Tuple& t : db.value().b->Scan()) ++b_keys[t.at(0).AsInt()];
+  for (const auto& [key, count] : b_keys) EXPECT_EQ(count, 1);
+  for (const Tuple& t : db.value().a->Scan()) {
+    EXPECT_EQ(b_keys.count(t.at(0).AsInt()), 1u)
+        << "A key " << t.at(0).AsInt() << " has no B' match";
+  }
+}
+
+TEST(SkewTest, DeterministicBySeed) {
+  SkewSpec spec;
+  spec.a_cardinality = 1'000;
+  spec.b_cardinality = 200;
+  spec.degree = 10;
+  spec.theta = 0.6;
+  spec.seed = 5;
+  auto a = BuildSkewedDatabase(spec);
+  auto b = BuildSkewedDatabase(spec);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value().a->Scan(), b.value().a->Scan());
+  spec.seed = 6;
+  auto c = BuildSkewedDatabase(spec);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a.value().a->Scan(), c.value().a->Scan());
+}
+
+TEST(SkewTest, ValidatesSpec) {
+  SkewSpec spec;
+  spec.degree = 0;
+  EXPECT_FALSE(BuildSkewedDatabase(spec).ok());
+  spec.degree = 10;
+  spec.theta = 1.5;
+  EXPECT_FALSE(BuildSkewedDatabase(spec).ok());
+  spec.theta = 0.5;
+  spec.b_cardinality = 5;  // Fewer B tuples than fragments.
+  auto r = BuildSkewedDatabase(spec);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SkewTest, ThetaZeroIsUnskewed) {
+  SkewSpec spec;
+  spec.a_cardinality = 4'000;
+  spec.b_cardinality = 400;
+  spec.degree = 40;
+  spec.theta = 0.0;
+  auto db = BuildSkewedDatabase(spec);
+  ASSERT_TRUE(db.ok());
+  for (uint64_t c : db.value().a->FragmentCardinalities()) EXPECT_EQ(c, 100u);
+}
+
+}  // namespace
+}  // namespace dbs3

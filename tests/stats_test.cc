@@ -1,0 +1,89 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dbs3 {
+namespace {
+
+TEST(StatsTest, EmptySummaryIsZero) {
+  const Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(StatsTest, SingleValue) {
+  const Summary s = Summarize({3.5});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.min, 3.5);
+  EXPECT_EQ(s.max, 3.5);
+  EXPECT_EQ(s.mean, 3.5);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.sum, 3.5);
+}
+
+TEST(StatsTest, KnownSample) {
+  const Summary s = Summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_EQ(s.min, 2.0);
+  EXPECT_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);  // Classic population-stddev example.
+  EXPECT_DOUBLE_EQ(s.sum, 40.0);
+}
+
+TEST(StatsTest, NegativeValues) {
+  const Summary s = Summarize({-5.0, 5.0});
+  EXPECT_EQ(s.min, -5.0);
+  EXPECT_EQ(s.max, 5.0);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.stddev, 5.0);
+}
+
+TEST(FitLineTest, ExactLineRecovered) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(i);
+    y.push_back(2.5 * i - 7.0);
+  }
+  const LinearFit f = FitLine(x, y);
+  EXPECT_NEAR(f.slope, 2.5, 1e-9);
+  EXPECT_NEAR(f.intercept, -7.0, 1e-9);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(FitLineTest, HorizontalLine) {
+  const LinearFit f = FitLine({0, 1, 2, 3}, {4, 4, 4, 4});
+  EXPECT_NEAR(f.slope, 0.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 4.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);  // Perfect fit of a constant.
+}
+
+TEST(FitLineTest, NoisyLineApproximates) {
+  std::vector<double> x, y;
+  // Alternate +1/-1 noise around y = 3x + 1.
+  for (int i = 0; i < 40; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 * i + 1.0 + (i % 2 == 0 ? 1.0 : -1.0));
+  }
+  const LinearFit f = FitLine(x, y);
+  EXPECT_NEAR(f.slope, 3.0, 0.02);
+  EXPECT_GT(f.r2, 0.99);
+}
+
+TEST(FitLineTest, DegenerateVerticalInputGivesZeroFit) {
+  const LinearFit f = FitLine({2, 2, 2}, {1, 2, 3});
+  EXPECT_EQ(f.slope, 0.0);
+  EXPECT_EQ(f.intercept, 0.0);
+}
+
+TEST(FitLineTest, TwoPoints) {
+  const LinearFit f = FitLine({0, 10}, {5, 25});
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 5.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace dbs3

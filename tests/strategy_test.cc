@@ -1,0 +1,62 @@
+#include "engine/strategy.h"
+
+#include <gtest/gtest.h>
+
+namespace dbs3 {
+namespace {
+
+TEST(StrategyTest, Names) {
+  EXPECT_STREQ(StrategyName(Strategy::kRandom), "Random");
+  EXPECT_STREQ(StrategyName(Strategy::kLpt), "LPT");
+}
+
+TEST(StrategyTest, RandomOrderIsIdentity) {
+  const std::vector<uint32_t> order =
+      QueueVisitOrder(Strategy::kRandom, {3.0, 1.0, 2.0}, 3);
+  EXPECT_EQ(order, (std::vector<uint32_t>{0, 1, 2}));
+}
+
+TEST(StrategyTest, LptOrdersByDecreasingEstimate) {
+  const std::vector<uint32_t> order =
+      QueueVisitOrder(Strategy::kLpt, {1.0, 5.0, 3.0, 4.0}, 4);
+  EXPECT_EQ(order, (std::vector<uint32_t>{1, 3, 2, 0}));
+}
+
+TEST(StrategyTest, LptWithoutEstimatesIsIdentity) {
+  const std::vector<uint32_t> order = QueueVisitOrder(Strategy::kLpt, {}, 3);
+  EXPECT_EQ(order, (std::vector<uint32_t>{0, 1, 2}));
+}
+
+TEST(StrategyTest, LptStableOnTies) {
+  const std::vector<uint32_t> order =
+      QueueVisitOrder(Strategy::kLpt, {2.0, 2.0, 2.0, 9.0}, 4);
+  EXPECT_EQ(order, (std::vector<uint32_t>{3, 0, 1, 2}));
+}
+
+TEST(StrategyTest, ShortEstimateVectorTreatsMissingAsZero) {
+  // More queues than estimates: the un-estimated queues sort last.
+  const std::vector<uint32_t> order =
+      QueueVisitOrder(Strategy::kLpt, {1.0, 2.0}, 4);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 0u);
+  EXPECT_EQ(order[2], 2u);
+  EXPECT_EQ(order[3], 3u);
+}
+
+TEST(StrategyTest, PermutationCoversAllQueues) {
+  for (size_t n : {1ul, 7ul, 200ul}) {
+    std::vector<double> estimates(n);
+    for (size_t i = 0; i < n; ++i) estimates[i] = static_cast<double>(i % 13);
+    const std::vector<uint32_t> order =
+        QueueVisitOrder(Strategy::kLpt, estimates, n);
+    std::vector<bool> seen(n, false);
+    for (uint32_t q : order) {
+      ASSERT_LT(q, n);
+      EXPECT_FALSE(seen[q]);
+      seen[q] = true;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dbs3

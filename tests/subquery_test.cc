@@ -1,0 +1,131 @@
+#include "sched/subquery.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace dbs3 {
+namespace {
+
+TEST(SubqueryTreeTest, RootDetection) {
+  SubqueryTree tree;
+  const size_t a = tree.AddNode("a", 1.0);
+  const size_t b = tree.AddNode("b", 1.0);
+  ASSERT_TRUE(tree.AddChild(a, b).ok());
+  auto root = tree.Root();
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root.value(), a);
+}
+
+TEST(SubqueryTreeTest, MultipleRootsRejected) {
+  SubqueryTree tree;
+  tree.AddNode("a", 1.0);
+  tree.AddNode("b", 1.0);
+  EXPECT_FALSE(tree.Root().ok());
+}
+
+TEST(SubqueryTreeTest, DoubleParentRejected) {
+  SubqueryTree tree;
+  const size_t a = tree.AddNode("a", 1.0);
+  const size_t b = tree.AddNode("b", 1.0);
+  const size_t c = tree.AddNode("c", 1.0);
+  ASSERT_TRUE(tree.AddChild(a, c).ok());
+  EXPECT_EQ(tree.AddChild(b, c).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SubqueryTreeTest, SubtreeComplexitySums) {
+  SubqueryTree tree;
+  const size_t root = tree.AddNode("root", 5.0);
+  const size_t left = tree.AddNode("left", 3.0);
+  const size_t leaf = tree.AddNode("leaf", 2.0);
+  ASSERT_TRUE(tree.AddChild(root, left).ok());
+  ASSERT_TRUE(tree.AddChild(left, leaf).ok());
+  EXPECT_DOUBLE_EQ(tree.SubtreeComplexity(root), 10.0);
+  EXPECT_DOUBLE_EQ(tree.SubtreeComplexity(left), 5.0);
+  EXPECT_DOUBLE_EQ(tree.SubtreeComplexity(leaf), 2.0);
+}
+
+TEST(SubqueryTreeTest, PaperFigure5Equations) {
+  // The paper's example (Figure 5, step 2): Sq5 is the root with children
+  // Sq3 and Sq4; Sq3 has children Sq1 and Sq2. The solved system is
+  //   N5 = N
+  //   N3 + N4 = N5,  (T1+T2+T3)/N3 = T4/N4
+  //   N1 + N2 = N3,  T1/N1 = T2/N2.
+  SubqueryTree tree;
+  const size_t sq1 = tree.AddNode("Sq1", 10.0);
+  const size_t sq2 = tree.AddNode("Sq2", 30.0);
+  const size_t sq3 = tree.AddNode("Sq3", 20.0);
+  const size_t sq4 = tree.AddNode("Sq4", 40.0);
+  const size_t sq5 = tree.AddNode("Sq5", 15.0);
+  ASSERT_TRUE(tree.AddChild(sq5, sq3).ok());
+  ASSERT_TRUE(tree.AddChild(sq5, sq4).ok());
+  ASSERT_TRUE(tree.AddChild(sq3, sq1).ok());
+  ASSERT_TRUE(tree.AddChild(sq3, sq2).ok());
+
+  const double n = 50.0;
+  auto threads = tree.SolveThreadAllocation(n);
+  ASSERT_TRUE(threads.ok());
+  const std::vector<double>& t = threads.value();
+
+  EXPECT_DOUBLE_EQ(t[sq5], n);                      // N5 = N.
+  EXPECT_NEAR(t[sq3] + t[sq4], t[sq5], 1e-9);       // N3 + N4 = N5.
+  // (T1+T2+T3)/N3 = T4/N4.
+  EXPECT_NEAR((10.0 + 30.0 + 20.0) / t[sq3], 40.0 / t[sq4], 1e-9);
+  EXPECT_NEAR(t[sq1] + t[sq2], t[sq3], 1e-9);       // N1 + N2 = N3.
+  EXPECT_NEAR(10.0 / t[sq1], 30.0 / t[sq2], 1e-9);  // T1/N1 = T2/N2.
+}
+
+TEST(SubqueryTreeTest, SingleNodeGetsEverything) {
+  SubqueryTree tree;
+  const size_t only = tree.AddNode("only", 7.0);
+  auto threads = tree.SolveThreadAllocation(12.0);
+  ASSERT_TRUE(threads.ok());
+  EXPECT_DOUBLE_EQ(threads.value()[only], 12.0);
+}
+
+TEST(SubqueryTreeTest, ZeroThreadsRejected) {
+  SubqueryTree tree;
+  tree.AddNode("only", 7.0);
+  EXPECT_FALSE(tree.SolveThreadAllocation(0.0).ok());
+}
+
+TEST(SplitChainThreadsTest, ProportionalToComplexity) {
+  const std::vector<size_t> t = SplitChainThreads({10.0, 30.0}, 8);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0], 2u);
+  EXPECT_EQ(t[1], 6u);
+}
+
+TEST(SplitChainThreadsTest, SumsToTotal) {
+  for (size_t total : {3ul, 7ul, 20ul, 100ul}) {
+    const std::vector<size_t> t =
+        SplitChainThreads({1.0, 2.0, 3.5}, total);
+    EXPECT_EQ(std::accumulate(t.begin(), t.end(), 0ul),
+              std::max(total, t.size()));
+  }
+}
+
+TEST(SplitChainThreadsTest, EveryOperatorGetsAtLeastOne) {
+  const std::vector<size_t> t =
+      SplitChainThreads({0.0001, 1000.0, 0.0001}, 10);
+  for (size_t v : t) EXPECT_GE(v, 1u);
+  EXPECT_EQ(std::accumulate(t.begin(), t.end(), 0ul), 10ul);
+}
+
+TEST(SplitChainThreadsTest, MoreOperatorsThanThreads) {
+  const std::vector<size_t> t = SplitChainThreads({1.0, 1.0, 1.0, 1.0}, 2);
+  for (size_t v : t) EXPECT_EQ(v, 1u);  // Floor of one each.
+}
+
+TEST(SplitChainThreadsTest, ZeroComplexitySpreadEvenly) {
+  const std::vector<size_t> t = SplitChainThreads({0.0, 0.0}, 6);
+  EXPECT_EQ(t[0], 3u);
+  EXPECT_EQ(t[1], 3u);
+}
+
+TEST(SplitChainThreadsTest, EmptyChain) {
+  EXPECT_TRUE(SplitChainThreads({}, 5).empty());
+}
+
+}  // namespace
+}  // namespace dbs3

@@ -1,0 +1,80 @@
+#include "storage/temp_index.h"
+
+#include <gtest/gtest.h>
+
+namespace dbs3 {
+namespace {
+
+Fragment MakeFragment(std::initializer_list<int64_t> keys) {
+  Fragment f;
+  int64_t payload = 0;
+  for (int64_t k : keys) {
+    f.tuples.push_back(Tuple({Value(k), Value(payload++)}));
+  }
+  return f;
+}
+
+TEST(TempIndexTest, FindsAllMatches) {
+  const Fragment f = MakeFragment({1, 2, 2, 3, 2});
+  TempIndex index(f, 0);
+  EXPECT_EQ(index.Lookup(Value(int64_t{1})).size(), 1u);
+  const std::vector<uint32_t> twos = index.Lookup(Value(int64_t{2}));
+  ASSERT_EQ(twos.size(), 3u);
+  for (uint32_t i : twos) EXPECT_EQ(f.tuples[i].at(0).AsInt(), 2);
+}
+
+TEST(TempIndexTest, MissReturnsEmpty) {
+  const Fragment f = MakeFragment({1, 2, 3});
+  TempIndex index(f, 0);
+  EXPECT_TRUE(index.Lookup(Value(int64_t{99})).empty());
+}
+
+TEST(TempIndexTest, EmptyFragment) {
+  const Fragment f;
+  TempIndex index(f, 0);
+  EXPECT_EQ(index.distinct_keys(), 0u);
+  EXPECT_TRUE(index.Lookup(Value(int64_t{1})).empty());
+}
+
+TEST(TempIndexTest, DistinctKeysCounted) {
+  const Fragment f = MakeFragment({5, 5, 6, 7, 7, 7});
+  TempIndex index(f, 0);
+  EXPECT_EQ(index.distinct_keys(), 3u);
+}
+
+TEST(TempIndexTest, IndexesChosenColumn) {
+  Fragment f;
+  f.tuples.push_back(Tuple({Value(int64_t{1}), Value(int64_t{100})}));
+  f.tuples.push_back(Tuple({Value(int64_t{2}), Value(int64_t{100})}));
+  TempIndex index(f, 1);
+  EXPECT_EQ(index.Lookup(Value(int64_t{100})).size(), 2u);
+  EXPECT_TRUE(index.Lookup(Value(int64_t{1})).empty());
+}
+
+TEST(TempIndexTest, StringKeys) {
+  Fragment f;
+  f.tuples.push_back(Tuple({Value(std::string("paris"))}));
+  f.tuples.push_back(Tuple({Value(std::string("cannes"))}));
+  f.tuples.push_back(Tuple({Value(std::string("paris"))}));
+  TempIndex index(f, 0);
+  EXPECT_EQ(index.Lookup(Value(std::string("paris"))).size(), 2u);
+  EXPECT_EQ(index.Lookup(Value(std::string("lyon"))).size(), 0u);
+}
+
+TEST(TempIndexTest, AgreesWithScanOnLargeFragment) {
+  Fragment f;
+  for (int64_t k = 0; k < 5'000; ++k) {
+    f.tuples.push_back(Tuple({Value(k % 137), Value(k)}));
+  }
+  TempIndex index(f, 0);
+  for (int64_t key = 0; key < 137; ++key) {
+    size_t scan_count = 0;
+    for (const Tuple& t : f.tuples) {
+      if (t.at(0).AsInt() == key) ++scan_count;
+    }
+    EXPECT_EQ(index.Lookup(Value(key)).size(), scan_count) << "key " << key;
+  }
+}
+
+}  // namespace
+}  // namespace dbs3

@@ -1,0 +1,120 @@
+#include "storage/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/tuple.h"
+#include "storage/value.h"
+
+namespace dbs3 {
+namespace {
+
+TEST(ValueTest, DefaultIsIntZero) {
+  Value v;
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.AsInt(), 0);
+}
+
+TEST(ValueTest, IntAndStringKinds) {
+  Value i(int64_t{-5});
+  Value s(std::string("hello"));
+  EXPECT_EQ(i.type(), ValueType::kInt64);
+  EXPECT_EQ(s.type(), ValueType::kString);
+  EXPECT_EQ(i.AsInt(), -5);
+  EXPECT_EQ(s.AsString(), "hello");
+  EXPECT_STREQ(ValueTypeName(i.type()), "int64");
+  EXPECT_STREQ(ValueTypeName(s.type()), "string");
+}
+
+TEST(ValueTest, EqualityAndOrdering) {
+  EXPECT_EQ(Value(int64_t{3}), Value(int64_t{3}));
+  EXPECT_NE(Value(int64_t{3}), Value(int64_t{4}));
+  EXPECT_NE(Value(int64_t{3}), Value(std::string("3")));
+  EXPECT_LT(Value(int64_t{3}), Value(int64_t{4}));
+  // Ints order before strings (variant index order): total order exists.
+  EXPECT_LT(Value(int64_t{999}), Value(std::string("a")));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(int64_t{7}).Hash(), Value(int64_t{7}).Hash());
+  EXPECT_EQ(Value(std::string("x")).Hash(), Value(std::string("x")).Hash());
+  EXPECT_NE(Value(int64_t{7}).Hash(), Value(int64_t{8}).Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(int64_t{-12}).ToString(), "-12");
+  EXPECT_EQ(Value(std::string("abc")).ToString(), "abc");
+}
+
+TEST(TupleTest, AppendAndAccess) {
+  Tuple t;
+  t.Append(Value(int64_t{1}));
+  t.Append(Value(std::string("two")));
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.at(0).AsInt(), 1);
+  EXPECT_EQ(t.at(1).AsString(), "two");
+}
+
+TEST(TupleTest, ConcatJoinsValues) {
+  Tuple a({Value(int64_t{1}), Value(int64_t{2})});
+  Tuple b({Value(int64_t{3})});
+  Tuple c = a.Concat(b);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.at(2).AsInt(), 3);
+  // Originals untouched.
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(b.size(), 1u);
+}
+
+TEST(TupleTest, ComparisonIsLexicographic) {
+  Tuple a({Value(int64_t{1}), Value(int64_t{2})});
+  Tuple b({Value(int64_t{1}), Value(int64_t{3})});
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, Tuple({Value(int64_t{1}), Value(int64_t{2})}));
+}
+
+TEST(TupleTest, ToStringFormat) {
+  Tuple t({Value(int64_t{1}), Value(std::string("x"))});
+  EXPECT_EQ(t.ToString(), "[1, x]");
+}
+
+TEST(SchemaTest, IndexOfFindsColumns) {
+  Schema s({{"a", ValueType::kInt64}, {"b", ValueType::kString}});
+  EXPECT_EQ(s.num_columns(), 2u);
+  ASSERT_TRUE(s.IndexOf("b").ok());
+  EXPECT_EQ(s.IndexOf("b").value(), 1u);
+  auto missing = s.IndexOf("zz");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  // The error message is actionable: names the column and the schema.
+  EXPECT_NE(missing.status().message().find("zz"), std::string::npos);
+}
+
+TEST(SchemaTest, ConcatPrefixesCollidingNames) {
+  Schema left({{"key", ValueType::kInt64}, {"x", ValueType::kInt64}});
+  Schema right({{"key", ValueType::kInt64}, {"y", ValueType::kString}});
+  Schema joined = Schema::Concat(left, right);
+  ASSERT_EQ(joined.num_columns(), 4u);
+  EXPECT_EQ(joined.column(0).name, "key");
+  EXPECT_EQ(joined.column(2).name, "r_key");
+  EXPECT_EQ(joined.column(3).name, "y");
+  EXPECT_EQ(joined.column(3).type, ValueType::kString);
+}
+
+TEST(SchemaTest, ConcatCustomPrefix) {
+  Schema left({{"k", ValueType::kInt64}});
+  Schema right({{"k", ValueType::kInt64}});
+  Schema joined = Schema::Concat(left, right, "inner_");
+  EXPECT_EQ(joined.column(1).name, "inner_k");
+}
+
+TEST(SchemaTest, EqualityAndToString) {
+  Schema a({{"a", ValueType::kInt64}});
+  Schema b({{"a", ValueType::kInt64}});
+  Schema c({{"a", ValueType::kString}});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(a.ToString(), "(a:int64)");
+}
+
+}  // namespace
+}  // namespace dbs3

@@ -1,0 +1,152 @@
+#include "storage/wisconsin.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace dbs3 {
+namespace {
+
+TEST(WisconsinTest, SchemaHasStandardColumns) {
+  const Schema s = WisconsinSchema(false);
+  EXPECT_EQ(s.num_columns(), 13u);
+  EXPECT_TRUE(s.IndexOf("unique1").ok());
+  EXPECT_TRUE(s.IndexOf("unique2").ok());
+  EXPECT_TRUE(s.IndexOf("onePercent").ok());
+  EXPECT_TRUE(s.IndexOf("fiftyPercent").ok());
+  const Schema with_strings = WisconsinSchema(true);
+  EXPECT_EQ(with_strings.num_columns(), 16u);
+  EXPECT_TRUE(with_strings.IndexOf("stringu1").ok());
+  EXPECT_EQ(with_strings.column(13).type, ValueType::kString);
+}
+
+TEST(WisconsinTest, Unique1IsAPermutation) {
+  WisconsinOptions opt;
+  opt.cardinality = 5'000;
+  opt.degree = 8;
+  auto r = GenerateWisconsin("w", opt);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::set<int64_t> u1, u2;
+  for (const Tuple& t : r.value()->Scan()) {
+    u1.insert(t.at(0).AsInt());
+    u2.insert(t.at(1).AsInt());
+  }
+  EXPECT_EQ(u1.size(), 5'000u);
+  EXPECT_EQ(*u1.begin(), 0);
+  EXPECT_EQ(*u1.rbegin(), 4'999);
+  EXPECT_EQ(u2.size(), 5'000u);
+}
+
+TEST(WisconsinTest, DerivedColumnsFollowUnique1) {
+  WisconsinOptions opt;
+  opt.cardinality = 1'000;
+  opt.degree = 4;
+  auto r = GenerateWisconsin("w", opt);
+  ASSERT_TRUE(r.ok());
+  const Schema& s = r.value()->schema();
+  const size_t two = s.IndexOf("two").value();
+  const size_t ten = s.IndexOf("ten").value();
+  const size_t one_pct = s.IndexOf("onePercent").value();
+  const size_t even = s.IndexOf("evenOnePercent").value();
+  const size_t odd = s.IndexOf("oddOnePercent").value();
+  for (const Tuple& t : r.value()->Scan()) {
+    const int64_t u1 = t.at(0).AsInt();
+    EXPECT_EQ(t.at(two).AsInt(), u1 % 2);
+    EXPECT_EQ(t.at(ten).AsInt(), u1 % 10);
+    EXPECT_EQ(t.at(one_pct).AsInt(), u1 % 100);
+    EXPECT_EQ(t.at(even).AsInt(), (u1 % 100) * 2);
+    EXPECT_EQ(t.at(odd).AsInt(), (u1 % 100) * 2 + 1);
+  }
+}
+
+TEST(WisconsinTest, StringColumnsWellFormed) {
+  WisconsinOptions opt;
+  opt.cardinality = 200;
+  opt.degree = 2;
+  opt.with_strings = true;
+  auto r = GenerateWisconsin("w", opt);
+  ASSERT_TRUE(r.ok());
+  const Schema& s = r.value()->schema();
+  const size_t s1 = s.IndexOf("stringu1").value();
+  const size_t s4 = s.IndexOf("string4").value();
+  std::set<std::string> distinct_s4;
+  for (const Tuple& t : r.value()->Scan()) {
+    const std::string& v = t.at(s1).AsString();
+    ASSERT_EQ(v.size(), 52u);
+    for (int i = 0; i < 7; ++i) {
+      EXPECT_GE(v[i], 'A');
+      EXPECT_LE(v[i], 'Z');
+    }
+    EXPECT_EQ(v.substr(7), std::string(45, 'x'));
+    distinct_s4.insert(t.at(s4).AsString());
+  }
+  EXPECT_EQ(distinct_s4.size(), 4u);  // AAAA / HHHH / OOOO / VVVV cycle.
+}
+
+TEST(WisconsinTest, WisconsinStringEncodesBase26) {
+  EXPECT_EQ(WisconsinString(0).substr(0, 7), "AAAAAAA");
+  EXPECT_EQ(WisconsinString(1).substr(0, 7), "AAAAAAB");
+  EXPECT_EQ(WisconsinString(26).substr(0, 7), "AAAAABA");
+  EXPECT_EQ(WisconsinString(0).size(), 52u);
+}
+
+TEST(WisconsinTest, DeterministicBySeed) {
+  WisconsinOptions opt;
+  opt.cardinality = 500;
+  opt.degree = 4;
+  opt.seed = 99;
+  auto a = GenerateWisconsin("a", opt);
+  auto b = GenerateWisconsin("b", opt);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value()->Scan(), b.value()->Scan());
+  opt.seed = 100;
+  auto c = GenerateWisconsin("c", opt);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a.value()->Scan(), c.value()->Scan());
+}
+
+TEST(WisconsinTest, HashPartitioningOnUnique1IsBalanced) {
+  WisconsinOptions opt;
+  opt.cardinality = 20'000;
+  opt.degree = 20;
+  auto r = GenerateWisconsin("w", opt);
+  ASSERT_TRUE(r.ok());
+  const double expected = 1'000.0;
+  for (uint64_t c : r.value()->FragmentCardinalities()) {
+    EXPECT_NEAR(static_cast<double>(c), expected, expected * 0.15);
+  }
+}
+
+TEST(WisconsinTest, PartitionColumnRespected) {
+  WisconsinOptions opt;
+  opt.cardinality = 1'000;
+  opt.degree = 10;
+  opt.partition_column = "unique2";
+  opt.partition_kind = PartitionKind::kModulo;
+  auto r = GenerateWisconsin("w", opt);
+  ASSERT_TRUE(r.ok());
+  for (size_t f = 0; f < 10; ++f) {
+    for (const Tuple& t : r.value()->fragment(f).tuples) {
+      EXPECT_EQ(t.at(1).AsInt() % 10, static_cast<int64_t>(f));
+    }
+  }
+}
+
+TEST(WisconsinTest, RejectsBadOptions) {
+  WisconsinOptions opt;
+  opt.cardinality = 0;
+  EXPECT_FALSE(GenerateWisconsin("w", opt).ok());
+  opt.cardinality = 10;
+  opt.degree = 0;
+  EXPECT_FALSE(GenerateWisconsin("w", opt).ok());
+  opt.degree = 2;
+  opt.partition_column = "nope";
+  auto r = GenerateWisconsin("w", opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace dbs3

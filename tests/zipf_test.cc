@@ -1,0 +1,97 @@
+#include "common/zipf.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace dbs3 {
+namespace {
+
+TEST(ZipfTest, SharesSumToOne) {
+  for (size_t n : {1ul, 2ul, 10ul, 200ul, 1500ul}) {
+    for (double theta : {0.0, 0.3, 0.6, 1.0}) {
+      const std::vector<double> s = ZipfShares(n, theta);
+      ASSERT_EQ(s.size(), n);
+      const double sum = std::accumulate(s.begin(), s.end(), 0.0);
+      EXPECT_NEAR(sum, 1.0, 1e-9) << "n=" << n << " theta=" << theta;
+    }
+  }
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  const std::vector<double> s = ZipfShares(40, 0.0);
+  for (double v : s) EXPECT_NEAR(v, 1.0 / 40.0, 1e-12);
+}
+
+TEST(ZipfTest, SharesDecreaseWithRank) {
+  const std::vector<double> s = ZipfShares(100, 0.7);
+  for (size_t i = 1; i < s.size(); ++i) EXPECT_LE(s[i], s[i - 1]);
+}
+
+TEST(ZipfTest, HigherThetaMoreSkew) {
+  const double low = ZipfShares(100, 0.2).front();
+  const double high = ZipfShares(100, 0.9).front();
+  EXPECT_GT(high, low);
+}
+
+TEST(ZipfTest, CountsSumExactly) {
+  for (uint64_t total : {1ull, 7ull, 100ull, 100'000ull}) {
+    for (size_t n : {1ul, 3ul, 200ul}) {
+      for (double theta : {0.0, 0.5, 1.0}) {
+        const std::vector<uint64_t> c = ZipfCounts(total, n, theta);
+        const uint64_t sum = std::accumulate(c.begin(), c.end(), 0ull);
+        EXPECT_EQ(sum, total) << "n=" << n << " theta=" << theta;
+      }
+    }
+  }
+}
+
+TEST(ZipfTest, CountsDescending) {
+  const std::vector<uint64_t> c = ZipfCounts(100'000, 200, 0.8);
+  for (size_t i = 1; i < c.size(); ++i) EXPECT_LE(c[i], c[i - 1]);
+}
+
+TEST(ZipfTest, MaxOverMeanMatchesPaperAnchor) {
+  // Paper footnote, Section 5.5: Zipf = 1 over 200 buckets gives
+  // Pmax = 34 P.
+  EXPECT_NEAR(ZipfMaxOverMean(200, 1.0), 34.0, 0.5);
+  // And the derived ceilings nmax = degree / (Pmax/P): 19 @ 0.6, 40 @ 0.4.
+  EXPECT_NEAR(200.0 / ZipfMaxOverMean(200, 0.6), 19.0, 1.0);
+  EXPECT_NEAR(200.0 / ZipfMaxOverMean(200, 0.4), 40.0, 2.0);
+}
+
+TEST(ZipfTest, MaxOverMeanIsOneWhenUniform) {
+  EXPECT_NEAR(ZipfMaxOverMean(50, 0.0), 1.0, 1e-12);
+}
+
+class ZipfSamplerTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSamplerTest, EmpiricalFrequenciesTrackShares) {
+  const double theta = GetParam();
+  const size_t n = 20;
+  ZipfSampler sampler(n, theta);
+  ASSERT_EQ(sampler.n(), n);
+  Rng rng(101);
+  std::vector<int> counts(n, 0);
+  constexpr int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) ++counts[sampler.Sample(rng)];
+  const std::vector<double> shares = ZipfShares(n, theta);
+  for (size_t i = 0; i < n; ++i) {
+    const double expected = shares[i] * kDraws;
+    EXPECT_NEAR(static_cast<double>(counts[i]), expected,
+                std::max(50.0, expected * 0.08))
+        << "rank " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ZipfSamplerTest,
+                         ::testing::Values(0.0, 0.4, 0.8, 1.0));
+
+TEST(ZipfSamplerTest, SingleRankAlwaysZero) {
+  ZipfSampler sampler(1, 0.9);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.Sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace dbs3
