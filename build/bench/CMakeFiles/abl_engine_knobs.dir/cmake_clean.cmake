@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_engine_knobs.dir/abl_engine_knobs.cc.o"
+  "CMakeFiles/abl_engine_knobs.dir/abl_engine_knobs.cc.o.d"
+  "abl_engine_knobs"
+  "abl_engine_knobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_engine_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

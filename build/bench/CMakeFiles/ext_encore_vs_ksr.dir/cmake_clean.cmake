@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_encore_vs_ksr.dir/ext_encore_vs_ksr.cc.o"
+  "CMakeFiles/ext_encore_vs_ksr.dir/ext_encore_vs_ksr.cc.o.d"
+  "ext_encore_vs_ksr"
+  "ext_encore_vs_ksr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_encore_vs_ksr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_encore_vs_ksr.
+# This may be replaced when dependencies are built.

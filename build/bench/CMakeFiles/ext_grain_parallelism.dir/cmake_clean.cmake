@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_grain_parallelism.dir/ext_grain_parallelism.cc.o"
+  "CMakeFiles/ext_grain_parallelism.dir/ext_grain_parallelism.cc.o.d"
+  "ext_grain_parallelism"
+  "ext_grain_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_grain_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

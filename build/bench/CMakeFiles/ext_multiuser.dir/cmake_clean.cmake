@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multiuser.dir/ext_multiuser.cc.o"
+  "CMakeFiles/ext_multiuser.dir/ext_multiuser.cc.o.d"
+  "ext_multiuser"
+  "ext_multiuser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multiuser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

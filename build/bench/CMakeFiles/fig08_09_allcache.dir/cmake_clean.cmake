@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_09_allcache.dir/fig08_09_allcache.cc.o"
+  "CMakeFiles/fig08_09_allcache.dir/fig08_09_allcache.cc.o.d"
+  "fig08_09_allcache"
+  "fig08_09_allcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_09_allcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

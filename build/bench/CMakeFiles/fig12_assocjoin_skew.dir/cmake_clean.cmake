@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_assocjoin_skew.dir/fig12_assocjoin_skew.cc.o"
+  "CMakeFiles/fig12_assocjoin_skew.dir/fig12_assocjoin_skew.cc.o.d"
+  "fig12_assocjoin_skew"
+  "fig12_assocjoin_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_assocjoin_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

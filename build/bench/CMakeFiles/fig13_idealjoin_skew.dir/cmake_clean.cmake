@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_idealjoin_skew.dir/fig13_idealjoin_skew.cc.o"
+  "CMakeFiles/fig13_idealjoin_skew.dir/fig13_idealjoin_skew.cc.o.d"
+  "fig13_idealjoin_skew"
+  "fig13_idealjoin_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_idealjoin_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_partitioning_overhead.dir/fig16_partitioning_overhead.cc.o"
+  "CMakeFiles/fig16_partitioning_overhead.dir/fig16_partitioning_overhead.cc.o.d"
+  "fig16_partitioning_overhead"
+  "fig16_partitioning_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_partitioning_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_partitioning_index.dir/fig17_partitioning_index.cc.o"
+  "CMakeFiles/fig17_partitioning_index.dir/fig17_partitioning_index.cc.o.d"
+  "fig17_partitioning_index"
+  "fig17_partitioning_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_partitioning_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_skew_overhead.dir/fig18_skew_overhead.cc.o"
+  "CMakeFiles/fig18_skew_overhead.dir/fig18_skew_overhead.cc.o.d"
+  "fig18_skew_overhead"
+  "fig18_skew_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_skew_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

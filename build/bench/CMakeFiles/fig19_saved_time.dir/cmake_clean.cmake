@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_saved_time.dir/fig19_saved_time.cc.o"
+  "CMakeFiles/fig19_saved_time.dir/fig19_saved_time.cc.o.d"
+  "fig19_saved_time"
+  "fig19_saved_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_saved_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esql_shell.dir/esql_shell.cc.o"
+  "CMakeFiles/esql_shell.dir/esql_shell.cc.o.d"
+  "esql_shell"
+  "esql_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esql_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiuser_throughput.dir/multiuser_throughput.cc.o"
+  "CMakeFiles/multiuser_throughput.dir/multiuser_throughput.cc.o.d"
+  "multiuser_throughput"
+  "multiuser_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiuser_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wisconsin_queries.dir/wisconsin_queries.cc.o"
+  "CMakeFiles/wisconsin_queries.dir/wisconsin_queries.cc.o.d"
+  "wisconsin_queries"
+  "wisconsin_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wisconsin_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

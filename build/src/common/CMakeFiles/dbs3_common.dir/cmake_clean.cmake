@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs3_common.dir/logging.cc.o"
+  "CMakeFiles/dbs3_common.dir/logging.cc.o.d"
+  "CMakeFiles/dbs3_common.dir/stats.cc.o"
+  "CMakeFiles/dbs3_common.dir/stats.cc.o.d"
+  "CMakeFiles/dbs3_common.dir/status.cc.o"
+  "CMakeFiles/dbs3_common.dir/status.cc.o.d"
+  "CMakeFiles/dbs3_common.dir/zipf.cc.o"
+  "CMakeFiles/dbs3_common.dir/zipf.cc.o.d"
+  "libdbs3_common.a"
+  "libdbs3_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs3_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs3_facade.dir/database.cc.o"
+  "CMakeFiles/dbs3_facade.dir/database.cc.o.d"
+  "CMakeFiles/dbs3_facade.dir/query.cc.o"
+  "CMakeFiles/dbs3_facade.dir/query.cc.o.d"
+  "libdbs3_facade.a"
+  "libdbs3_facade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs3_facade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

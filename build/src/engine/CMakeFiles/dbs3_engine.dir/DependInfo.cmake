@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/activation_queue.cc" "src/engine/CMakeFiles/dbs3_engine.dir/activation_queue.cc.o" "gcc" "src/engine/CMakeFiles/dbs3_engine.dir/activation_queue.cc.o.d"
+  "/root/repo/src/engine/blocking_operators.cc" "src/engine/CMakeFiles/dbs3_engine.dir/blocking_operators.cc.o" "gcc" "src/engine/CMakeFiles/dbs3_engine.dir/blocking_operators.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/engine/CMakeFiles/dbs3_engine.dir/executor.cc.o" "gcc" "src/engine/CMakeFiles/dbs3_engine.dir/executor.cc.o.d"
+  "/root/repo/src/engine/operation.cc" "src/engine/CMakeFiles/dbs3_engine.dir/operation.cc.o" "gcc" "src/engine/CMakeFiles/dbs3_engine.dir/operation.cc.o.d"
+  "/root/repo/src/engine/operators.cc" "src/engine/CMakeFiles/dbs3_engine.dir/operators.cc.o" "gcc" "src/engine/CMakeFiles/dbs3_engine.dir/operators.cc.o.d"
+  "/root/repo/src/engine/plan.cc" "src/engine/CMakeFiles/dbs3_engine.dir/plan.cc.o" "gcc" "src/engine/CMakeFiles/dbs3_engine.dir/plan.cc.o.d"
+  "/root/repo/src/engine/strategy.cc" "src/engine/CMakeFiles/dbs3_engine.dir/strategy.cc.o" "gcc" "src/engine/CMakeFiles/dbs3_engine.dir/strategy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/dbs3_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dbs3_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs3_engine.dir/activation_queue.cc.o"
+  "CMakeFiles/dbs3_engine.dir/activation_queue.cc.o.d"
+  "CMakeFiles/dbs3_engine.dir/blocking_operators.cc.o"
+  "CMakeFiles/dbs3_engine.dir/blocking_operators.cc.o.d"
+  "CMakeFiles/dbs3_engine.dir/executor.cc.o"
+  "CMakeFiles/dbs3_engine.dir/executor.cc.o.d"
+  "CMakeFiles/dbs3_engine.dir/operation.cc.o"
+  "CMakeFiles/dbs3_engine.dir/operation.cc.o.d"
+  "CMakeFiles/dbs3_engine.dir/operators.cc.o"
+  "CMakeFiles/dbs3_engine.dir/operators.cc.o.d"
+  "CMakeFiles/dbs3_engine.dir/plan.cc.o"
+  "CMakeFiles/dbs3_engine.dir/plan.cc.o.d"
+  "CMakeFiles/dbs3_engine.dir/strategy.cc.o"
+  "CMakeFiles/dbs3_engine.dir/strategy.cc.o.d"
+  "libdbs3_engine.a"
+  "libdbs3_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs3_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

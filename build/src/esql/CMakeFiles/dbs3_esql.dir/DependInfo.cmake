@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/esql/lexer.cc" "src/esql/CMakeFiles/dbs3_esql.dir/lexer.cc.o" "gcc" "src/esql/CMakeFiles/dbs3_esql.dir/lexer.cc.o.d"
+  "/root/repo/src/esql/parser.cc" "src/esql/CMakeFiles/dbs3_esql.dir/parser.cc.o" "gcc" "src/esql/CMakeFiles/dbs3_esql.dir/parser.cc.o.d"
+  "/root/repo/src/esql/planner.cc" "src/esql/CMakeFiles/dbs3_esql.dir/planner.cc.o" "gcc" "src/esql/CMakeFiles/dbs3_esql.dir/planner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dbs3/CMakeFiles/dbs3_facade.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/dbs3_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/dbs3_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dbs3_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dbs3_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dbs3_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/dbs3_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

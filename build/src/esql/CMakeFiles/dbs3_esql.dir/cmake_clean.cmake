@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs3_esql.dir/lexer.cc.o"
+  "CMakeFiles/dbs3_esql.dir/lexer.cc.o.d"
+  "CMakeFiles/dbs3_esql.dir/parser.cc.o"
+  "CMakeFiles/dbs3_esql.dir/parser.cc.o.d"
+  "CMakeFiles/dbs3_esql.dir/planner.cc.o"
+  "CMakeFiles/dbs3_esql.dir/planner.cc.o.d"
+  "libdbs3_esql.a"
+  "libdbs3_esql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs3_esql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

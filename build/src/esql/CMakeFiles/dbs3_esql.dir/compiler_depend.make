@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dbs3_esql.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for dbs3_esql.
+# This may be replaced when dependencies are built.

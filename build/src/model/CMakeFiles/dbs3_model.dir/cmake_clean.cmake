@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs3_model.dir/analysis.cc.o"
+  "CMakeFiles/dbs3_model.dir/analysis.cc.o.d"
+  "libdbs3_model.a"
+  "libdbs3_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs3_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdbs3_model.a"
+)

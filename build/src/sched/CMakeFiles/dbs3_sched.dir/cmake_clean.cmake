@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs3_sched.dir/scheduler.cc.o"
+  "CMakeFiles/dbs3_sched.dir/scheduler.cc.o.d"
+  "CMakeFiles/dbs3_sched.dir/subquery.cc.o"
+  "CMakeFiles/dbs3_sched.dir/subquery.cc.o.d"
+  "libdbs3_sched.a"
+  "libdbs3_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs3_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

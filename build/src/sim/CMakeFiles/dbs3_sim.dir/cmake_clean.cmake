@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs3_sim.dir/machine.cc.o"
+  "CMakeFiles/dbs3_sim.dir/machine.cc.o.d"
+  "CMakeFiles/dbs3_sim.dir/workload.cc.o"
+  "CMakeFiles/dbs3_sim.dir/workload.cc.o.d"
+  "libdbs3_sim.a"
+  "libdbs3_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs3_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/catalog.cc" "src/storage/CMakeFiles/dbs3_storage.dir/catalog.cc.o" "gcc" "src/storage/CMakeFiles/dbs3_storage.dir/catalog.cc.o.d"
+  "/root/repo/src/storage/disk.cc" "src/storage/CMakeFiles/dbs3_storage.dir/disk.cc.o" "gcc" "src/storage/CMakeFiles/dbs3_storage.dir/disk.cc.o.d"
+  "/root/repo/src/storage/partitioner.cc" "src/storage/CMakeFiles/dbs3_storage.dir/partitioner.cc.o" "gcc" "src/storage/CMakeFiles/dbs3_storage.dir/partitioner.cc.o.d"
+  "/root/repo/src/storage/relation.cc" "src/storage/CMakeFiles/dbs3_storage.dir/relation.cc.o" "gcc" "src/storage/CMakeFiles/dbs3_storage.dir/relation.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/storage/CMakeFiles/dbs3_storage.dir/schema.cc.o" "gcc" "src/storage/CMakeFiles/dbs3_storage.dir/schema.cc.o.d"
+  "/root/repo/src/storage/serialize.cc" "src/storage/CMakeFiles/dbs3_storage.dir/serialize.cc.o" "gcc" "src/storage/CMakeFiles/dbs3_storage.dir/serialize.cc.o.d"
+  "/root/repo/src/storage/skew.cc" "src/storage/CMakeFiles/dbs3_storage.dir/skew.cc.o" "gcc" "src/storage/CMakeFiles/dbs3_storage.dir/skew.cc.o.d"
+  "/root/repo/src/storage/temp_index.cc" "src/storage/CMakeFiles/dbs3_storage.dir/temp_index.cc.o" "gcc" "src/storage/CMakeFiles/dbs3_storage.dir/temp_index.cc.o.d"
+  "/root/repo/src/storage/value.cc" "src/storage/CMakeFiles/dbs3_storage.dir/value.cc.o" "gcc" "src/storage/CMakeFiles/dbs3_storage.dir/value.cc.o.d"
+  "/root/repo/src/storage/wisconsin.cc" "src/storage/CMakeFiles/dbs3_storage.dir/wisconsin.cc.o" "gcc" "src/storage/CMakeFiles/dbs3_storage.dir/wisconsin.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dbs3_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

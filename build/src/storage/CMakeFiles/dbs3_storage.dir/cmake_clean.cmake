@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs3_storage.dir/catalog.cc.o"
+  "CMakeFiles/dbs3_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/dbs3_storage.dir/disk.cc.o"
+  "CMakeFiles/dbs3_storage.dir/disk.cc.o.d"
+  "CMakeFiles/dbs3_storage.dir/partitioner.cc.o"
+  "CMakeFiles/dbs3_storage.dir/partitioner.cc.o.d"
+  "CMakeFiles/dbs3_storage.dir/relation.cc.o"
+  "CMakeFiles/dbs3_storage.dir/relation.cc.o.d"
+  "CMakeFiles/dbs3_storage.dir/schema.cc.o"
+  "CMakeFiles/dbs3_storage.dir/schema.cc.o.d"
+  "CMakeFiles/dbs3_storage.dir/serialize.cc.o"
+  "CMakeFiles/dbs3_storage.dir/serialize.cc.o.d"
+  "CMakeFiles/dbs3_storage.dir/skew.cc.o"
+  "CMakeFiles/dbs3_storage.dir/skew.cc.o.d"
+  "CMakeFiles/dbs3_storage.dir/temp_index.cc.o"
+  "CMakeFiles/dbs3_storage.dir/temp_index.cc.o.d"
+  "CMakeFiles/dbs3_storage.dir/value.cc.o"
+  "CMakeFiles/dbs3_storage.dir/value.cc.o.d"
+  "CMakeFiles/dbs3_storage.dir/wisconsin.cc.o"
+  "CMakeFiles/dbs3_storage.dir/wisconsin.cc.o.d"
+  "libdbs3_storage.a"
+  "libdbs3_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs3_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/activation_queue_test.dir/activation_queue_test.cc.o"
+  "CMakeFiles/activation_queue_test.dir/activation_queue_test.cc.o.d"
+  "activation_queue_test"
+  "activation_queue_test.pdb"
+  "activation_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/activation_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

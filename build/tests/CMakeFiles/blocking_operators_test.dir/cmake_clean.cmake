@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocking_operators_test.dir/blocking_operators_test.cc.o"
+  "CMakeFiles/blocking_operators_test.dir/blocking_operators_test.cc.o.d"
+  "blocking_operators_test"
+  "blocking_operators_test.pdb"
+  "blocking_operators_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocking_operators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

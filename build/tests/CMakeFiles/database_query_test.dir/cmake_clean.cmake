@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/database_query_test.dir/database_query_test.cc.o"
+  "CMakeFiles/database_query_test.dir/database_query_test.cc.o.d"
+  "database_query_test"
+  "database_query_test.pdb"
+  "database_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/database_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

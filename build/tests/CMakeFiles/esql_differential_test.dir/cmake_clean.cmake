@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esql_differential_test.dir/esql_differential_test.cc.o"
+  "CMakeFiles/esql_differential_test.dir/esql_differential_test.cc.o.d"
+  "esql_differential_test"
+  "esql_differential_test.pdb"
+  "esql_differential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esql_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

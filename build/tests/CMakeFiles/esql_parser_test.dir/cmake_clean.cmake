@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esql_parser_test.dir/esql_parser_test.cc.o"
+  "CMakeFiles/esql_parser_test.dir/esql_parser_test.cc.o.d"
+  "esql_parser_test"
+  "esql_parser_test.pdb"
+  "esql_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esql_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

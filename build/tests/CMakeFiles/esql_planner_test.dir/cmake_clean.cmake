@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esql_planner_test.dir/esql_planner_test.cc.o"
+  "CMakeFiles/esql_planner_test.dir/esql_planner_test.cc.o.d"
+  "esql_planner_test"
+  "esql_planner_test.pdb"
+  "esql_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esql_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hash_logging_test.dir/hash_logging_test.cc.o"
+  "CMakeFiles/hash_logging_test.dir/hash_logging_test.cc.o.d"
+  "hash_logging_test"
+  "hash_logging_test.pdb"
+  "hash_logging_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hash_logging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

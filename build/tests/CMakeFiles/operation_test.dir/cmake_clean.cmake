@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operation_test.dir/operation_test.cc.o"
+  "CMakeFiles/operation_test.dir/operation_test.cc.o.d"
+  "operation_test"
+  "operation_test.pdb"
+  "operation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repartition_bushy_test.dir/repartition_bushy_test.cc.o"
+  "CMakeFiles/repartition_bushy_test.dir/repartition_bushy_test.cc.o.d"
+  "repartition_bushy_test"
+  "repartition_bushy_test.pdb"
+  "repartition_bushy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repartition_bushy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

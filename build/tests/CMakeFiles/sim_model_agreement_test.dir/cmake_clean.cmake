@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_model_agreement_test.dir/sim_model_agreement_test.cc.o"
+  "CMakeFiles/sim_model_agreement_test.dir/sim_model_agreement_test.cc.o.d"
+  "sim_model_agreement_test"
+  "sim_model_agreement_test.pdb"
+  "sim_model_agreement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_model_agreement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subquery_test.dir/subquery_test.cc.o"
+  "CMakeFiles/subquery_test.dir/subquery_test.cc.o.d"
+  "subquery_test"
+  "subquery_test.pdb"
+  "subquery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subquery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temp_index_test.dir/temp_index_test.cc.o"
+  "CMakeFiles/temp_index_test.dir/temp_index_test.cc.o.d"
+  "temp_index_test"
+  "temp_index_test.pdb"
+  "temp_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temp_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
