@@ -15,13 +15,19 @@ std::unique_lock<std::mutex> ActivationQueue::Lock() const {
 }
 
 bool ActivationQueue::Push(Activation a) {
+  const size_t units = a.unit_count();
   std::unique_lock<std::mutex> lock = Lock();
   if (capacity_ > 0) {
-    not_full_.wait(lock,
-                   [&] { return closed_ || items_.size() < capacity_; });
+    // Wait until the whole activation fits. An activation larger than the
+    // capacity itself is admitted once the queue is empty (overshooting the
+    // bound once) so an oversized chunk can never deadlock the pipeline.
+    not_full_.wait(lock, [&] {
+      return closed_ || units_ + units <= capacity_ || items_.empty();
+    });
   }
   if (closed_) return false;
   items_.push_back(std::move(a));
+  units_ += units;
   return true;
 }
 
@@ -29,6 +35,7 @@ size_t ActivationQueue::PopBatch(size_t max, std::vector<Activation>* out) {
   std::unique_lock<std::mutex> lock = Lock();
   size_t popped = 0;
   while (popped < max && !items_.empty()) {
+    units_ -= items_.front().unit_count();
     out->push_back(std::move(items_.front()));
     items_.pop_front();
     ++popped;
@@ -51,6 +58,11 @@ bool ActivationQueue::Empty() const {
 size_t ActivationQueue::Size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return items_.size();
+}
+
+size_t ActivationQueue::SizeUnits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return units_;
 }
 
 bool ActivationQueue::closed() const {

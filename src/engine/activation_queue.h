@@ -24,8 +24,12 @@ namespace dbs3 {
 /// across all queues of the operation is the Operation's job.
 class ActivationQueue {
  public:
-  /// `capacity` bounds the buffer; 0 means unbounded. A bounded queue makes
-  /// Push block while full (pipeline back-pressure).
+  /// `capacity` bounds the buffer in *tuple units* (Activation::unit_count:
+  /// a trigger is one unit, a data activation counts its tuples); 0 means
+  /// unbounded. A bounded queue makes Push block while full (pipeline
+  /// back-pressure). Denominating capacity in tuples keeps back-pressure
+  /// meaningful under chunked data activations: a queue of 4 chunks of 64
+  /// tuples holds 256 units, not 4.
   explicit ActivationQueue(size_t capacity = 0);
 
   ActivationQueue(const ActivationQueue&) = delete;
@@ -34,12 +38,20 @@ class ActivationQueue {
   /// Enqueues `a`, blocking while the queue is full. Returns false when the
   /// queue has been closed (the activation is dropped) — this only happens
   /// on cancelled executions, never in a well-formed plan.
+  ///
+  /// Oversized-chunk contract (bounded queues): an activation larger than
+  /// the whole capacity is admitted once the queue is *empty* (transiently
+  /// overshooting the bound) rather than deadlocking. Producers that respect
+  /// the bound — the engine's emitter clamps its chunk size to the consumer
+  /// capacity — never overshoot.
   bool Push(Activation a);
 
-  /// Dequeues up to `max` activations into `out` (appended). Non-blocking;
-  /// returns the number dequeued. This batch dequeue is the "internal
-  /// activation cache" of the paper: one mutex acquisition amortized over
-  /// CacheSize activations reduces producer/consumer interference.
+  /// Dequeues up to `max` *activations* into `out` (appended). Non-blocking;
+  /// returns the number of activations dequeued. This batch dequeue is the
+  /// "internal activation cache" of the paper: one mutex acquisition
+  /// amortized over CacheSize activations reduces producer/consumer
+  /// interference. `max` counts activations (not tuples) so the CacheSize
+  /// knob keeps the paper's semantics under chunking.
   size_t PopBatch(size_t max, std::vector<Activation>* out);
 
   /// Marks the queue closed: pending Push calls wake and fail, future Push
@@ -47,7 +59,10 @@ class ActivationQueue {
   void Close();
 
   bool Empty() const;
+  /// Number of queued activations.
   size_t Size() const;
+  /// Number of queued tuple units (what `capacity` bounds).
+  size_t SizeUnits() const;
   bool closed() const;
 
   /// Number of lock acquisitions that found the mutex already held
@@ -64,6 +79,8 @@ class ActivationQueue {
   mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::deque<Activation> items_;
+  /// Sum of unit_count() over items_.
+  size_t units_ = 0;
   const size_t capacity_;
   bool closed_ = false;
   mutable std::atomic<uint64_t> contended_{0};

@@ -37,6 +37,19 @@ void GroupByLogic::OnData(size_t instance, Tuple tuple, Emitter* out) {
   (void)out;
   InstanceState& state = *instances_[instance];
   std::lock_guard<std::mutex> lock(state.mu);
+  AccumulateLocked(state, tuple);
+}
+
+void GroupByLogic::OnDataBatch(size_t instance, std::span<Tuple> tuples,
+                               Emitter* out) {
+  (void)out;
+  InstanceState& state = *instances_[instance];
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (const Tuple& t : tuples) AccumulateLocked(state, t);
+}
+
+void GroupByLogic::AccumulateLocked(InstanceState& state,
+                                    const Tuple& tuple) {
   GroupState& group = state.groups[tuple.at(group_column_)];
   if (group.values.empty()) {
     group.values.assign(aggregates_.size(), 0);

@@ -40,6 +40,9 @@ class GroupByLogic : public OperatorLogic {
 
   Status Prepare(size_t num_instances) override;
   void OnData(size_t instance, Tuple tuple, Emitter* out) override;
+  /// Chunked accumulate: takes the instance lock once per activation.
+  void OnDataBatch(size_t instance, std::span<Tuple> tuples,
+                   Emitter* out) override;
   void OnFinish(size_t instance, Emitter* out) override;
   std::string name() const override { return "group-by"; }
   NodeEstimate Estimate(const CostModel& cost_model,
@@ -55,6 +58,9 @@ class GroupByLogic : public OperatorLogic {
     std::mutex mu;
     std::map<Value, GroupState> groups;
   };
+
+  /// Folds one tuple into `state`; caller holds state.mu.
+  void AccumulateLocked(InstanceState& state, const Tuple& tuple);
 
   size_t group_column_;
   std::vector<AggSpec> aggregates_;

@@ -23,6 +23,7 @@ Result<ExecutionResult> Executor::Run(Plan& plan) {
     config.num_threads = node.params.threads;
     config.strategy = node.params.strategy;
     config.cache_size = node.params.cache_size;
+    config.chunk_size = node.params.chunk_size;
     config.queue_capacity = node.params.queue_capacity;
     config.cost_estimates = node.params.cost_estimates;
     config.use_main_queues = node.params.use_main_queues;

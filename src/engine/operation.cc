@@ -9,9 +9,28 @@ namespace dbs3 {
 
 /// Routes tuples emitted while processing an activation to the consumer
 /// operation, per the plan edge (same-instance or repartition-by-column).
+///
+/// With chunk_size > 1 the emitter keeps one buffer per destination
+/// instance and pushes a whole TupleChunk when a buffer fills, amortizing
+/// the consumer's queue-mutex acquisition and condition-variable notify
+/// over the chunk (the producer-side mirror of the paper's internal
+/// activation cache). chunk_size == 1 bypasses the buffers entirely and is
+/// bit-for-bit the paper's per-tuple behavior.
 class OperationEmitter : public Emitter {
  public:
-  explicit OperationEmitter(Operation* op) : op_(op) {}
+  explicit OperationEmitter(Operation* op) : op_(op) {
+    const Operation* consumer = op_->output_.consumer;
+    if (consumer != nullptr) {
+      chunk_size_ = std::max<size_t>(1, op_->config_.chunk_size);
+      // Split-chunks contract: never emit a chunk a bounded consumer queue
+      // could not admit within its capacity.
+      const size_t cap = consumer->config_.queue_capacity;
+      if (cap > 0 && chunk_size_ > cap) chunk_size_ = cap;
+      if (chunk_size_ > 1) buffers_.resize(consumer->config_.num_instances);
+    }
+  }
+
+  ~OperationEmitter() override { Flush(); }
 
   void Emit(size_t producer_instance, Tuple tuple) override {
     op_->emitted_.fetch_add(1, std::memory_order_relaxed);
@@ -21,11 +40,35 @@ class OperationEmitter : public Emitter {
     if (out.route == DataOutput::Route::kByColumn) {
       dest = out.partitioner.FragmentOf(tuple.at(out.column));
     }
-    out.consumer->PushData(dest, std::move(tuple));
+    if (chunk_size_ <= 1) {
+      out.consumer->PushData(dest, std::move(tuple));
+      return;
+    }
+    TupleChunk& buffer = buffers_[dest];
+    if (buffer.empty()) buffer.reserve(chunk_size_);
+    buffer.push_back(std::move(tuple));
+    if (buffer.size() >= chunk_size_) {
+      out.consumer->PushDataChunk(dest, std::move(buffer));
+      buffer.clear();
+    }
+  }
+
+  /// Pushes every residual (partially filled) buffer downstream. Called
+  /// when the producing worker exits and after OnFinish emissions, so no
+  /// tuple outlives its producer inside an emitter buffer.
+  void Flush() {
+    for (size_t dest = 0; dest < buffers_.size(); ++dest) {
+      if (buffers_[dest].empty()) continue;
+      op_->output_.consumer->PushDataChunk(dest, std::move(buffers_[dest]));
+      buffers_[dest].clear();
+    }
   }
 
  private:
   Operation* op_;
+  size_t chunk_size_ = 1;
+  /// One pending chunk per consumer instance; empty when chunk_size_ <= 1.
+  std::vector<TupleChunk> buffers_;
 };
 
 Operation::Operation(OperationConfig config, OperatorLogic* logic,
@@ -34,6 +77,7 @@ Operation::Operation(OperationConfig config, OperatorLogic* logic,
   assert(config_.num_instances >= 1);
   assert(config_.num_threads >= 1);
   assert(config_.cache_size >= 1);
+  assert(config_.chunk_size >= 1);
   queues_.reserve(config_.num_instances);
   for (size_t i = 0; i < config_.num_instances; ++i) {
     queues_.push_back(
@@ -79,26 +123,39 @@ void Operation::ProducerDone() {
   }
 }
 
-void Operation::PushData(size_t instance, Tuple tuple) {
+void Operation::PushActivation(size_t instance, Activation a,
+                               const char* what) {
   assert(instance < queues_.size());
-  if (!queues_[instance]->Push(Activation::Data(std::move(tuple)))) {
-    DBS3_LOG(kWarning) << "data activation dropped: queue " << instance
+  const int64_t units = static_cast<int64_t>(a.unit_count());
+  if (!queues_[instance]->Push(std::move(a))) {
+    DBS3_LOG(kWarning) << what << " dropped: queue " << instance
                        << " of operation '" << config_.name << "' is closed";
     return;
   }
-  pending_.fetch_add(1, std::memory_order_release);
+  {
+    // Pairing the counter update with the wait mutex prevents a lost
+    // wakeup: without it, a worker that just evaluated the wait predicate
+    // (pending == 0) could miss this notify and sleep through the last
+    // activation (same discipline as ProducerDone).
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    pending_.fetch_add(units, std::memory_order_release);
+  }
   work_cv_.notify_one();
 }
 
+void Operation::PushData(size_t instance, Tuple tuple) {
+  PushActivation(instance, Activation::Data(std::move(tuple)),
+                 "data activation");
+}
+
+void Operation::PushDataChunk(size_t instance, TupleChunk tuples) {
+  if (tuples.empty()) return;
+  PushActivation(instance, Activation::DataChunk(std::move(tuples)),
+                 "data chunk");
+}
+
 void Operation::PushTrigger(size_t instance) {
-  assert(instance < queues_.size());
-  if (!queues_[instance]->Push(Activation::Trigger())) {
-    DBS3_LOG(kWarning) << "trigger dropped: queue " << instance
-                       << " of operation '" << config_.name << "' is closed";
-    return;
-  }
-  pending_.fetch_add(1, std::memory_order_release);
-  work_cv_.notify_one();
+  PushActivation(instance, Activation::Trigger(), "trigger");
 }
 
 void Operation::Start() {
@@ -122,6 +179,7 @@ void Operation::Finish() {
   for (size_t i = 0; i < config_.num_instances; ++i) {
     logic_->OnFinish(i, &emitter);
   }
+  emitter.Flush();
 }
 
 OperationStats Operation::stats() const {
@@ -132,6 +190,7 @@ OperationStats Operation::stats() const {
   for (size_t i = 0; i < config_.num_instances; ++i) {
     s.per_instance_processed[i] = per_instance_processed_[i].load();
   }
+  s.activations = activations_.load();
   s.emitted = emitted_.load();
   s.busy_seconds = static_cast<double>(busy_ns_.load()) * 1e-9;
   for (const auto& q : queues_) {
@@ -149,7 +208,9 @@ void Operation::WorkerLoop(size_t thread_id) {
   while (true) {
     batch.clear();
     size_t instance = 0;
-    const size_t got = AcquireBatch(thread_id, rng, &batch, &instance);
+    size_t units = 0;
+    const size_t got = AcquireBatch(thread_id, rng, &batch, &instance,
+                                    &units);
     if (got == 0) {
       std::unique_lock<std::mutex> lock(wait_mu_);
       work_cv_.wait(lock, [&] {
@@ -166,13 +227,17 @@ void Operation::WorkerLoop(size_t thread_id) {
       if (a.is_trigger()) {
         logic_->OnTrigger(instance, &emitter);
       } else {
-        logic_->OnData(instance, std::move(a.tuple), &emitter);
+        logic_->OnDataBatch(instance, std::span<Tuple>(a.tuples), &emitter);
       }
     }
-    per_thread_processed_[thread_id] += got;
-    per_instance_processed_[instance].fetch_add(got,
+    per_thread_processed_[thread_id] += units;
+    per_instance_processed_[instance].fetch_add(units,
                                                 std::memory_order_relaxed);
+    activations_.fetch_add(got, std::memory_order_relaxed);
   }
+  // Residual chunks must reach the consumer before this producer counts as
+  // exited (the executor signals the consumer's ProducerDone after Join).
+  emitter.Flush();
   // Track the exit time of the slowest worker as the operation's busy span.
   const auto now = std::chrono::steady_clock::now();
   const int64_t span =
@@ -185,7 +250,7 @@ void Operation::WorkerLoop(size_t thread_id) {
 
 size_t Operation::AcquireBatch(size_t thread_id, Rng& rng,
                                std::vector<Activation>* batch,
-                               size_t* instance) {
+                               size_t* instance, size_t* units) {
   const size_t start = config_.strategy == Strategy::kRandom
                            ? rng.Below(queues_.size())
                            : 0;
@@ -197,7 +262,13 @@ size_t Operation::AcquireBatch(size_t thread_id, Rng& rng,
   if (got == 0) {
     got = ScanQueues(start, thread_id, /*main_only=*/false, batch, instance);
   }
-  if (got > 0) pending_.fetch_sub(static_cast<int64_t>(got));
+  *units = 0;
+  if (got > 0) {
+    for (size_t k = batch->size() - got; k < batch->size(); ++k) {
+      *units += (*batch)[k].unit_count();
+    }
+    pending_.fetch_sub(static_cast<int64_t>(*units));
+  }
   return got;
 }
 

@@ -45,8 +45,15 @@ struct DataOutput {
 /// Execution statistics of one operation, for load-balance analysis.
 struct OperationStats {
   std::string name;
+  /// Tuple units processed (a trigger counts 1, a data activation counts
+  /// its tuples) — identical to activation counts in the paper-faithful
+  /// chunk_size=1 mode.
   std::vector<uint64_t> per_thread_processed;
   std::vector<uint64_t> per_instance_processed;
+  /// Activations dequeued and processed (triggers + data chunks).
+  /// per-thread totals / activations = mean tuples per activation, the
+  /// direct measure of the chunking win.
+  uint64_t activations = 0;
   uint64_t emitted = 0;
   /// Seconds between Start() and the exit of the last worker.
   double busy_seconds = 0.0;
@@ -68,9 +75,16 @@ struct OperationConfig {
   size_t num_threads = 1;
   Strategy strategy = Strategy::kRandom;
   /// Internal activation cache size (CacheSize): activations fetched from a
-  /// queue under one mutex acquisition.
+  /// queue under one mutex acquisition (consumer-side batching).
   size_t cache_size = 1;
-  /// Per-queue capacity; 0 = unbounded.
+  /// Tuples per emitted data activation (producer-side batching): the
+  /// emitter buffers output per destination instance and flushes a chunk
+  /// when it reaches this size. 1 = the paper-faithful per-tuple mode.
+  /// When the consumer's queues are bounded, the effective chunk size is
+  /// clamped to the consumer's queue capacity (chunks are split rather
+  /// than deadlocking the bounded queue).
+  size_t chunk_size = 1;
+  /// Per-queue capacity in tuple units; 0 = unbounded.
   size_t queue_capacity = 0;
   /// Per-instance cost estimates for LPT ordering (empty = all equal).
   std::vector<double> cost_estimates;
@@ -104,8 +118,12 @@ class Operation {
   /// producer finishes, queues are closed and idle workers drain and exit.
   void ProducerDone();
 
-  /// Enqueues a data activation for `instance`.
+  /// Enqueues a single-tuple data activation for `instance`.
   void PushData(size_t instance, Tuple tuple);
+
+  /// Enqueues a chunked data activation for `instance`. Empty chunks are
+  /// ignored.
+  void PushDataChunk(size_t instance, TupleChunk tuples);
 
   /// Enqueues the control activation for `instance`.
   void PushTrigger(size_t instance);
@@ -125,7 +143,7 @@ class Operation {
   /// Statistics; valid after Join().
   OperationStats stats() const;
 
-  /// Total activations currently queued (approximate, for monitoring; can
+  /// Total tuple units currently queued (approximate, for monitoring; can
   /// be transiently negative during producer/consumer races).
   int64_t pending() const { return pending_.load(); }
 
@@ -134,18 +152,23 @@ class Operation {
 
   void WorkerLoop(size_t thread_id);
 
-  /// Pops a batch from the best queue per the strategy; returns the count
-  /// and sets `*instance` to the queue the batch came from.
+  /// Enqueues `a` on `instance` and wakes a worker; the pending-counter
+  /// update is paired with wait_mu_ so the wakeup cannot be lost between a
+  /// worker's predicate check and its wait.
+  void PushActivation(size_t instance, Activation a, const char* what);
+
+  /// Pops a batch from the best queue per the strategy; returns the number
+  /// of activations, sets `*instance` to the queue the batch came from and
+  /// `*units` to the tuple units acquired.
   size_t AcquireBatch(size_t thread_id, Rng& rng,
-                      std::vector<Activation>* batch, size_t* instance);
+                      std::vector<Activation>* batch, size_t* instance,
+                      size_t* units);
 
   /// Scans the visit order starting at `start`, pops from the first
   /// non-empty queue, restricted to main queues of `thread_id` when
   /// `main_only`.
   size_t ScanQueues(size_t start, size_t thread_id, bool main_only,
                     std::vector<Activation>* batch, size_t* instance);
-
-  void NotifyWork();
 
   OperationConfig config_;
   OperatorLogic* logic_;
@@ -158,7 +181,9 @@ class Operation {
 
   std::vector<std::thread> threads_;
 
-  /// Producer/consumer synchronization across all queues.
+  /// Producer/consumer synchronization across all queues. pending_ counts
+  /// queued tuple units (not activations) so bounded-queue back-pressure
+  /// and drain detection keep their meaning under chunking.
   std::mutex wait_mu_;
   std::condition_variable work_cv_;
   std::atomic<int64_t> pending_{0};
@@ -168,6 +193,7 @@ class Operation {
   /// Stats.
   std::vector<uint64_t> per_thread_processed_;
   std::unique_ptr<std::atomic<uint64_t>[]> per_instance_processed_;
+  std::atomic<uint64_t> activations_{0};
   std::atomic<uint64_t> emitted_{0};
   std::chrono::steady_clock::time_point start_time_;
   std::atomic<int64_t> busy_ns_{0};

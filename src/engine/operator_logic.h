@@ -2,7 +2,9 @@
 #define DBS3_ENGINE_OPERATOR_LOGIC_H_
 
 #include <cstddef>
+#include <span>
 #include <string>
+#include <utility>
 
 #include "common/status.h"
 #include "engine/cost_model.h"
@@ -48,12 +50,21 @@ class OperatorLogic {
     (void)out;
   }
 
-  /// Processes one data activation (pipelined operations: one tuple is the
-  /// unit of work).
+  /// Processes one tuple of a data activation (pipelined operations).
   virtual void OnData(size_t instance, Tuple tuple, Emitter* out) {
     (void)instance;
     (void)tuple;
     (void)out;
+  }
+
+  /// Processes one *chunked* data activation: a span of tuples delivered
+  /// under a single queue acquisition. The default loops over OnData; an
+  /// operator overrides it to hoist per-activation setup (index lookup,
+  /// fragment lock, predicate bind) out of the per-tuple loop. Tuples in the
+  /// span are owned by the caller and may be moved from.
+  virtual void OnDataBatch(size_t instance, std::span<Tuple> tuples,
+                           Emitter* out) {
+    for (Tuple& t : tuples) OnData(instance, std::move(t), out);
   }
 
   /// Called exactly once per instance after every activation of the

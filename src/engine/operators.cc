@@ -258,19 +258,31 @@ const TempIndex* PipelinedJoinLogic::IndexFor(size_t instance) {
 }
 
 void PipelinedJoinLogic::OnData(size_t instance, Tuple tuple, Emitter* out) {
-  const Value& key = tuple.at(probe_column_);
+  OnDataBatch(instance, std::span<Tuple>(&tuple, 1), out);
+}
+
+void PipelinedJoinLogic::OnDataBatch(size_t instance,
+                                     std::span<Tuple> tuples, Emitter* out) {
+  // Per-activation setup hoisted out of the probe loop: the fragment
+  // reference, the algorithm dispatch, and (for indexed joins) the
+  // once-flag-guarded index resolution happen once per chunk.
   const Fragment& inner = inner_->fragment(instance);
   switch (algorithm_) {
     case JoinAlgorithm::kNestedLoop:
-      for (const Tuple& s : inner.tuples) {
-        if (s.at(inner_column_) == key) out->Emit(instance, tuple.Concat(s));
+      for (const Tuple& probe : tuples) {
+        const Value& key = probe.at(probe_column_);
+        for (const Tuple& s : inner.tuples) {
+          if (s.at(inner_column_) == key) out->Emit(instance, probe.Concat(s));
+        }
       }
       break;
     case JoinAlgorithm::kHash:
     case JoinAlgorithm::kTempIndex: {
       const TempIndex* index = IndexFor(instance);
-      for (uint32_t i : index->Lookup(key)) {
-        out->Emit(instance, tuple.Concat(inner.tuples[i]));
+      for (const Tuple& probe : tuples) {
+        for (uint32_t i : index->Lookup(probe.at(probe_column_))) {
+          out->Emit(instance, probe.Concat(inner.tuples[i]));
+        }
       }
       break;
     }
@@ -310,6 +322,15 @@ void StoreLogic::OnData(size_t instance, Tuple tuple, Emitter* out) {
   result_->AppendToFragment(instance, std::move(tuple));
 }
 
+void StoreLogic::OnDataBatch(size_t instance, std::span<Tuple> tuples,
+                             Emitter* out) {
+  (void)out;
+  std::lock_guard<std::mutex> lock(*fragment_mu_[instance]);
+  for (Tuple& t : tuples) {
+    result_->AppendToFragment(instance, std::move(t));
+  }
+}
+
 // -------------------------------------------------------- PipelinedFilter
 
 PipelinedFilterLogic::PipelinedFilterLogic(TuplePredicate predicate,
@@ -319,6 +340,15 @@ PipelinedFilterLogic::PipelinedFilterLogic(TuplePredicate predicate,
 void PipelinedFilterLogic::OnData(size_t instance, Tuple tuple,
                                   Emitter* out) {
   if (predicate_(tuple)) out->Emit(instance, std::move(tuple));
+}
+
+void PipelinedFilterLogic::OnDataBatch(size_t instance,
+                                       std::span<Tuple> tuples,
+                                       Emitter* out) {
+  const TuplePredicate& keep = predicate_;
+  for (Tuple& t : tuples) {
+    if (keep(t)) out->Emit(instance, std::move(t));
+  }
 }
 
 NodeEstimate PipelinedFilterLogic::Estimate(const CostModel& cost_model,
@@ -372,6 +402,20 @@ void AggregateLogic::OnData(size_t instance, Tuple tuple, Emitter* out) {
     const Value& v = tuple.at(*sum_column_);
     if (v.is_int()) sum_.fetch_add(v.AsInt(), std::memory_order_relaxed);
   }
+}
+
+void AggregateLogic::OnDataBatch(size_t instance, std::span<Tuple> tuples,
+                                 Emitter* out) {
+  (void)instance;
+  (void)out;
+  count_.fetch_add(tuples.size(), std::memory_order_relaxed);
+  if (!sum_column_.has_value()) return;
+  int64_t local = 0;
+  for (const Tuple& t : tuples) {
+    const Value& v = t.at(*sum_column_);
+    if (v.is_int()) local += v.AsInt();
+  }
+  sum_.fetch_add(local, std::memory_order_relaxed);
 }
 
 }  // namespace dbs3

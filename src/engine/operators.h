@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -114,6 +115,10 @@ class PipelinedJoinLogic : public OperatorLogic {
 
   Status Prepare(size_t num_instances) override;
   void OnData(size_t instance, Tuple tuple, Emitter* out) override;
+  /// Chunked probe: resolves the inner fragment / temp index once per
+  /// activation instead of once per tuple.
+  void OnDataBatch(size_t instance, std::span<Tuple> tuples,
+                   Emitter* out) override;
   std::string name() const override { return "join"; }
   NodeEstimate Estimate(const CostModel& cost_model,
                         double input_tuples) const override;
@@ -141,6 +146,9 @@ class StoreLogic : public OperatorLogic {
 
   Status Prepare(size_t num_instances) override;
   void OnData(size_t instance, Tuple tuple, Emitter* out) override;
+  /// Chunked append: takes the fragment lock once per activation.
+  void OnDataBatch(size_t instance, std::span<Tuple> tuples,
+                   Emitter* out) override;
   std::string name() const override { return "store"; }
   NodeEstimate Estimate(const CostModel& cost_model,
                         double input_tuples) const override;
@@ -159,6 +167,10 @@ class PipelinedFilterLogic : public OperatorLogic {
                                 double selectivity = 1.0);
 
   void OnData(size_t instance, Tuple tuple, Emitter* out) override;
+  /// Chunked filter: binds the predicate once and loops without the
+  /// per-tuple virtual dispatch.
+  void OnDataBatch(size_t instance, std::span<Tuple> tuples,
+                   Emitter* out) override;
   std::string name() const override { return "filter"; }
   NodeEstimate Estimate(const CostModel& cost_model,
                         double input_tuples) const override;
@@ -203,6 +215,10 @@ class AggregateLogic : public OperatorLogic {
   explicit AggregateLogic(std::optional<size_t> sum_column = std::nullopt);
 
   void OnData(size_t instance, Tuple tuple, Emitter* out) override;
+  /// Chunked aggregate: one atomic add per counter per activation instead
+  /// of one per tuple.
+  void OnDataBatch(size_t instance, std::span<Tuple> tuples,
+                   Emitter* out) override;
   std::string name() const override { return "aggregate"; }
 
   uint64_t count() const { return count_.load(); }

@@ -83,6 +83,10 @@ Status Plan::Validate() const {
       return Status::InvalidArgument("node '" + n.name +
                                      "' has zero cache size");
     }
+    if (n.params.chunk_size == 0) {
+      return Status::InvalidArgument("node '" + n.name +
+                                     "' has zero chunk size");
+    }
     if (n.logic == nullptr) {
       return Status::InvalidArgument("node '" + n.name + "' has no logic");
     }

@@ -29,9 +29,14 @@ struct PlanNodeParams {
   /// Thread pool size (degree of parallelism of this operation).
   size_t threads = 1;
   Strategy strategy = Strategy::kRandom;
-  /// Internal activation cache size.
+  /// Internal activation cache size (consumer-side batching).
   size_t cache_size = 1;
-  /// Per-queue capacity; 0 = unbounded.
+  /// Tuples per emitted data activation (producer-side batching). 1 = the
+  /// paper-faithful per-tuple mode used by the figure benchmarks; larger
+  /// values amortize queue synchronization over the chunk. Clamped to the
+  /// consumer's queue capacity when that queue is bounded.
+  size_t chunk_size = 1;
+  /// Per-queue capacity in tuple units; 0 = unbounded.
   size_t queue_capacity = 0;
   /// Per-instance cost estimates (for LPT). Empty = uniform.
   std::vector<double> cost_estimates;

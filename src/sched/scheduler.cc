@@ -111,6 +111,7 @@ Result<ScheduleReport> ScheduleQuery(Plan& plan, const CostModel& cost_model,
     params.threads = report.threads[i];
     params.strategy = report.strategies[i];
     params.cache_size = options.cache_size;
+    params.chunk_size = options.chunk_size;
     params.queue_capacity = options.queue_capacity;
     params.cost_estimates = report.estimates[i].per_instance_work;
   }

@@ -27,9 +27,14 @@ struct ScheduleOptions {
   /// Multi-user reduction factor in (0, 1]: scales the thread count down to
   /// raise throughput under concurrent load [Rahm93].
   double utilization = 1.0;
-  /// Internal activation cache size given to every operation.
+  /// Internal activation cache size given to every operation (consumer-side
+  /// batching).
   size_t cache_size = 8;
-  /// Per-queue capacity (0 = unbounded).
+  /// Tuples per emitted data activation (producer-side batching) given to
+  /// every operation. Default 1 = the paper-faithful per-tuple mode; the
+  /// figure benchmarks rely on it. Raise for throughput workloads.
+  size_t chunk_size = 1;
+  /// Per-queue capacity in tuple units (0 = unbounded).
   size_t queue_capacity = 0;
   /// Overrides step 4 for every node when set.
   std::optional<Strategy> force_strategy;

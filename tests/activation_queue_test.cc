@@ -18,7 +18,7 @@ TEST(ActivationQueueTest, FifoOrder) {
   std::vector<Activation> out;
   EXPECT_EQ(q.PopBatch(10, &out), 5u);
   for (int64_t k = 0; k < 5; ++k) {
-    EXPECT_EQ(out[static_cast<size_t>(k)].tuple.at(0).AsInt(), k);
+    EXPECT_EQ(out[static_cast<size_t>(k)].tuples.front().at(0).AsInt(), k);
   }
   EXPECT_TRUE(q.Empty());
 }
@@ -48,7 +48,7 @@ TEST(ActivationQueueTest, TriggerAndDataKindsPreserved) {
   ASSERT_EQ(q.PopBatch(2, &out), 2u);
   EXPECT_TRUE(out[0].is_trigger());
   EXPECT_FALSE(out[1].is_trigger());
-  EXPECT_EQ(out[1].tuple.at(0).AsInt(), 9);
+  EXPECT_EQ(out[1].tuples.front().at(0).AsInt(), 9);
 }
 
 TEST(ActivationQueueTest, CloseRejectsFurtherPushes) {
@@ -89,6 +89,67 @@ TEST(ActivationQueueTest, CloseWakesBlockedProducer) {
   q.Close();
   producer.join();
   EXPECT_FALSE(push_result.load());  // Push failed: queue closed.
+}
+
+Activation ChunkOf(size_t n) {
+  TupleChunk chunk;
+  for (size_t k = 0; k < n; ++k) {
+    chunk.push_back(Tuple({Value(static_cast<int64_t>(k))}));
+  }
+  return Activation::DataChunk(std::move(chunk));
+}
+
+TEST(ActivationQueueTest, SizeCountsActivationsUnitsCountTuples) {
+  ActivationQueue q;
+  ASSERT_TRUE(q.Push(ChunkOf(3)));
+  ASSERT_TRUE(q.Push(Activation::Trigger()));  // A trigger is one unit.
+  ASSERT_TRUE(q.Push(DataWithKey(7)));
+  EXPECT_EQ(q.Size(), 3u);
+  EXPECT_EQ(q.SizeUnits(), 5u);
+  std::vector<Activation> out;
+  EXPECT_EQ(q.PopBatch(10, &out), 3u);
+  EXPECT_EQ(q.SizeUnits(), 0u);
+}
+
+TEST(ActivationQueueTest, BoundedCapacityIsDenominatedInTuples) {
+  // Capacity 4 tuples: a 3-tuple chunk fits, a second 3-tuple chunk must
+  // wait for a pop even though only one *activation* is queued.
+  ActivationQueue q(/*capacity=*/4);
+  ASSERT_TRUE(q.Push(ChunkOf(3)));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(q.Push(ChunkOf(3)));
+    second_pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(second_pushed.load());
+  std::vector<Activation> out;
+  EXPECT_EQ(q.PopBatch(1, &out), 1u);
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+  EXPECT_EQ(q.SizeUnits(), 3u);
+}
+
+TEST(ActivationQueueTest, OversizedChunkAdmittedWhenEmptyNotDeadlocked) {
+  // The split-or-overshoot contract: a chunk larger than the whole capacity
+  // is admitted once the queue is empty (transient overshoot) instead of
+  // blocking forever. The engine's emitter clamps chunks to the capacity,
+  // so this path only serves hand-built producers.
+  ActivationQueue q(/*capacity=*/2);
+  ASSERT_TRUE(q.Push(ChunkOf(5)));  // Empty queue: admitted immediately.
+  EXPECT_EQ(q.SizeUnits(), 5u);
+  // While the oversized chunk is in, further pushes wait for the drain.
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(q.Push(DataWithKey(1)));
+    second_pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(second_pushed.load());
+  std::vector<Activation> out;
+  EXPECT_EQ(q.PopBatch(1, &out), 1u);  // Drains to empty.
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
 }
 
 TEST(ActivationQueueTest, ConcurrentProducersConserveCount) {

@@ -266,6 +266,148 @@ TEST(OperationTest, ContentionCountersConsistent) {
   EXPECT_LE(stats.queue_contended, stats.queue_acquisitions);
 }
 
+TEST(OperationTest, ChunkedPushCountsTuplesNotActivations) {
+  CountingLogic logic(2);
+  Operation op(MakeConfig(2, 2), &logic, DataOutput{});
+  op.AddProducer();
+  op.Start();
+  TupleChunk chunk;
+  for (int64_t k = 0; k < 10; ++k) chunk.push_back(Tuple({Value(k)}));
+  op.PushDataChunk(0, std::move(chunk));
+  op.PushData(1, Tuple({Value(int64_t{99})}));
+  op.ProducerDone();
+  op.Join();
+  // The default OnDataBatch loops OnData: every tuple is seen once.
+  EXPECT_EQ(logic.count(0), 10u);
+  EXPECT_EQ(logic.count(1), 1u);
+  const OperationStats stats = op.stats();
+  // Processed counters are tuple-denominated; the activation counter shows
+  // the 10-tuple chunk was one unit of queue traffic.
+  EXPECT_EQ(stats.per_instance_processed[0], 10u);
+  EXPECT_EQ(stats.per_instance_processed[1], 1u);
+  EXPECT_EQ(stats.activations, 2u);
+}
+
+/// Emits `count` tuples [instance, k] per trigger, to drive the chunked
+/// emitter path.
+class BurstLogic : public OperatorLogic {
+ public:
+  explicit BurstLogic(int64_t count) : count_(count) {}
+  void OnTrigger(size_t instance, Emitter* out) override {
+    for (int64_t k = 0; k < count_; ++k) {
+      out->Emit(instance,
+                Tuple({Value(static_cast<int64_t>(instance)), Value(k)}));
+    }
+  }
+  std::string name() const override { return "burst"; }
+
+ private:
+  int64_t count_;
+};
+
+/// Runs burst -> counting with the given producer chunk_size and returns
+/// {consumer tuples processed, consumer activations processed}.
+std::pair<uint64_t, uint64_t> RunBurstPipeline(size_t chunk_size,
+                                               size_t consumer_capacity = 0) {
+  CountingLogic consumer_logic(4);
+  OperationConfig consumer_config = MakeConfig(4, 2);
+  consumer_config.queue_capacity = consumer_capacity;
+  Operation consumer(consumer_config, &consumer_logic, DataOutput{});
+  BurstLogic producer_logic(250);
+  DataOutput output;
+  output.consumer = &consumer;
+  output.route = DataOutput::Route::kSameInstance;
+  OperationConfig producer_config = MakeConfig(4, 2);
+  producer_config.chunk_size = chunk_size;
+  Operation producer(producer_config, &producer_logic, output);
+
+  producer.AddProducer();
+  consumer.AddProducer();
+  producer.Start();
+  consumer.Start();
+  for (size_t i = 0; i < 4; ++i) producer.PushTrigger(i);
+  producer.ProducerDone();
+  producer.Join();
+  consumer.ProducerDone();
+  consumer.Join();
+  EXPECT_EQ(consumer_logic.total(), 1'000u);
+  const OperationStats stats = consumer.stats();
+  uint64_t tuples = 0;
+  for (uint64_t c : stats.per_instance_processed) tuples += c;
+  return {tuples, stats.activations};
+}
+
+TEST(OperationTest, ChunkSizeOneMatchesPerTupleActivations) {
+  const auto [tuples, activations] = RunBurstPipeline(/*chunk_size=*/1);
+  EXPECT_EQ(tuples, 1'000u);
+  EXPECT_EQ(activations, 1'000u);  // Paper-faithful: one tuple, one queue op.
+}
+
+TEST(OperationTest, ChunkedEmitterAmortizesActivations) {
+  const auto [tuples, activations] = RunBurstPipeline(/*chunk_size=*/50);
+  EXPECT_EQ(tuples, 1'000u);
+  // 250 tuples per producer instance at chunk 50 = 5 chunks per instance.
+  EXPECT_EQ(activations, 20u);
+}
+
+TEST(OperationTest, ChunkClampedToConsumerQueueCapacity) {
+  // chunk_size 64 against capacity-8 consumer queues: the emitter splits
+  // chunks at 8 tuples, so the pipeline completes and every activation fits
+  // the bound.
+  const auto [tuples, activations] =
+      RunBurstPipeline(/*chunk_size=*/64, /*consumer_capacity=*/8);
+  EXPECT_EQ(tuples, 1'000u);
+  // 250 per instance in 8-tuple chunks: 31 full + 1 residual, x4 instances.
+  EXPECT_EQ(activations, 128u);
+}
+
+TEST(OperationTest, ResidualChunkFlushedOnProducerExit) {
+  // 3 tuples with chunk_size 100: nothing ever fills a chunk, so delivery
+  // relies on the producer-exit flush.
+  CountingLogic consumer_logic(1);
+  Operation consumer(MakeConfig(1, 1), &consumer_logic, DataOutput{});
+  BurstLogic producer_logic(3);
+  DataOutput output;
+  output.consumer = &consumer;
+  OperationConfig producer_config = MakeConfig(1, 1);
+  producer_config.chunk_size = 100;
+  Operation producer(producer_config, &producer_logic, output);
+  producer.AddProducer();
+  consumer.AddProducer();
+  producer.Start();
+  consumer.Start();
+  producer.PushTrigger(0);
+  producer.ProducerDone();
+  producer.Join();
+  consumer.ProducerDone();
+  consumer.Join();
+  EXPECT_EQ(consumer_logic.total(), 3u);
+  EXPECT_EQ(consumer.stats().activations, 1u);  // One residual chunk.
+}
+
+TEST(OperationTest, PushNotifyStressSingleThreadBoundedQueue) {
+  // Regression stress for the lost-wakeup race: PushData's pending_
+  // increment and notify must pair with wait_mu_, or a single worker that
+  // just evaluated its wait predicate can sleep through the last
+  // activation while the producer blocks on the full bounded queue —
+  // deadlocking the pipeline. Many short rounds maximize the window.
+  for (int round = 0; round < 200; ++round) {
+    CountingLogic logic(1);
+    OperationConfig config = MakeConfig(1, 1);
+    config.cache_size = 1;
+    config.queue_capacity = 1;
+    Operation op(config, &logic, DataOutput{});
+    op.AddProducer();
+    op.Start();
+    for (int64_t k = 0; k < 50; ++k) {
+      op.PushData(0, Tuple({Value(k)}));
+    }
+    op.ProducerDone();
+    op.Join();
+    ASSERT_EQ(logic.total(), 50u) << "round " << round;
+  }
+}
+
 TEST(OperationTest, BoundedQueuesApplyBackpressure) {
   CountingLogic logic(2);
   OperationConfig config = MakeConfig(2, 1);
