@@ -3,7 +3,10 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "engine/executor.h"
+#include "engine/operation.h"
 #include "sim/costs.h"
 #include "sim/machine.h"
 
@@ -45,6 +48,34 @@ T UnwrapOrDie(Result<T> result, const char* what) {
     std::exit(1);
   }
   return std::move(result).value();
+}
+
+/// Per-thread busy fraction of one operation, normalized by the operation's
+/// wall span (start to slowest worker's exit) — the paper's load-balance
+/// signal (Section 5.4 plots its spread under skew). A thread that grabbed
+/// a heavy trigger shows ~1.0 while its siblings, done early, show less.
+inline std::vector<double> BusyFractions(const OperationStats& op) {
+  std::vector<double> fractions(op.per_thread_busy_seconds.size(), 0.0);
+  const double span = op.wall_span_seconds;
+  for (size_t t = 0; t < fractions.size(); ++t) {
+    fractions[t] = span > 0.0 ? op.per_thread_busy_seconds[t] / span : 0.0;
+  }
+  return fractions;
+}
+
+/// Prints one line per operation: busy/wall-span seconds, the per-thread
+/// busy fractions, and the main-vs-secondary queue acquisition split.
+inline void PrintThreadLoad(const ExecutionResult& execution) {
+  for (const OperationStats& op : execution.op_stats) {
+    std::printf("  %-10s busy=%.4fs span=%.4fs main/sec acq=%llu/%llu "
+                "peak_q=%llu  busy frac:",
+                op.name.c_str(), op.busy_seconds, op.wall_span_seconds,
+                static_cast<unsigned long long>(op.main_queue_acquisitions),
+                static_cast<unsigned long long>(op.secondary_queue_acquisitions),
+                static_cast<unsigned long long>(op.peak_queue_units));
+    for (double f : BusyFractions(op)) std::printf(" %.2f", f);
+    std::printf("\n");
+  }
 }
 
 }  // namespace dbs3

@@ -112,6 +112,8 @@ BENCHMARK(BM_IdealJoinEndToEnd)
 void BM_QueueInterference(benchmark::State& state) {
   const bool main_queues = state.range(0) != 0;
   uint64_t contended = 0, total = 0;
+  uint64_t main_acq = 0, secondary_acq = 0;
+  double busy = 0.0, span = 0.0;
   for (auto _ : state) {
     Database db(2);
     SkewSpec spec;
@@ -141,6 +143,10 @@ void BM_QueueInterference(benchmark::State& state) {
     for (const OperationStats& op : run.value().op_stats) {
       contended += op.queue_contended;
       total += op.queue_acquisitions;
+      main_acq += op.main_queue_acquisitions;
+      secondary_acq += op.secondary_queue_acquisitions;
+      busy += op.busy_seconds;
+      span += op.wall_span_seconds;
     }
   }
   state.SetLabel(main_queues ? "main+secondary" : "all-shared");
@@ -148,6 +154,16 @@ void BM_QueueInterference(benchmark::State& state) {
       total > 0 ? 100.0 * static_cast<double>(contended) /
                       static_cast<double>(total)
                 : 0.0;
+  // Share of batch acquisitions that came from a consumer's own main queues
+  // (load-balancing steals are the remainder), and how much of the workers'
+  // wall span was actual processing.
+  const uint64_t acq = main_acq + secondary_acq;
+  state.counters["main_queue_pct"] =
+      acq > 0 ? 100.0 * static_cast<double>(main_acq) /
+                    static_cast<double>(acq)
+              : 0.0;
+  state.counters["busy_over_span_pct"] = span > 0.0 ? 100.0 * busy / span
+                                                    : 0.0;
 }
 BENCHMARK(BM_QueueInterference)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 

@@ -1,0 +1,115 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+
+namespace dbs3 {
+
+std::string MetricsSnapshot::ToString() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    out += name + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    out += name + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, s] : series) {
+    out += name + " samples=" + std::to_string(s.samples) +
+           " min=" + std::to_string(s.min) + " max=" + std::to_string(s.max) +
+           " mean=" + std::to_string(s.mean()) +
+           " last=" + std::to_string(s.last) + "\n";
+  }
+  return out;
+}
+
+MetricCounter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<MetricCounter>();
+  return slot.get();
+}
+
+MetricGauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<MetricGauge>();
+  return slot.get();
+}
+
+void MetricsRegistry::RegisterProbe(const std::string& name,
+                                    std::function<int64_t()> probe) {
+  std::lock_guard<std::mutex> lock(mu_);
+  probes_[name].fn = std::move(probe);
+}
+
+void MetricsRegistry::ClearProbes() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, probe] : probes_) probe.fn = nullptr;
+}
+
+void MetricsRegistry::SamplePass() {
+  // Probes run under the registry mutex: they must be cheap (an atomic load
+  // or a couple of mutex-guarded size reads). This also serializes sampling
+  // against registration and snapshots.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, probe] : probes_) {
+    if (!probe.fn) continue;
+    const int64_t v = probe.fn();
+    SeriesStats& s = probe.series;
+    if (s.samples == 0) {
+      s.min = v;
+      s.max = v;
+    } else {
+      s.min = std::min(s.min, v);
+      s.max = std::max(s.max, v);
+    }
+    s.last = v;
+    s.sum += static_cast<double>(v);
+    ++s.samples;
+  }
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, p] : probes_) snap.series[name] = p.series;
+  return snap;
+}
+
+MetricsSampler::MetricsSampler(MetricsRegistry* registry,
+                               std::chrono::microseconds period)
+    : registry_(registry), period_(period) {}
+
+MetricsSampler::~MetricsSampler() { Stop(); }
+
+void MetricsSampler::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (thread_.joinable()) return;
+  stop_ = false;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void MetricsSampler::Stop() {
+  std::thread sampler;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!thread_.joinable()) return;
+    stop_ = true;
+    sampler = std::move(thread_);
+  }
+  cv_.notify_all();
+  sampler.join();
+}
+
+void MetricsSampler::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    lock.unlock();
+    registry_->SamplePass();
+    lock.lock();
+    cv_.wait_for(lock, period_, [&] { return stop_; });
+  }
+}
+
+}  // namespace dbs3

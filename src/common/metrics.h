@@ -1,0 +1,135 @@
+#ifndef DBS3_COMMON_METRICS_H_
+#define DBS3_COMMON_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace dbs3 {
+
+/// Monotonic event counter. Add() is wait-free (one relaxed atomic add);
+/// readers see an eventually consistent total, which is exact once the
+/// writers have been joined.
+class MetricCounter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous signed level (queue depth, bytes in flight...).
+class MetricGauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Running summary of one sampled probe (the registry keeps the summary,
+/// not the raw samples, so a long execution costs O(1) memory per probe).
+struct SeriesStats {
+  uint64_t samples = 0;
+  int64_t min = 0;
+  int64_t max = 0;
+  int64_t last = 0;
+  double sum = 0.0;
+
+  double mean() const {
+    return samples > 0 ? sum / static_cast<double>(samples) : 0.0;
+  }
+};
+
+/// Point-in-time copy of a registry, safe to keep after the registry (and
+/// the operations its probes point into) are gone.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, SeriesStats> series;
+
+  /// Multi-line "name value" rendering for logs and benches.
+  std::string ToString() const;
+};
+
+/// Engine-wide registry of named counters, gauges, and sampled probes.
+///
+/// counter()/gauge() get-or-create under a mutex but return stable pointers:
+/// hot paths resolve a metric once and then pay only the atomic op per
+/// update. Probes are callbacks (e.g. an operation's queued tuple units)
+/// sampled by a MetricsSampler background thread into SeriesStats.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  MetricCounter* counter(const std::string& name);
+  MetricGauge* gauge(const std::string& name);
+
+  /// Registers `probe` to be sampled into the series named `name`. The
+  /// callback must stay valid until ClearProbes() (or registry destruction);
+  /// callers whose probes capture shorter-lived objects must clear first.
+  void RegisterProbe(const std::string& name, std::function<int64_t()> probe);
+
+  /// Drops every probe callback (so objects they point into may be
+  /// destroyed) while keeping the recorded SeriesStats for later snapshots.
+  void ClearProbes();
+
+  /// Runs every registered probe once, folding the values into their
+  /// series. Called by the sampler thread; exposed for deterministic tests.
+  void SamplePass();
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  struct Probe {
+    std::function<int64_t()> fn;
+    SeriesStats series;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<MetricCounter>> counters_;
+  std::map<std::string, std::unique_ptr<MetricGauge>> gauges_;
+  std::map<std::string, Probe> probes_;
+};
+
+/// Background thread that samples a registry's probes at a fixed period.
+/// Start/Stop are idempotent; destruction stops the thread. Stop() returns
+/// only after the sampler thread has exited, so it is safe to destroy the
+/// objects probes point into right after Stop().
+class MetricsSampler {
+ public:
+  MetricsSampler(MetricsRegistry* registry, std::chrono::microseconds period);
+  ~MetricsSampler();
+
+  MetricsSampler(const MetricsSampler&) = delete;
+  MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+  void Start();
+  void Stop();
+
+ private:
+  void Loop();
+
+  MetricsRegistry* registry_;
+  const std::chrono::microseconds period_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace dbs3
+
+#endif  // DBS3_COMMON_METRICS_H_

@@ -1,0 +1,152 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dbs3 {
+
+namespace {
+
+/// Escapes `s` for use inside a JSON string literal.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TraceBuffer* ActivationTracer::AddBuffer(const std::string& op,
+                                         uint32_t thread_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t op_id = 0;
+  const auto it = std::find(op_names_.begin(), op_names_.end(), op);
+  if (it == op_names_.end()) {
+    op_id = static_cast<uint32_t>(op_names_.size());
+    op_names_.push_back(op);
+  } else {
+    op_id = static_cast<uint32_t>(it - op_names_.begin());
+  }
+  buffers_.emplace_back(
+      new TraceBuffer(op, op_id, thread_id, origin_));
+  return buffers_.back().get();
+}
+
+std::string ActivationTracer::ToChromeJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buf[256];
+  // Metadata: name each chrome "process" after its operation and each
+  // "thread" row after its worker, so chrome://tracing labels the timeline.
+  for (size_t pid = 0; pid < op_names_.size(); ++pid) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":%zu,"
+                  "\"args\":{\"name\":\"%s\"}}",
+                  first ? "" : ",", pid,
+                  JsonEscape(op_names_[pid]).c_str());
+    out += buf;
+    first = false;
+  }
+  for (const auto& buffer : buffers_) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":%u,"
+                  "\"tid\":%u,\"args\":{\"name\":\"%s/t%u\"}}",
+                  first ? "" : ",", buffer->op_id(), buffer->thread_id(),
+                  JsonEscape(buffer->op()).c_str(), buffer->thread_id());
+    out += buf;
+    first = false;
+  }
+  for (const auto& buffer : buffers_) {
+    const std::string name = JsonEscape(buffer->op());
+    for (const TraceSpan& span : buffer->spans()) {
+      // Chrome timestamps/durations are microseconds (doubles).
+      std::snprintf(
+          buf, sizeof(buf),
+          "%s{\"name\":\"%s\",\"cat\":\"activation\",\"ph\":\"X\","
+          "\"ts\":%.3f,\"dur\":%.3f,\"pid\":%u,\"tid\":%u,"
+          "\"args\":{\"instance\":%u,\"units\":%u,\"activations\":%u}}",
+          first ? "" : ",", name.c_str(),
+          static_cast<double>(span.start_ns) * 1e-3,
+          static_cast<double>(span.end_ns - span.start_ns) * 1e-3,
+          buffer->op_id(), buffer->thread_id(), span.instance, span.units,
+          span.activations);
+      out += buf;
+      first = false;
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+Status ActivationTracer::WriteChromeJson(const std::string& path) const {
+  const std::string json = ToChromeJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open trace file '" + path + "'");
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::Internal("short write to trace file '" + path + "'");
+  }
+  return Status::OK();
+}
+
+std::vector<double> ActivationTracer::BusySecondsPerThread(
+    const std::string& op) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<double> busy;
+  for (const auto& buffer : buffers_) {
+    if (buffer->op() != op) continue;
+    if (buffer->thread_id() >= busy.size()) {
+      busy.resize(buffer->thread_id() + 1, 0.0);
+    }
+    double ns = 0.0;
+    for (const TraceSpan& span : buffer->spans()) {
+      ns += static_cast<double>(span.end_ns - span.start_ns);
+    }
+    busy[buffer->thread_id()] += ns * 1e-9;
+  }
+  return busy;
+}
+
+std::vector<uint64_t> ActivationTracer::UnitsPerInstance(
+    const std::string& op) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> units;
+  for (const auto& buffer : buffers_) {
+    if (buffer->op() != op) continue;
+    for (const TraceSpan& span : buffer->spans()) {
+      if (span.instance >= units.size()) units.resize(span.instance + 1, 0);
+      units[span.instance] += span.units;
+    }
+  }
+  return units;
+}
+
+}  // namespace dbs3

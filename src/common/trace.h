@@ -1,0 +1,122 @@
+#ifndef DBS3_COMMON_TRACE_H_
+#define DBS3_COMMON_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dbs3 {
+
+/// Knobs for the per-execution observability layer. Off by default: with
+/// `enabled == false` the engine records no spans and starts no sampler
+/// thread, and the only per-batch cost it pays is the two steady_clock
+/// reads of the busy-time accounting.
+struct TraceOptions {
+  /// Record activation spans and sample queue depths for this execution.
+  bool enabled = false;
+  /// Queue-depth sampling period of the background sampler thread.
+  uint32_t sample_interval_us = 200;
+  /// When non-empty (and `enabled`), the executor writes the Chrome
+  /// trace_event JSON here after the run (chrome://tracing-loadable).
+  std::string path;
+};
+
+/// One processed activation batch: thread `tid` of operation `op` worked on
+/// instance `instance` from `start_ns` to `end_ns` (nanoseconds since the
+/// tracer's origin), covering `units` tuple units in `activations`
+/// activations.
+struct TraceSpan {
+  uint32_t instance = 0;
+  uint32_t units = 0;
+  uint32_t activations = 0;
+  int64_t start_ns = 0;
+  int64_t end_ns = 0;
+};
+
+class ActivationTracer;
+
+/// Per-(operation, thread) span buffer. Created through
+/// ActivationTracer::AddBuffer and then written by exactly one worker
+/// thread; the tracer reads it only after that worker has been joined.
+class TraceBuffer {
+ public:
+  void Record(uint32_t instance, std::chrono::steady_clock::time_point start,
+              std::chrono::steady_clock::time_point end, uint32_t units,
+              uint32_t activations) {
+    using std::chrono::nanoseconds;
+    using std::chrono::duration_cast;
+    spans_.push_back(TraceSpan{
+        instance, units, activations,
+        duration_cast<nanoseconds>(start - origin_).count(),
+        duration_cast<nanoseconds>(end - origin_).count()});
+  }
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  const std::string& op() const { return op_; }
+  uint32_t op_id() const { return op_id_; }
+  uint32_t thread_id() const { return thread_id_; }
+
+ private:
+  friend class ActivationTracer;
+  TraceBuffer(std::string op, uint32_t op_id, uint32_t thread_id,
+              std::chrono::steady_clock::time_point origin)
+      : op_(std::move(op)), op_id_(op_id), thread_id_(thread_id),
+        origin_(origin) {}
+
+  std::string op_;
+  uint32_t op_id_;
+  uint32_t thread_id_;
+  std::chrono::steady_clock::time_point origin_;
+  std::vector<TraceSpan> spans_;
+};
+
+/// Collects activation spans from every worker thread of an execution and
+/// renders them as Chrome trace_event JSON: one "process" per operation,
+/// one "thread" row per worker, one complete ("ph":"X") event per span with
+/// instance/units/activations in args.
+///
+/// Concurrency contract: AddBuffer may be called from any thread (it locks);
+/// each returned buffer is then single-writer. ToChromeJson/Aggregate* must
+/// only run after the writing threads have been joined.
+class ActivationTracer {
+ public:
+  ActivationTracer() : origin_(std::chrono::steady_clock::now()) {}
+
+  ActivationTracer(const ActivationTracer&) = delete;
+  ActivationTracer& operator=(const ActivationTracer&) = delete;
+
+  /// Creates the span buffer for thread `thread_id` of operation `op`.
+  /// The buffer pointer stays valid for the tracer's lifetime.
+  TraceBuffer* AddBuffer(const std::string& op, uint32_t thread_id);
+
+  std::chrono::steady_clock::time_point origin() const { return origin_; }
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}).
+  std::string ToChromeJson() const;
+
+  /// Writes ToChromeJson() to `path`.
+  Status WriteChromeJson(const std::string& path) const;
+
+  /// Sum of span durations per thread of operation `op`, in seconds,
+  /// indexed by thread id (the tracer-side busy-time cross-check).
+  std::vector<double> BusySecondsPerThread(const std::string& op) const;
+
+  /// Sum of span units per instance of operation `op` (index = instance).
+  std::vector<uint64_t> UnitsPerInstance(const std::string& op) const;
+
+ private:
+  const std::chrono::steady_clock::time_point origin_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<TraceBuffer>> buffers_;
+  /// op name -> chrome pid, in AddBuffer discovery order.
+  std::vector<std::string> op_names_;
+};
+
+}  // namespace dbs3
+
+#endif  // DBS3_COMMON_TRACE_H_

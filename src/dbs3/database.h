@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "storage/catalog.h"
@@ -53,9 +54,19 @@ class Database {
   const Catalog& catalog() const { return catalog_; }
   DiskArray& disks() { return disks_; }
 
+  /// Engine-wide metrics, accumulated across every query run against this
+  /// database (engine.queries, engine.tuple_units, engine.busy_ns,
+  /// engine.units_dropped...). Per-execution detail lives on each query's
+  /// ExecutionResult; this registry is the long-running aggregate.
+  MetricsRegistry& metrics() { return *metrics_; }
+  const MetricsRegistry& metrics() const { return *metrics_; }
+
  private:
   Catalog catalog_;
   DiskArray disks_;
+  /// unique_ptr keeps Database movable (the registry holds a mutex).
+  std::unique_ptr<MetricsRegistry> metrics_ =
+      std::make_unique<MetricsRegistry>();
 };
 
 }  // namespace dbs3

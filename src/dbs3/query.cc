@@ -6,14 +6,38 @@ namespace dbs3 {
 
 namespace {
 
+/// Folds one execution's statistics into the database's engine-wide
+/// metrics registry.
+void AccumulateEngineMetrics(MetricsRegistry& metrics,
+                             const ExecutionResult& execution) {
+  metrics.counter("engine.queries")->Add(1);
+  metrics.counter("engine.units_dropped")->Add(execution.units_dropped);
+  uint64_t tuple_units = 0, activations = 0, emitted = 0;
+  double busy = 0.0;
+  for (const OperationStats& op : execution.op_stats) {
+    for (uint64_t c : op.per_instance_processed) tuple_units += c;
+    activations += op.activations;
+    emitted += op.emitted;
+    busy += op.busy_seconds;
+  }
+  metrics.counter("engine.tuple_units")->Add(tuple_units);
+  metrics.counter("engine.activations")->Add(activations);
+  metrics.counter("engine.emitted")->Add(emitted);
+  metrics.counter("engine.busy_ns")->Add(static_cast<uint64_t>(busy * 1e9));
+  metrics.counter("engine.wall_ns")
+      ->Add(static_cast<uint64_t>(execution.seconds * 1e9));
+}
+
 /// Schedules and runs a finished plan, packaging the result.
-Result<QueryResult> Finish(Plan& plan, std::unique_ptr<Relation> result,
+Result<QueryResult> Finish(Database& db, Plan& plan,
+                           std::unique_ptr<Relation> result,
                            const QueryOptions& options) {
   QueryResult out;
   DBS3_ASSIGN_OR_RETURN(
       out.schedule, ScheduleQuery(plan, options.cost_model, options.schedule));
   Executor executor;
   DBS3_ASSIGN_OR_RETURN(out.execution, executor.Run(plan));
+  AccumulateEngineMetrics(db.metrics(), out.execution);
   out.result = std::move(result);
   return out;
 }
@@ -56,7 +80,7 @@ Result<QueryResult> RunIdealJoin(Database& db, const std::string& outer,
       plan.AddNode("store", ActivationMode::kPipelined, degree,
                    std::make_unique<StoreLogic>(result.get()));
   DBS3_RETURN_IF_ERROR(plan.ConnectSameInstance(join, store));
-  return Finish(plan, std::move(result), options);
+  return Finish(db, plan, std::move(result), options);
 }
 
 Result<QueryResult> RunAssocJoin(Database& db, const std::string& probe_rel,
@@ -96,7 +120,7 @@ Result<QueryResult> RunAssocJoin(Database& db, const std::string& probe_rel,
   DBS3_RETURN_IF_ERROR(plan.ConnectByColumn(transmit, join, probe_col,
                                             inner_rel->partitioner()));
   DBS3_RETURN_IF_ERROR(plan.ConnectSameInstance(join, store));
-  return Finish(plan, std::move(result), options);
+  return Finish(db, plan, std::move(result), options);
 }
 
 Result<QueryResult> RunFilterJoin(Database& db, const std::string& filtered,
@@ -138,7 +162,7 @@ Result<QueryResult> RunFilterJoin(Database& db, const std::string& filtered,
   DBS3_RETURN_IF_ERROR(plan.ConnectByColumn(filter, join, probe_col,
                                             inner_rel->partitioner()));
   DBS3_RETURN_IF_ERROR(plan.ConnectSameInstance(join, store));
-  return Finish(plan, std::move(result), options);
+  return Finish(db, plan, std::move(result), options);
 }
 
 Result<QueryResult> RunSelect(Database& db, const std::string& input,
@@ -160,7 +184,7 @@ Result<QueryResult> RunSelect(Database& db, const std::string& input,
       plan.AddNode("store", ActivationMode::kPipelined, degree,
                    std::make_unique<StoreLogic>(result.get()));
   DBS3_RETURN_IF_ERROR(plan.ConnectSameInstance(filter, store));
-  return Finish(plan, std::move(result), options);
+  return Finish(db, plan, std::move(result), options);
 }
 
 }  // namespace dbs3

@@ -28,6 +28,7 @@ bool ActivationQueue::Push(Activation a) {
   if (closed_) return false;
   items_.push_back(std::move(a));
   units_ += units;
+  if (units_ > peak_units_) peak_units_ = units_;
   return true;
 }
 
@@ -58,6 +59,11 @@ bool ActivationQueue::Empty() const {
 size_t ActivationQueue::Size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return items_.size();
+}
+
+uint64_t ActivationQueue::peak_units() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_units_;
 }
 
 size_t ActivationQueue::SizeUnits() const {

@@ -65,6 +65,10 @@ class ActivationQueue {
   size_t SizeUnits() const;
   bool closed() const;
 
+  /// High-water mark of queued tuple units over the queue's lifetime (the
+  /// buffering the pipeline actually needed, vs. the capacity configured).
+  uint64_t peak_units() const;
+
   /// Number of lock acquisitions that found the mutex already held
   /// (producer/consumer interference — what the main/secondary queue split
   /// and the internal activation cache exist to reduce).
@@ -81,6 +85,8 @@ class ActivationQueue {
   std::deque<Activation> items_;
   /// Sum of unit_count() over items_.
   size_t units_ = 0;
+  /// Max value units_ ever reached.
+  uint64_t peak_units_ = 0;
   const size_t capacity_;
   bool closed_ = false;
   mutable std::atomic<uint64_t> contended_{0};

@@ -1,13 +1,22 @@
 #include "engine/executor.h"
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
+#include <numeric>
+#include <string>
+
+#include "common/logging.h"
 
 namespace dbs3 {
 
 Result<ExecutionResult> Executor::Run(Plan& plan) {
   DBS3_RETURN_IF_ERROR(plan.Validate());
   DBS3_ASSIGN_OR_RETURN(std::vector<size_t> order, plan.TopologicalOrder());
+
+  const TraceOptions& trace = plan.trace_options();
+  std::unique_ptr<ActivationTracer> tracer;
+  if (trace.enabled) tracer = std::make_unique<ActivationTracer>();
 
   // Instantiate operations consumers-first so producers can hold their
   // consumer's pointer in the output edge.
@@ -28,6 +37,7 @@ Result<ExecutionResult> Executor::Run(Plan& plan) {
     config.cost_estimates = node.params.cost_estimates;
     config.use_main_queues = node.params.use_main_queues;
     config.seed = 0x5bd1e995u + i;
+    config.tracer = tracer.get();
 
     DataOutput output;
     if (node.output >= 0) {
@@ -51,6 +61,24 @@ Result<ExecutionResult> Executor::Run(Plan& plan) {
       ops[i]->AddProducer();
     }
     if (node.mode == ActivationMode::kTriggered) ops[i]->AddProducer();
+  }
+
+  // Per-execution metric registry. The background sampler (queue depth in
+  // tuple units per operation) only runs when tracing is enabled; the
+  // counters below are aggregated after the run either way.
+  MetricsRegistry registry;
+  MetricsSampler sampler(
+      &registry,
+      std::chrono::microseconds(std::max<uint32_t>(1,
+                                                   trace.sample_interval_us)));
+  if (trace.enabled) {
+    for (size_t i = 0; i < plan.num_nodes(); ++i) {
+      Operation* op = ops[i].get();
+      registry.RegisterProbe(
+          "op." + plan.node(i).name + ".queued_units",
+          [op] { return std::max<int64_t>(0, op->pending()); });
+    }
+    sampler.Start();
   }
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -82,11 +110,45 @@ Result<ExecutionResult> Executor::Run(Plan& plan) {
 
   const auto t1 = std::chrono::steady_clock::now();
 
+  // The sampler's probes point into the operations: stop it (and drop the
+  // probes) before the operations can go away.
+  sampler.Stop();
+  registry.ClearProbes();
+
   ExecutionResult result;
   result.seconds = std::chrono::duration<double>(t1 - t0).count();
   result.op_stats.reserve(plan.num_nodes());
   for (size_t i = 0; i < plan.num_nodes(); ++i) {
-    result.op_stats.push_back(ops[i]->stats());
+    OperationStats stats = ops[i]->stats();
+    const std::string prefix = "op." + stats.name + ".";
+    registry.counter(prefix + "tuple_units")
+        ->Add(std::accumulate(stats.per_instance_processed.begin(),
+                              stats.per_instance_processed.end(),
+                              uint64_t{0}));
+    registry.counter(prefix + "activations")->Add(stats.activations);
+    registry.counter(prefix + "emitted")->Add(stats.emitted);
+    registry.counter(prefix + "dropped_units")->Add(stats.dropped);
+    registry.counter(prefix + "busy_ns")
+        ->Add(static_cast<uint64_t>(stats.busy_seconds * 1e9));
+    registry.counter(prefix + "main_queue_acquisitions")
+        ->Add(stats.main_queue_acquisitions);
+    registry.counter(prefix + "secondary_queue_acquisitions")
+        ->Add(stats.secondary_queue_acquisitions);
+    registry.counter(prefix + "peak_queue_units")
+        ->Add(stats.peak_queue_units);
+    result.units_dropped += stats.dropped;
+    result.op_stats.push_back(std::move(stats));
+  }
+  result.metrics = registry.Snapshot();
+
+  if (tracer != nullptr) {
+    result.trace_json = tracer->ToChromeJson();
+    if (!trace.path.empty()) {
+      const Status written = tracer->WriteChromeJson(trace.path);
+      if (!written.ok()) {
+        DBS3_LOG(kWarning) << "trace dump failed: " << written.ToString();
+      }
+    }
   }
   return result;
 }

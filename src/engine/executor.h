@@ -1,9 +1,12 @@
 #ifndef DBS3_ENGINE_EXECUTOR_H_
 #define DBS3_ENGINE_EXECUTOR_H_
 
+#include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
+#include "common/trace.h"
 #include "engine/operation.h"
 #include "engine/plan.h"
 
@@ -16,6 +19,18 @@ struct ExecutionResult {
   double seconds = 0.0;
   /// Per-operation statistics, in plan node order.
   std::vector<OperationStats> op_stats;
+  /// Tuple units dropped on closed queues, summed over all operations.
+  /// Always 0 for a completed well-formed plan; surfaced so data loss is
+  /// never silent.
+  uint64_t units_dropped = 0;
+  /// Per-execution metric snapshot: engine counters aggregated from the
+  /// operations plus (when tracing was enabled) the background sampler's
+  /// queue-depth series.
+  MetricsSnapshot metrics;
+  /// Chrome trace_event JSON of every activation span
+  /// (chrome://tracing-loadable). Empty unless the plan's TraceOptions
+  /// enabled tracing.
+  std::string trace_json;
 };
 
 /// Runs a Plan with real threads on the host machine.

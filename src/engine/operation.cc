@@ -86,6 +86,8 @@ Operation::Operation(OperationConfig config, OperatorLogic* logic,
   visit_order_ = QueueVisitOrder(config_.strategy, config_.cost_estimates,
                                  config_.num_instances);
   per_thread_processed_.assign(config_.num_threads, 0);
+  per_thread_busy_ns_.assign(config_.num_threads, 0);
+  per_thread_idle_ns_.assign(config_.num_threads, 0);
   per_instance_processed_ =
       std::make_unique<std::atomic<uint64_t>[]>(config_.num_instances);
   for (size_t i = 0; i < config_.num_instances; ++i) {
@@ -96,8 +98,14 @@ Operation::Operation(OperationConfig config, OperatorLogic* logic,
 Operation::~Operation() {
   // Defensive: a well-formed executor always Joins explicitly.
   if (!threads_.empty()) {
-    producers_done_.store(true);
     for (auto& q : queues_) q->Close();
+    {
+      // The flag write must pair with wait_mu_, exactly like ProducerDone:
+      // an unpaired store+notify can land between a worker's predicate
+      // check and its wait, losing the wakeup and hanging the Join below.
+      std::lock_guard<std::mutex> lock(wait_mu_);
+      producers_done_.store(true);
+    }
     work_cv_.notify_all();
     Join();
   }
@@ -128,6 +136,10 @@ void Operation::PushActivation(size_t instance, Activation a,
   assert(instance < queues_.size());
   const int64_t units = static_cast<int64_t>(a.unit_count());
   if (!queues_[instance]->Push(std::move(a))) {
+    // Only cancelled/abandoned executions reach this; the drop is counted
+    // (stats().dropped, surfaced per execution) so it is never silent.
+    dropped_.fetch_add(units > 0 ? static_cast<uint64_t>(units) : 1,
+                       std::memory_order_relaxed);
     DBS3_LOG(kWarning) << what << " dropped: queue " << instance
                        << " of operation '" << config_.name << "' is closed";
     return;
@@ -192,10 +204,23 @@ OperationStats Operation::stats() const {
   }
   s.activations = activations_.load();
   s.emitted = emitted_.load();
-  s.busy_seconds = static_cast<double>(busy_ns_.load()) * 1e-9;
+  s.dropped = dropped_.load();
+  s.main_queue_acquisitions = main_acquisitions_.load();
+  s.secondary_queue_acquisitions = secondary_acquisitions_.load();
+  s.wall_span_seconds = static_cast<double>(wall_span_ns_.load()) * 1e-9;
+  s.per_thread_busy_seconds.reserve(config_.num_threads);
+  s.per_thread_idle_seconds.reserve(config_.num_threads);
+  for (size_t t = 0; t < config_.num_threads; ++t) {
+    const double busy = static_cast<double>(per_thread_busy_ns_[t]) * 1e-9;
+    s.per_thread_busy_seconds.push_back(busy);
+    s.per_thread_idle_seconds.push_back(
+        static_cast<double>(per_thread_idle_ns_[t]) * 1e-9);
+    s.busy_seconds += busy;
+  }
   for (const auto& q : queues_) {
     s.queue_acquisitions += q->total_acquisitions();
     s.queue_contended += q->contended_acquisitions();
+    s.peak_queue_units = std::max(s.peak_queue_units, q->peak_units());
   }
   return s;
 }
@@ -203,6 +228,13 @@ OperationStats Operation::stats() const {
 void Operation::WorkerLoop(size_t thread_id) {
   Rng rng(config_.seed * 0x9e3779b97f4a7c15ULL + thread_id + 1);
   OperationEmitter emitter(this);
+  TraceBuffer* trace =
+      config_.tracer != nullptr
+          ? config_.tracer->AddBuffer(config_.name,
+                                      static_cast<uint32_t>(thread_id))
+          : nullptr;
+  const auto worker_start = std::chrono::steady_clock::now();
+  int64_t busy_ns = 0;
   std::vector<Activation> batch;
   batch.reserve(config_.cache_size);
   while (true) {
@@ -223,12 +255,25 @@ void Operation::WorkerLoop(size_t thread_id) {
       }
       continue;
     }
+    // Busy time is measured per acquired batch, not per tuple: two clock
+    // reads amortized over the whole batch keep the accounting overhead off
+    // the per-tuple path.
+    const auto t_begin = std::chrono::steady_clock::now();
     for (Activation& a : batch) {
       if (a.is_trigger()) {
         logic_->OnTrigger(instance, &emitter);
       } else {
         logic_->OnDataBatch(instance, std::span<Tuple>(a.tuples), &emitter);
       }
+    }
+    const auto t_end = std::chrono::steady_clock::now();
+    busy_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   t_end - t_begin)
+                   .count();
+    if (trace != nullptr) {
+      trace->Record(static_cast<uint32_t>(instance), t_begin, t_end,
+                    static_cast<uint32_t>(units),
+                    static_cast<uint32_t>(got));
     }
     per_thread_processed_[thread_id] += units;
     per_instance_processed_[instance].fetch_add(units,
@@ -238,38 +283,84 @@ void Operation::WorkerLoop(size_t thread_id) {
   // Residual chunks must reach the consumer before this producer counts as
   // exited (the executor signals the consumer's ProducerDone after Join).
   emitter.Flush();
-  // Track the exit time of the slowest worker as the operation's busy span.
   const auto now = std::chrono::steady_clock::now();
+  per_thread_busy_ns_[thread_id] = busy_ns;
+  per_thread_idle_ns_[thread_id] =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now - worker_start)
+          .count() -
+      busy_ns;
+  // Track the exit time of the slowest worker as the operation's wall span.
   const int64_t span =
       std::chrono::duration_cast<std::chrono::nanoseconds>(now - start_time_)
           .count();
-  int64_t prev = busy_ns_.load();
-  while (prev < span && !busy_ns_.compare_exchange_weak(prev, span)) {
+  int64_t prev = wall_span_ns_.load();
+  while (prev < span && !wall_span_ns_.compare_exchange_weak(prev, span)) {
   }
 }
 
 size_t Operation::AcquireBatch(size_t thread_id, Rng& rng,
                                std::vector<Activation>* batch,
                                size_t* instance, size_t* units) {
-  const size_t start = config_.strategy == Strategy::kRandom
-                           ? rng.Below(queues_.size())
-                           : 0;
+  // Random threads scan from a random queue; LPT threads from a start
+  // staggered by thread id, so concurrent scans fan out instead of every
+  // thread hammering visit_order_[0]'s mutex first.
+  const size_t start =
+      config_.strategy == Strategy::kRandom
+          ? rng.Below(queues_.size())
+          : (thread_id * queues_.size()) / config_.num_threads;
   // Main queues first; fall back to any queue (the paper's secondary scan).
   size_t got = 0;
+  bool from_main = false;
   if (config_.use_main_queues) {
     got = ScanQueues(start, thread_id, /*main_only=*/true, batch, instance);
+    from_main = got > 0;
   }
   if (got == 0) {
-    got = ScanQueues(start, thread_id, /*main_only=*/false, batch, instance);
+    // LPT steals by live remaining work, not the frozen construction-time
+    // estimate order: mid-run, what matters is which queue is fullest now.
+    got = config_.strategy == Strategy::kLpt
+              ? ScanQueuesLiveLpt(start, batch, instance)
+              : ScanQueues(start, thread_id, /*main_only=*/false, batch,
+                           instance);
   }
   *units = 0;
   if (got > 0) {
+    (from_main ? main_acquisitions_ : secondary_acquisitions_)
+        .fetch_add(1, std::memory_order_relaxed);
     for (size_t k = batch->size() - got; k < batch->size(); ++k) {
       *units += (*batch)[k].unit_count();
     }
     pending_.fetch_sub(static_cast<int64_t>(*units));
   }
   return got;
+}
+
+size_t Operation::ScanQueuesLiveLpt(size_t start,
+                                    std::vector<Activation>* batch,
+                                    size_t* instance) {
+  // A failed main scan usually means the operation is drained (the worker
+  // is about to sleep on work_cv_); don't pay a full size snapshot of every
+  // queue just to confirm that. Same predicate as the wait loop, so a push
+  // racing past this check still wakes a worker for a fresh scan.
+  if (pending_.load(std::memory_order_acquire) <= 0) {
+    return 0;
+  }
+  const size_t n = queues_.size();
+  std::vector<size_t> live(n);
+  for (size_t q = 0; q < n; ++q) live[q] = queues_[q]->SizeUnits();
+  const std::vector<uint32_t> order =
+      LiveLptOrder(live, config_.cost_estimates, start);
+  for (uint32_t q : order) {
+    // The snapshot is advisory: a queue seen non-empty may have been drained
+    // by a peer, so keep scanning past stale entries (empty queues sort
+    // last, which also makes this a full fallback scan).
+    const size_t got = queues_[q]->PopBatch(config_.cache_size, batch);
+    if (got > 0) {
+      *instance = q;
+      return got;
+    }
+  }
+  return 0;
 }
 
 size_t Operation::ScanQueues(size_t start, size_t thread_id, bool main_only,

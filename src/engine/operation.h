@@ -14,6 +14,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "engine/activation.h"
 #include "engine/activation_queue.h"
 #include "engine/operator_logic.h"
@@ -55,8 +56,29 @@ struct OperationStats {
   /// direct measure of the chunking win.
   uint64_t activations = 0;
   uint64_t emitted = 0;
-  /// Seconds between Start() and the exit of the last worker.
+  /// True processing time: the sum over all workers of the time spent
+  /// inside OnTrigger/OnDataBatch (activation spans). Idle waits excluded —
+  /// this is the numerator of a per-thread load-balance fraction.
   double busy_seconds = 0.0;
+  /// Seconds between Start() and the exit of the slowest worker (what
+  /// busy_seconds used to report): start-up + processing + idle waits.
+  double wall_span_seconds = 0.0;
+  /// Per-thread split of busy_seconds, and the complementary idle time
+  /// (each worker's lifetime minus its busy time). busy/(busy+idle) per
+  /// thread is the paper's load-balance signal.
+  std::vector<double> per_thread_busy_seconds;
+  std::vector<double> per_thread_idle_seconds;
+  /// Tuple units dropped because their queue was already closed (a trigger
+  /// counts 1, a data chunk counts its tuples). Always 0 on a well-formed
+  /// plan; non-zero only for cancelled/abandoned executions, and surfaced
+  /// so it can never again be silent data loss.
+  uint64_t dropped = 0;
+  /// Batch acquisitions served from one of the consuming thread's own main
+  /// queues vs. stolen from a secondary queue (load-balancing traffic).
+  uint64_t main_queue_acquisitions = 0;
+  uint64_t secondary_queue_acquisitions = 0;
+  /// High-water mark of queued tuple units across the instance queues.
+  uint64_t peak_queue_units = 0;
   /// Queue-mutex acquisitions across all instance queues, and how many of
   /// them hit a held mutex (producer/consumer interference).
   uint64_t queue_acquisitions = 0;
@@ -92,6 +114,10 @@ struct OperationConfig {
   /// interference ablation only).
   bool use_main_queues = true;
   uint64_t seed = 1;
+  /// When set, every worker records its activation spans here (one span per
+  /// acquired batch). Must outlive the operation. Null = tracing off; the
+  /// only per-batch cost left is the busy-time clock reads.
+  ActivationTracer* tracer = nullptr;
 };
 
 /// One node of the executing plan: a table of activation queues (one per
@@ -164,6 +190,11 @@ class Operation {
                       std::vector<Activation>* batch, size_t* instance,
                       size_t* units);
 
+  /// Secondary scan for LPT threads: consult live queue sizes (largest
+  /// remaining work first) instead of the frozen construction-time order.
+  size_t ScanQueuesLiveLpt(size_t start, std::vector<Activation>* batch,
+                           size_t* instance);
+
   /// Scans the visit order starting at `start`, pops from the first
   /// non-empty queue, restricted to main queues of `thread_id` when
   /// `main_only`.
@@ -190,13 +221,21 @@ class Operation {
   std::atomic<int64_t> open_producers_{0};
   std::atomic<bool> producers_done_{false};
 
-  /// Stats.
+  /// Stats. The per-thread vectors are written each by its own worker
+  /// thread only and read after Join() (the join is the happens-before
+  /// edge), so they need no atomics.
   std::vector<uint64_t> per_thread_processed_;
+  std::vector<int64_t> per_thread_busy_ns_;
+  std::vector<int64_t> per_thread_idle_ns_;
   std::unique_ptr<std::atomic<uint64_t>[]> per_instance_processed_;
   std::atomic<uint64_t> activations_{0};
   std::atomic<uint64_t> emitted_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> main_acquisitions_{0};
+  std::atomic<uint64_t> secondary_acquisitions_{0};
   std::chrono::steady_clock::time_point start_time_;
-  std::atomic<int64_t> busy_ns_{0};
+  /// Nanoseconds from Start() to the slowest worker's exit (wall span).
+  std::atomic<int64_t> wall_span_ns_{0};
 };
 
 }  // namespace dbs3

@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "engine/operation.h"
 #include "engine/operator_logic.h"
 #include "engine/strategy.h"
@@ -96,6 +97,12 @@ class Plan {
     return nodes_[node].params;
   }
 
+  /// Observability knobs for executing this plan (filled from
+  /// ScheduleOptions::trace by the scheduler, or set directly by
+  /// tests/benches that bypass it).
+  TraceOptions& trace_options() { return trace_options_; }
+  const TraceOptions& trace_options() const { return trace_options_; }
+
   size_t num_nodes() const { return nodes_.size(); }
   const PlanNode& node(size_t i) const { return nodes_[i]; }
   PlanNode& node(size_t i) { return nodes_[i]; }
@@ -112,6 +119,7 @@ class Plan {
 
  private:
   std::vector<PlanNode> nodes_;
+  TraceOptions trace_options_;
 };
 
 }  // namespace dbs3

@@ -31,4 +31,23 @@ std::vector<uint32_t> QueueVisitOrder(Strategy strategy,
   return order;
 }
 
+std::vector<uint32_t> LiveLptOrder(const std::vector<size_t>& live_units,
+                                   const std::vector<double>& estimates,
+                                   size_t start) {
+  const size_t n = live_units.size();
+  std::vector<uint32_t> order(n);
+  for (size_t k = 0; k < n; ++k) {
+    order[k] = static_cast<uint32_t>((start + k) % n);
+  }
+  // stable_sort keeps the rotated sequence among full ties, which is what
+  // staggers concurrent threads.
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (live_units[a] != live_units[b]) return live_units[a] > live_units[b];
+    const double ea = a < estimates.size() ? estimates[a] : 0.0;
+    const double eb = b < estimates.size() ? estimates[b] : 0.0;
+    return ea > eb;
+  });
+  return order;
+}
+
 }  // namespace dbs3

@@ -36,6 +36,20 @@ std::vector<uint32_t> QueueVisitOrder(Strategy strategy,
                                       const std::vector<double>& estimates,
                                       size_t num_queues);
 
+/// Visit order for the secondary (stealing) scan of an LPT thread.
+///
+/// The static QueueVisitOrder freezes the scan at construction from the
+/// cost estimates; mid-execution that is stale — a queue whose estimate was
+/// large may already be drained while a small-estimate queue backs up. This
+/// order follows the paper's LPT intent on *live* state: queues sorted by
+/// decreasing currently queued tuple units (largest remaining work first),
+/// ties broken by decreasing static estimate, remaining ties by a scan
+/// sequence rotated by `start` so concurrently stealing threads fan out
+/// over equally loaded queues instead of herding onto queue 0.
+std::vector<uint32_t> LiveLptOrder(const std::vector<size_t>& live_units,
+                                   const std::vector<double>& estimates,
+                                   size_t start);
+
 }  // namespace dbs3
 
 #endif  // DBS3_ENGINE_STRATEGY_H_

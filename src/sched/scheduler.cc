@@ -115,6 +115,7 @@ Result<ScheduleReport> ScheduleQuery(Plan& plan, const CostModel& cost_model,
     params.queue_capacity = options.queue_capacity;
     params.cost_estimates = report.estimates[i].per_instance_work;
   }
+  plan.trace_options() = options.trace;
   return report;
 }
 

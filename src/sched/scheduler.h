@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/trace.h"
 #include "engine/cost_model.h"
 #include "engine/plan.h"
 
@@ -41,6 +42,9 @@ struct ScheduleOptions {
   /// A triggered node whose per-instance work spread (max/mean) exceeds
   /// this threshold gets LPT (step 4); others get Random.
   double lpt_skew_threshold = 1.2;
+  /// Observability: activation tracing + queue-depth sampling for this
+  /// query's execution (off by default; see common/trace.h).
+  TraceOptions trace;
 };
 
 /// What the scheduler decided, for inspection and tests.

@@ -151,6 +151,85 @@ TEST(ExecutorTest, StatsAccountForEveryActivation) {
   EXPECT_EQ(store_total, 2'000u);
 }
 
+TEST(ExecutorTest, NoUnitsDroppedOnWellFormedPlans) {
+  // Activations pushed onto closed queues used to disappear with only a log
+  // line. On a well-formed plan (consumers outlive their producers) nothing
+  // may ever be dropped — across all four query shapes.
+  Database db = MakeSmallSkewedDb(0.7);
+  QueryOptions options;
+  options.schedule.total_threads = 4;
+  options.schedule.processors = 4;
+
+  auto check = [](const char* what, const ExecutionResult& execution) {
+    EXPECT_EQ(execution.units_dropped, 0u) << what;
+    for (const OperationStats& op : execution.op_stats) {
+      EXPECT_EQ(op.dropped, 0u) << what << " op " << op.name;
+    }
+  };
+  auto ideal = RunIdealJoin(db, "A", "key", "Bp", "key", options);
+  ASSERT_TRUE(ideal.ok()) << ideal.status().ToString();
+  check("IdealJoin", ideal.value().execution);
+
+  auto assoc = RunAssocJoin(db, "Bp", "key", "A", "key", options);
+  ASSERT_TRUE(assoc.ok()) << assoc.status().ToString();
+  check("AssocJoin", assoc.value().execution);
+
+  auto filter = RunFilterJoin(db, "Bp", MatchAll(), 1.0, "key", "A", "key",
+                              options);
+  ASSERT_TRUE(filter.ok()) << filter.status().ToString();
+  check("FilterJoin", filter.value().execution);
+
+  auto select =
+      RunSelect(db, "A", ColumnBetween(/*column=*/1, 0, 9), 0.1, options);
+  ASSERT_TRUE(select.ok()) << select.status().ToString();
+  check("Select", select.value().execution);
+}
+
+TEST(ExecutorTest, MetricsSnapshotAggregatesPerOperationCounters) {
+  Database db = MakeSmallSkewedDb(0.4);
+  QueryOptions options;
+  options.schedule.total_threads = 2;
+  options.schedule.processors = 2;
+  auto result = RunAssocJoin(db, "Bp", "key", "A", "key", options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const ExecutionResult& execution = result.value().execution;
+  const auto& counters = execution.metrics.counters;
+  // One counter group per operation; values mirror op_stats.
+  for (const OperationStats& op : execution.op_stats) {
+    const std::string prefix = "op." + op.name + ".";
+    ASSERT_TRUE(counters.count(prefix + "activations")) << prefix;
+    EXPECT_EQ(counters.at(prefix + "activations"), op.activations);
+    ASSERT_TRUE(counters.count(prefix + "dropped_units")) << prefix;
+    EXPECT_EQ(counters.at(prefix + "dropped_units"), op.dropped);
+    ASSERT_TRUE(counters.count(prefix + "main_queue_acquisitions"));
+    EXPECT_EQ(counters.at(prefix + "main_queue_acquisitions"),
+              op.main_queue_acquisitions);
+  }
+  // Tracing off: no trace JSON, no queue-depth series.
+  EXPECT_TRUE(execution.trace_json.empty());
+  EXPECT_TRUE(execution.metrics.series.empty());
+}
+
+TEST(ExecutorTest, TracingProducesSpansAndQueueDepthSeries) {
+  Database db = MakeSmallSkewedDb(0.4);
+  QueryOptions options;
+  options.schedule.total_threads = 2;
+  options.schedule.processors = 2;
+  options.schedule.trace.enabled = true;
+  options.schedule.trace.sample_interval_us = 50;
+  auto result = RunAssocJoin(db, "Bp", "key", "A", "key", options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const ExecutionResult& execution = result.value().execution;
+  EXPECT_NE(execution.trace_json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(execution.trace_json.find("\"ph\":\"X\""), std::string::npos);
+  // One sampled queue-depth series per operation.
+  EXPECT_EQ(execution.metrics.series.size(), 3u);
+  for (const auto& [name, series] : execution.metrics.series) {
+    EXPECT_EQ(name.rfind("op.", 0), 0u) << name;
+    EXPECT_GE(series.min, 0);
+  }
+}
+
 TEST(ExecutorTest, RejectsNonCopartitionedIdealJoin) {
   Database db(2);
   SkewSpec spec;

@@ -408,6 +408,152 @@ TEST(OperationTest, PushNotifyStressSingleThreadBoundedQueue) {
   }
 }
 
+TEST(OperationTest, DestructorWithoutJoinReleasesWorkers) {
+  // Regression for a lost wakeup in ~Operation: the producers_done_ store
+  // and notify were unpaired with wait_mu_, so a worker that had just
+  // evaluated its wait predicate could sleep through the shutdown signal
+  // and hang the destructor's Join forever. Many short rounds under TSan
+  // maximize the window between the predicate check and the wait.
+  for (int round = 0; round < 200; ++round) {
+    CountingLogic logic(2);
+    OperationConfig config = MakeConfig(2, 2);
+    config.cache_size = 1;
+    Operation op(config, &logic, DataOutput{});
+    op.AddProducer();
+    op.Start();
+    for (int64_t k = 0; k < 8; ++k) {
+      op.PushData(static_cast<size_t>(k) % 2, Tuple({Value(k)}));
+    }
+    // No ProducerDone, no Join: the destructor must shut the pool down.
+  }
+}
+
+TEST(OperationTest, DroppedUnitsCountedOnClosedQueues) {
+  // Pushes racing a shutdown used to vanish with only a log line. They must
+  // be counted, tuple-denominated (a chunk counts its tuples).
+  CountingLogic logic(2);
+  Operation op(MakeConfig(2, 1), &logic, DataOutput{});
+  op.AddProducer();
+  op.Start();
+  op.PushData(0, Tuple({Value(int64_t{1})}));
+  op.ProducerDone();  // Closes the queues.
+  op.Join();
+  op.PushData(0, Tuple({Value(int64_t{2})}));   // Dropped: 1 unit.
+  op.PushTrigger(1);                            // Dropped: 1 unit.
+  TupleChunk chunk;
+  for (int64_t k = 0; k < 5; ++k) chunk.push_back(Tuple({Value(k)}));
+  op.PushDataChunk(1, std::move(chunk));        // Dropped: 5 units.
+  const OperationStats stats = op.stats();
+  EXPECT_EQ(stats.dropped, 7u);
+  EXPECT_EQ(logic.total(), 1u);  // Only the pre-close push was processed.
+}
+
+TEST(OperationTest, NothingDroppedOnCleanShutdown) {
+  CountingLogic logic(2);
+  Operation op(MakeConfig(2, 2), &logic, DataOutput{});
+  op.AddProducer();
+  op.Start();
+  for (int64_t k = 0; k < 100; ++k) {
+    op.PushData(static_cast<size_t>(k) % 2, Tuple({Value(k)}));
+  }
+  op.ProducerDone();
+  op.Join();
+  EXPECT_EQ(op.stats().dropped, 0u);
+}
+
+TEST(OperationTest, BusyTimeAccountingConsistent) {
+  // busy_seconds is the sum of per-thread processing time; the old
+  // wall-clock span survives separately as wall_span_seconds. Each
+  // thread's busy share is bounded by the operation's span, and busy+idle
+  // per thread never exceeds it either (lifetime <= span by definition).
+  CountingLogic logic(4);
+  Operation op(MakeConfig(4, 3), &logic, DataOutput{});
+  op.AddProducer();
+  op.Start();
+  for (int64_t k = 0; k < 2'000; ++k) {
+    op.PushData(static_cast<size_t>(k) % 4, Tuple({Value(k)}));
+  }
+  op.ProducerDone();
+  op.Join();
+  const OperationStats stats = op.stats();
+  ASSERT_EQ(stats.per_thread_busy_seconds.size(), 3u);
+  ASSERT_EQ(stats.per_thread_idle_seconds.size(), 3u);
+  EXPECT_GT(stats.busy_seconds, 0.0);
+  EXPECT_GT(stats.wall_span_seconds, 0.0);
+  double sum = 0.0;
+  const double slack = 1e-4;  // Clock-read granularity.
+  for (size_t t = 0; t < 3; ++t) {
+    const double busy = stats.per_thread_busy_seconds[t];
+    const double idle = stats.per_thread_idle_seconds[t];
+    EXPECT_GE(busy, 0.0);
+    EXPECT_GE(idle, 0.0);
+    EXPECT_LE(busy, stats.wall_span_seconds + slack);
+    EXPECT_LE(busy + idle, stats.wall_span_seconds + slack);
+    sum += busy;
+  }
+  EXPECT_NEAR(stats.busy_seconds, sum, 1e-9);
+  // With 3 threads the summed processing time may legitimately exceed the
+  // span; it must never exceed threads * span.
+  EXPECT_LE(stats.busy_seconds, 3.0 * stats.wall_span_seconds + slack);
+}
+
+TEST(OperationTest, QueueAcquisitionSplitCountsEveryBatch) {
+  CountingLogic logic(2);
+  Operation op(MakeConfig(2, 2), &logic, DataOutput{});
+  op.AddProducer();
+  op.Start();
+  for (int64_t k = 0; k < 300; ++k) {
+    op.PushData(static_cast<size_t>(k) % 2, Tuple({Value(k)}));
+  }
+  op.ProducerDone();
+  op.Join();
+  const OperationStats stats = op.stats();
+  const uint64_t batches =
+      stats.main_queue_acquisitions + stats.secondary_queue_acquisitions;
+  // Every activation arrives in some acquired batch of >= 1 activation.
+  EXPECT_GT(batches, 0u);
+  EXPECT_LE(batches, stats.activations);
+  EXPECT_EQ(stats.activations, 300u);
+}
+
+TEST(OperationTest, PeakQueueUnitsSeesPreloadedBacklog) {
+  CountingLogic logic(2);
+  Operation op(MakeConfig(2, 1), &logic, DataOutput{});
+  op.AddProducer();
+  // Everything queued on instance 0 before any worker runs: the high-water
+  // mark must see the full backlog.
+  for (int64_t k = 0; k < 40; ++k) op.PushData(0, Tuple({Value(k)}));
+  op.ProducerDone();
+  op.Start();
+  op.Join();
+  EXPECT_EQ(op.stats().peak_queue_units, 40u);
+}
+
+TEST(OperationTest, TracerRecordsSpansCoveringAllUnits) {
+  ActivationTracer tracer;
+  CountingLogic logic(2);
+  OperationConfig config = MakeConfig(2, 2);
+  config.tracer = &tracer;
+  Operation op(config, &logic, DataOutput{});
+  op.AddProducer();
+  op.Start();
+  for (int64_t k = 0; k < 64; ++k) {
+    op.PushData(static_cast<size_t>(k) % 2, Tuple({Value(k)}));
+  }
+  op.ProducerDone();
+  op.Join();
+  const std::vector<uint64_t> units = tracer.UnitsPerInstance("test-op");
+  ASSERT_EQ(units.size(), 2u);
+  EXPECT_EQ(units[0] + units[1], 64u);
+  // The tracer-side busy time and the stats-side busy time measure the
+  // same spans, so they agree to clock granularity.
+  const std::vector<double> traced = tracer.BusySecondsPerThread("test-op");
+  const OperationStats stats = op.stats();
+  double traced_sum = 0.0;
+  for (double s : traced) traced_sum += s;
+  EXPECT_NEAR(traced_sum, stats.busy_seconds, 1e-3);
+}
+
 TEST(OperationTest, BoundedQueuesApplyBackpressure) {
   CountingLogic logic(2);
   OperationConfig config = MakeConfig(2, 1);

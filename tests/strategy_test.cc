@@ -43,6 +43,64 @@ TEST(StrategyTest, ShortEstimateVectorTreatsMissingAsZero) {
   EXPECT_EQ(order[3], 3u);
 }
 
+TEST(StrategyTest, LiveLptOrdersByLiveUnitsNotEstimates) {
+  // Queue 0 had the largest estimate but is drained; queue 2 backs up. The
+  // live order must follow the live load, not the stale estimate.
+  const std::vector<uint32_t> order =
+      LiveLptOrder(/*live_units=*/{0, 3, 50}, /*estimates=*/{9.0, 2.0, 1.0},
+                   /*start=*/0);
+  EXPECT_EQ(order, (std::vector<uint32_t>{2, 1, 0}));
+}
+
+TEST(StrategyTest, LiveLptBreaksTiesByEstimate) {
+  // Equal live load: fall back to the static LPT order.
+  const std::vector<uint32_t> order =
+      LiveLptOrder({5, 5, 5}, {1.0, 7.0, 3.0}, /*start=*/0);
+  EXPECT_EQ(order, (std::vector<uint32_t>{1, 2, 0}));
+}
+
+TEST(StrategyTest, LiveLptRotatesFullTiesByStart) {
+  // All queues identical: the rotated scan start spreads concurrent
+  // stealers over the queues instead of herding them onto queue 0.
+  EXPECT_EQ(LiveLptOrder({4, 4, 4, 4}, {}, 0),
+            (std::vector<uint32_t>{0, 1, 2, 3}));
+  EXPECT_EQ(LiveLptOrder({4, 4, 4, 4}, {}, 2),
+            (std::vector<uint32_t>{2, 3, 0, 1}));
+  EXPECT_EQ(LiveLptOrder({4, 4, 4, 4}, {}, 5),
+            (std::vector<uint32_t>{1, 2, 3, 0}));
+}
+
+TEST(StrategyTest, LiveLptEmptyQueuesSortLast) {
+  // Empty queues trail everything, so a scan that pops the first non-empty
+  // entry doubles as a full fallback sweep.
+  const std::vector<uint32_t> order =
+      LiveLptOrder({0, 1, 0, 2}, {5.0, 1.0, 4.0, 1.0}, /*start=*/0);
+  EXPECT_EQ(order[0], 3u);
+  EXPECT_EQ(order[1], 1u);
+  // The two empties keep estimate order among themselves.
+  EXPECT_EQ(order[2], 0u);
+  EXPECT_EQ(order[3], 2u);
+}
+
+TEST(StrategyTest, LiveLptIsPermutation) {
+  for (size_t start : {0ul, 3ul, 11ul}) {
+    std::vector<size_t> live(17);
+    std::vector<double> estimates(17);
+    for (size_t i = 0; i < live.size(); ++i) {
+      live[i] = i % 5;
+      estimates[i] = static_cast<double>(i % 3);
+    }
+    const std::vector<uint32_t> order = LiveLptOrder(live, estimates, start);
+    std::vector<bool> seen(live.size(), false);
+    ASSERT_EQ(order.size(), live.size());
+    for (uint32_t q : order) {
+      ASSERT_LT(q, live.size());
+      EXPECT_FALSE(seen[q]);
+      seen[q] = true;
+    }
+  }
+}
+
 TEST(StrategyTest, PermutationCoversAllQueues) {
   for (size_t n : {1ul, 7ul, 200ul}) {
     std::vector<double> estimates(n);
