@@ -22,14 +22,14 @@ std::string MetricsSnapshot::ToString() const {
 }
 
 MetricCounter* MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<MetricCounter>();
   return slot.get();
 }
 
 MetricGauge* MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<MetricGauge>();
   return slot.get();
@@ -37,12 +37,12 @@ MetricGauge* MetricsRegistry::gauge(const std::string& name) {
 
 void MetricsRegistry::RegisterProbe(const std::string& name,
                                     std::function<int64_t()> probe) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   probes_[name].fn = std::move(probe);
 }
 
 void MetricsRegistry::ClearProbes() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [name, probe] : probes_) probe.fn = nullptr;
 }
 
@@ -50,7 +50,7 @@ void MetricsRegistry::SamplePass() {
   // Probes run under the registry mutex: they must be cheap (an atomic load
   // or a couple of mutex-guarded size reads). This also serializes sampling
   // against registration and snapshots.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [name, probe] : probes_) {
     if (!probe.fn) continue;
     const int64_t v = probe.fn();
@@ -69,7 +69,7 @@ void MetricsRegistry::SamplePass() {
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   MetricsSnapshot snap;
   for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
   for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
@@ -84,32 +84,48 @@ MetricsSampler::MetricsSampler(MetricsRegistry* registry,
 MetricsSampler::~MetricsSampler() { Stop(); }
 
 void MetricsSampler::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (thread_.joinable()) return;
+  MutexLock lock(&mu_);
+  // running_ (not thread_.joinable()) is the guard: it stays true while a
+  // concurrent Stop() holds the moved-out handle to join it. Spawning in
+  // that window would let the Stop reset be overwritten (stop_ = false
+  // observed by the *old* loop), leaking a sampler thread no Stop() can
+  // ever join — the old lost-shutdown race.
+  if (running_) return;
   stop_ = false;
+  running_ = true;
   thread_ = std::thread([this] { Loop(); });
 }
 
 void MetricsSampler::Stop() {
   std::thread sampler;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!thread_.joinable()) return;
+    MutexLock lock(&mu_);
+    if (!running_) return;
+    if (!thread_.joinable()) {
+      // Another Stop() is mid-join; wait for it so every Stop() returns
+      // only once the sampler thread has really exited.
+      while (running_) cv_.Wait(&mu_);
+      return;
+    }
     stop_ = true;
     sampler = std::move(thread_);
   }
-  cv_.notify_all();
+  cv_.SignalAll();
   sampler.join();
+  MutexLock lock(&mu_);
+  running_ = false;
+  cv_.SignalAll();
 }
 
 void MetricsSampler::Loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   while (!stop_) {
-    lock.unlock();
+    mu_.Unlock();
     registry_->SamplePass();
-    lock.lock();
-    cv_.wait_for(lock, period_, [&] { return stop_; });
+    mu_.Lock();
+    if (!stop_) cv_.WaitFor(&mu_, period_);
   }
+  mu_.Unlock();
 }
 
 }  // namespace dbs3

@@ -3,14 +3,15 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace dbs3 {
 
@@ -74,23 +75,26 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  MetricCounter* counter(const std::string& name);
-  MetricGauge* gauge(const std::string& name);
+  MetricCounter* counter(const std::string& name) EXCLUDES(mu_);
+  MetricGauge* gauge(const std::string& name) EXCLUDES(mu_);
 
   /// Registers `probe` to be sampled into the series named `name`. The
   /// callback must stay valid until ClearProbes() (or registry destruction);
   /// callers whose probes capture shorter-lived objects must clear first.
-  void RegisterProbe(const std::string& name, std::function<int64_t()> probe);
+  void RegisterProbe(const std::string& name, std::function<int64_t()> probe)
+      EXCLUDES(mu_);
 
   /// Drops every probe callback (so objects they point into may be
   /// destroyed) while keeping the recorded SeriesStats for later snapshots.
-  void ClearProbes();
+  void ClearProbes() EXCLUDES(mu_);
 
   /// Runs every registered probe once, folding the values into their
   /// series. Called by the sampler thread; exposed for deterministic tests.
-  void SamplePass();
+  /// Probes run under mu_, so they must be cheap and must not call back
+  /// into this registry.
+  void SamplePass() EXCLUDES(mu_);
 
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const EXCLUDES(mu_);
 
  private:
   struct Probe {
@@ -98,16 +102,20 @@ class MetricsRegistry {
     SeriesStats series;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<MetricCounter>> counters_;
-  std::map<std::string, std::unique_ptr<MetricGauge>> gauges_;
-  std::map<std::string, Probe> probes_;
+  mutable Mutex mu_{"MetricsRegistry::mu"};
+  std::map<std::string, std::unique_ptr<MetricCounter>> counters_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<MetricGauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, Probe> probes_ GUARDED_BY(mu_);
 };
 
 /// Background thread that samples a registry's probes at a fixed period.
-/// Start/Stop are idempotent; destruction stops the thread. Stop() returns
-/// only after the sampler thread has exited, so it is safe to destroy the
-/// objects probes point into right after Stop().
+/// Start/Stop are idempotent and may race from different threads;
+/// destruction stops the thread. Stop() returns only after the sampler
+/// thread has exited, so it is safe to destroy the objects probes point
+/// into right after Stop(). A Start() that races a Stop() in progress is
+/// dropped (the sampler stays stopped) — the lifecycle never ends with a
+/// leaked thread.
 class MetricsSampler {
  public:
   MetricsSampler(MetricsRegistry* registry, std::chrono::microseconds period);
@@ -116,18 +124,25 @@ class MetricsSampler {
   MetricsSampler(const MetricsSampler&) = delete;
   MetricsSampler& operator=(const MetricsSampler&) = delete;
 
-  void Start();
-  void Stop();
+  void Start() EXCLUDES(mu_);
+  void Stop() EXCLUDES(mu_);
 
  private:
-  void Loop();
+  void Loop() EXCLUDES(mu_);
 
   MetricsRegistry* registry_;
   const std::chrono::microseconds period_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
-  std::thread thread_;
+  Mutex mu_{"MetricsSampler::mu"};
+  /// Signaled on stop_ (wakes Loop) and on running_ clearing (wakes
+  /// concurrent Stop callers waiting for the join to finish).
+  CondVar cv_;
+  bool stop_ GUARDED_BY(mu_) = false;
+  /// True from Start() until the stopping Stop() has joined the thread.
+  /// Distinct from thread_.joinable(): it stays true across the window
+  /// where Stop() has moved the handle out to join it, which is exactly
+  /// the window where a racing Start() must not spawn a second loop.
+  bool running_ GUARDED_BY(mu_) = false;
+  std::thread thread_ GUARDED_BY(mu_);
 };
 
 }  // namespace dbs3

@@ -1,0 +1,156 @@
+#include "common/mutex.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace dbs3 {
+namespace verify {
+
+namespace {
+
+/// One lock the calling thread currently holds: the instance pointer (for
+/// release matching) and its interned lock-class index.
+struct HeldLock {
+  const void* mu;
+  size_t name_index;
+};
+
+thread_local std::vector<HeldLock> tls_held;
+
+}  // namespace
+
+LockOrderRecorder& LockOrderRecorder::Instance() {
+  // Leaked singleton: worker threads may still release locks during static
+  // destruction.
+  static LockOrderRecorder* recorder = new LockOrderRecorder();
+  return *recorder;
+}
+
+void LockOrderRecorder::Fail(const std::string& message) {
+  FailureHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(graph_mu_);
+    handler = handler_;
+  }
+  if (handler) {
+    handler(message);
+    return;
+  }
+  std::fprintf(stderr, "DBS3 VERIFY FAILURE: %s\n", message.c_str());
+  std::abort();
+}
+
+void LockOrderRecorder::OnAcquire(const void* mu, const char* name) {
+  std::string failure;
+  {
+    std::lock_guard<std::mutex> lock(graph_mu_);
+    // Intern the lock class.
+    size_t idx = names_.size();
+    for (size_t i = 0; i < names_.size(); ++i) {
+      if (names_[i] == name) {
+        idx = i;
+        break;
+      }
+    }
+    if (idx == names_.size()) {
+      names_.emplace_back(name);
+      edges_.emplace_back();
+    }
+
+    for (const HeldLock& held : tls_held) {
+      if (held.name_index == idx) {
+        if (held.mu == mu) continue;  // Recursive self-lock: deadlocks on
+                                      // its own; the analysis flags it too.
+        failure = "lock-order: acquiring a second '" + names_[idx] +
+                  "' while one is already held (same-class nesting has no "
+                  "defined order)";
+        break;
+      }
+      // New held-before edge held.name_index -> idx. Before recording it,
+      // reject it if the reverse direction is already reachable: that
+      // closes a wait-for cycle.
+      std::vector<size_t>& out = edges_[held.name_index];
+      bool known = false;
+      for (size_t e : out) {
+        if (e == idx) {
+          known = true;
+          break;
+        }
+      }
+      if (known) continue;
+      // DFS from idx looking for held.name_index, tracking parents so the
+      // report can spell out the recorded path.
+      std::vector<size_t> parent(names_.size(), SIZE_MAX);
+      std::vector<size_t> stack{idx};
+      std::vector<bool> seen(names_.size(), false);
+      seen[idx] = true;
+      bool cycle = false;
+      while (!stack.empty() && !cycle) {
+        const size_t node = stack.back();
+        stack.pop_back();
+        for (size_t next : edges_[node]) {
+          if (seen[next]) continue;
+          seen[next] = true;
+          parent[next] = node;
+          if (next == held.name_index) {
+            cycle = true;
+            break;
+          }
+          stack.push_back(next);
+        }
+      }
+      if (cycle) {
+        // The recorded chain runs idx -> ... -> held; the new acquisition
+        // would add held -> idx, closing the cycle.
+        std::string path = names_[held.name_index];
+        for (size_t n = parent[held.name_index];; n = parent[n]) {
+          path = names_[n] + " -> " + path;
+          if (n == idx) break;
+        }
+        failure = "lock-order cycle: acquiring '" + names_[idx] +
+                  "' while holding '" + names_[held.name_index] +
+                  "', but the reverse order is already recorded (" + path +
+                  ")";
+        break;
+      }
+      out.push_back(idx);
+    }
+    tls_held.push_back(HeldLock{mu, idx});
+  }
+  if (!failure.empty()) Fail(failure);
+}
+
+void LockOrderRecorder::OnRelease(const void* mu) {
+  for (size_t i = tls_held.size(); i-- > 0;) {
+    if (tls_held[i].mu == mu) {
+      tls_held.erase(tls_held.begin() + static_cast<ptrdiff_t>(i));
+      return;
+    }
+  }
+  // Released a lock acquired before recording started (or handed across
+  // threads, which dbs3::CondVar never does): nothing to unwind.
+}
+
+void LockOrderRecorder::ResetGraph() {
+  std::lock_guard<std::mutex> lock(graph_mu_);
+  // Keep names_ interned: live threads hold indices into it.
+  for (auto& out : edges_) out.clear();
+}
+
+FailureHandler LockOrderRecorder::SetFailureHandler(FailureHandler handler) {
+  std::lock_guard<std::mutex> lock(graph_mu_);
+  FailureHandler previous = std::move(handler_);
+  handler_ = std::move(handler);
+  return previous;
+}
+
+size_t LockOrderRecorder::EdgeCount() const {
+  std::lock_guard<std::mutex> lock(graph_mu_);
+  size_t count = 0;
+  for (const auto& out : edges_) count += out.size();
+  return count;
+}
+
+}  // namespace verify
+}  // namespace dbs3

@@ -1,0 +1,203 @@
+#ifndef DBS3_COMMON_MUTEX_H_
+#define DBS3_COMMON_MUTEX_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+/// DBS3_VERIFY_ENABLED gates the debug invariant layer (lock-order
+/// recording here; tuple-conservation ledger and queue assertions in
+/// engine/verify.h). The CMake option DBS3_VERIFY (default ON for Debug
+/// builds) defines DBS3_VERIFY=1; release builds compile the hooks out
+/// entirely, so the hot paths carry zero extra cost.
+#if defined(DBS3_VERIFY) && DBS3_VERIFY
+#define DBS3_VERIFY_ENABLED 1
+#else
+#define DBS3_VERIFY_ENABLED 0
+#endif
+
+namespace dbs3 {
+
+class Mutex;
+
+namespace verify {
+
+/// Called on a violation (lock-order cycle, conservation breach...). The
+/// default handler logs the message and aborts; tests install a collecting
+/// handler to assert that detection fires.
+using FailureHandler = std::function<void(const std::string&)>;
+
+/// Runtime lock-order recorder (the dynamic complement to the static
+/// -Wthread-safety annotations). Mutex::Lock/Unlock feed it when
+/// DBS3_VERIFY_ENABLED; acquisitions build a global "A held while
+/// acquiring B" graph keyed by mutex *name* (one node per lock class /
+/// declaration site, the classic lockdep reduction), and an acquisition
+/// that closes a cycle — or that takes a second lock of the same class —
+/// invokes the failure handler with the offending path.
+///
+/// The recorder itself is compiled unconditionally so negative tests can
+/// drive OnAcquire/OnRelease directly in any build; only the per-lock
+/// hooks are debug-gated.
+class LockOrderRecorder {
+ public:
+  static LockOrderRecorder& Instance();
+
+  /// Records that the calling thread acquired `mu` (named `name`), adding
+  /// held-before edges and checking them for cycles.
+  void OnAcquire(const void* mu, const char* name);
+
+  /// Records that the calling thread released `mu`.
+  void OnRelease(const void* mu);
+
+  /// Drops the accumulated edge graph (not the calling thread's held
+  /// stack); for tests that need a clean slate.
+  void ResetGraph();
+
+  /// Installs `handler` for cycle reports; nullptr restores the default
+  /// log-and-abort handler. Returns the previous handler.
+  FailureHandler SetFailureHandler(FailureHandler handler);
+
+  /// Number of distinct held-before edges recorded so far.
+  size_t EdgeCount() const;
+
+ private:
+  LockOrderRecorder() = default;
+  void Fail(const std::string& message);
+
+  mutable std::mutex graph_mu_;  // Raw std::mutex: must not re-enter hooks.
+  // Adjacency: names[i] holds the lock class; edges_[i] the classes
+  // acquired at least once while names_[i] was held.
+  std::vector<std::string> names_;
+  std::vector<std::vector<size_t>> edges_;
+  FailureHandler handler_;
+};
+
+}  // namespace verify
+
+/// Annotated exclusive mutex wrapping std::mutex (libstdc++'s std::mutex
+/// carries no capability annotations, so the clang thread-safety analysis
+/// needs this wrapper — the LevelDB/Abseil port pattern). The `name`
+/// identifies the lock *class* in lock-order reports; give every
+/// distinctly-ordered mutex declaration its own name.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  explicit Mutex(const char* name) : name_(name) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() {
+    mu_.lock();
+#if DBS3_VERIFY_ENABLED
+    verify::LockOrderRecorder::Instance().OnAcquire(this, name_);
+#endif
+  }
+
+  /// Non-blocking acquire. Recorded like Lock on success: a try-lock
+  /// cannot deadlock by itself, but treating it as ordering keeps the
+  /// graph conservative.
+  bool TryLock() TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+#if DBS3_VERIFY_ENABLED
+    verify::LockOrderRecorder::Instance().OnAcquire(this, name_);
+#endif
+    return true;
+  }
+
+  void Unlock() RELEASE() {
+#if DBS3_VERIFY_ENABLED
+    verify::LockOrderRecorder::Instance().OnRelease(this);
+#endif
+    mu_.unlock();
+  }
+
+  /// No-op at runtime; tells the static analysis the lock is held (for
+  /// code paths the analysis cannot follow).
+  void AssertHeld() ASSERT_CAPABILITY(this) {}
+
+  const char* name() const { return name_; }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+  const char* name_ = "mutex";
+};
+
+/// RAII lock for Mutex, visible to the thread-safety analysis.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// MutexLock that additionally counts acquisitions and contention (an
+/// acquisition that found the mutex held) into relaxed atomics — the
+/// producer/consumer interference signal of the activation queues.
+class SCOPED_CAPABILITY CountingMutexLock {
+ public:
+  CountingMutexLock(Mutex* mu, std::atomic<uint64_t>* acquisitions,
+                    std::atomic<uint64_t>* contended) ACQUIRE(mu) : mu_(mu) {
+    acquisitions->fetch_add(1, std::memory_order_relaxed);
+    if (!mu_->TryLock()) {
+      contended->fetch_add(1, std::memory_order_relaxed);
+      mu_->Lock();
+    }
+  }
+  ~CountingMutexLock() RELEASE() { mu_->Unlock(); }
+
+  CountingMutexLock(const CountingMutexLock&) = delete;
+  CountingMutexLock& operator=(const CountingMutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable for Mutex. Wait/WaitFor require the mutex held (the
+/// analysis sees it as held across the call, matching the caller's view:
+/// the wait releases and re-acquires internally).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex* mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  template <class Rep, class Period>
+  std::cv_status WaitFor(Mutex* mu,
+                         std::chrono::duration<Rep, Period> timeout)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(lock, timeout);
+    lock.release();
+    return status;
+  }
+
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace dbs3
+
+#endif  // DBS3_COMMON_MUTEX_H_

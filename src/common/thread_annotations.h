@@ -1,0 +1,75 @@
+#ifndef DBS3_COMMON_THREAD_ANNOTATIONS_H_
+#define DBS3_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis macros (Abseil/LevelDB style).
+///
+/// Annotating a member with GUARDED_BY(mu_) or a function with
+/// REQUIRES(mu_) turns the engine's locking discipline into a
+/// compiler-checked contract: building with
+/// `clang++ -Wthread-safety -Werror=thread-safety` (CMake:
+/// -DDBS3_THREAD_SAFETY=ON) rejects any access to protected state outside
+/// its lock. Under GCC — or any compiler without the attributes — every
+/// macro expands to nothing, so the annotations cost nothing to carry.
+///
+/// The analysis only understands capability-annotated lock types, so it is
+/// wired to `dbs3::Mutex`/`dbs3::MutexLock` (common/mutex.h), not raw
+/// std::mutex (libstdc++'s std::mutex carries no annotations).
+
+#if defined(__clang__) && (!defined(SWIG))
+#define DBS3_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define DBS3_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+/// Declares a type to be a capability (a lock); required on the mutex class
+/// itself for every other annotation to type-check.
+#define CAPABILITY(x) DBS3_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define SCOPED_CAPABILITY DBS3_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Data member readable/writable only while holding the given lock(s).
+#define GUARDED_BY(x) DBS3_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given lock(s).
+#define PT_GUARDED_BY(x) DBS3_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Function that may only be called while holding the given lock(s).
+#define REQUIRES(...) \
+  DBS3_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+/// Function that may only be called while holding the locks *shared*.
+#define REQUIRES_SHARED(...) \
+  DBS3_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+/// Function that acquires the given lock(s) and does not release them.
+#define ACQUIRE(...) \
+  DBS3_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the given lock(s); they must be held on entry.
+#define RELEASE(...) \
+  DBS3_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+/// Function that acquires the lock(s) iff it returns `ret`.
+#define TRY_ACQUIRE(ret, ...) \
+  DBS3_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Function that must be called *without* holding the given lock(s)
+/// (deadlock prevention: the function acquires them itself).
+#define EXCLUDES(...) DBS3_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Function that asserts (at runtime) that the calling thread holds the
+/// lock; tells the analysis to treat it as held from here on.
+#define ASSERT_CAPABILITY(x) \
+  DBS3_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+/// Function whose return value is protected by the given lock.
+#define LOCK_RETURNED(x) DBS3_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function (e.g. a lock
+/// wrapper whose discipline the analysis cannot follow).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  DBS3_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // DBS3_COMMON_THREAD_ANNOTATIONS_H_

@@ -42,7 +42,7 @@ std::string JsonEscape(const std::string& s) {
 
 TraceBuffer* ActivationTracer::AddBuffer(const std::string& op,
                                          uint32_t thread_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint32_t op_id = 0;
   const auto it = std::find(op_names_.begin(), op_names_.end(), op);
   if (it == op_names_.end()) {
@@ -57,7 +57,7 @@ TraceBuffer* ActivationTracer::AddBuffer(const std::string& op,
 }
 
 std::string ActivationTracer::ToChromeJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string out = "{\"traceEvents\":[";
   bool first = true;
   char buf[256];
@@ -119,7 +119,7 @@ Status ActivationTracer::WriteChromeJson(const std::string& path) const {
 
 std::vector<double> ActivationTracer::BusySecondsPerThread(
     const std::string& op) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<double> busy;
   for (const auto& buffer : buffers_) {
     if (buffer->op() != op) continue;
@@ -137,7 +137,7 @@ std::vector<double> ActivationTracer::BusySecondsPerThread(
 
 std::vector<uint64_t> ActivationTracer::UnitsPerInstance(
     const std::string& op) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<uint64_t> units;
   for (const auto& buffer : buffers_) {
     if (buffer->op() != op) continue;

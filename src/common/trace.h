@@ -4,11 +4,12 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace dbs3 {
 
@@ -92,29 +93,34 @@ class ActivationTracer {
 
   /// Creates the span buffer for thread `thread_id` of operation `op`.
   /// The buffer pointer stays valid for the tracer's lifetime.
-  TraceBuffer* AddBuffer(const std::string& op, uint32_t thread_id);
+  TraceBuffer* AddBuffer(const std::string& op, uint32_t thread_id)
+      EXCLUDES(mu_);
 
   std::chrono::steady_clock::time_point origin() const { return origin_; }
 
   /// Chrome trace_event JSON ({"traceEvents": [...]}).
-  std::string ToChromeJson() const;
+  std::string ToChromeJson() const EXCLUDES(mu_);
 
   /// Writes ToChromeJson() to `path`.
-  Status WriteChromeJson(const std::string& path) const;
+  Status WriteChromeJson(const std::string& path) const EXCLUDES(mu_);
 
   /// Sum of span durations per thread of operation `op`, in seconds,
   /// indexed by thread id (the tracer-side busy-time cross-check).
-  std::vector<double> BusySecondsPerThread(const std::string& op) const;
+  std::vector<double> BusySecondsPerThread(const std::string& op) const
+      EXCLUDES(mu_);
 
   /// Sum of span units per instance of operation `op` (index = instance).
-  std::vector<uint64_t> UnitsPerInstance(const std::string& op) const;
+  std::vector<uint64_t> UnitsPerInstance(const std::string& op) const
+      EXCLUDES(mu_);
 
  private:
   const std::chrono::steady_clock::time_point origin_;
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<TraceBuffer>> buffers_;
+  mutable Mutex mu_{"ActivationTracer::mu"};
+  /// The vector (not the pointed-to buffers: each is single-writer once
+  /// handed out) is guarded.
+  std::vector<std::unique_ptr<TraceBuffer>> buffers_ GUARDED_BY(mu_);
   /// op name -> chrome pid, in AddBuffer discovery order.
-  std::vector<std::string> op_names_;
+  std::vector<std::string> op_names_ GUARDED_BY(mu_);
 };
 
 }  // namespace dbs3

@@ -1,39 +1,55 @@
 #include "engine/activation_queue.h"
 
+#include "engine/verify.h"
+
 namespace dbs3 {
 
 ActivationQueue::ActivationQueue(size_t capacity) : capacity_(capacity) {}
 
-std::unique_lock<std::mutex> ActivationQueue::Lock() const {
-  acquisitions_.fetch_add(1, std::memory_order_relaxed);
-  std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
-  if (!lock.owns_lock()) {
-    contended_.fetch_add(1, std::memory_order_relaxed);
-    lock.lock();
+void ActivationQueue::CheckInvariants(bool deep) const {
+#if DBS3_VERIFY_ENABLED
+  if (static_cast<uint64_t>(units_) > peak_units_) {
+    verify::Fail("activation queue unit counter " + std::to_string(units_) +
+                 " exceeds its recorded peak " + std::to_string(peak_units_));
   }
-  return lock;
+  if (deep) {
+    size_t sum = 0;
+    for (const Activation& a : items_) sum += a.unit_count();
+    if (sum != units_) {
+      verify::Fail("activation queue unit counter " +
+                   std::to_string(units_) + " does not match the " +
+                   std::to_string(sum) + " units actually buffered");
+    }
+  }
+#else
+  (void)deep;
+#endif
 }
 
 bool ActivationQueue::Push(Activation a) {
   const size_t units = a.unit_count();
-  std::unique_lock<std::mutex> lock = Lock();
+  CountingMutexLock lock(&mu_, &acquisitions_, &contended_);
   if (capacity_ > 0) {
     // Wait until the whole activation fits. An activation larger than the
     // capacity itself is admitted once the queue is empty (overshooting the
     // bound once) so an oversized chunk can never deadlock the pipeline.
-    not_full_.wait(lock, [&] {
-      return closed_ || units_ + units <= capacity_ || items_.empty();
-    });
+    while (!closed_ && units_ + units > capacity_ && !items_.empty()) {
+      not_full_.Wait(&mu_);
+    }
   }
-  if (closed_) return false;
+  if (closed_) {
+    rejected_units_ += units;
+    return false;
+  }
   items_.push_back(std::move(a));
   units_ += units;
   if (units_ > peak_units_) peak_units_ = units_;
+  CheckInvariants(/*deep=*/false);
   return true;
 }
 
 size_t ActivationQueue::PopBatch(size_t max, std::vector<Activation>* out) {
-  std::unique_lock<std::mutex> lock = Lock();
+  CountingMutexLock lock(&mu_, &acquisitions_, &contended_);
   size_t popped = 0;
   while (popped < max && !items_.empty()) {
     units_ -= items_.front().unit_count();
@@ -41,38 +57,45 @@ size_t ActivationQueue::PopBatch(size_t max, std::vector<Activation>* out) {
     items_.pop_front();
     ++popped;
   }
-  if (popped > 0 && capacity_ > 0) not_full_.notify_all();
+  CheckInvariants(/*deep=*/false);
+  if (popped > 0 && capacity_ > 0) not_full_.SignalAll();
   return popped;
 }
 
 void ActivationQueue::Close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   closed_ = true;
-  not_full_.notify_all();
+  CheckInvariants(/*deep=*/true);
+  not_full_.SignalAll();
 }
 
 bool ActivationQueue::Empty() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return items_.empty();
 }
 
 size_t ActivationQueue::Size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return items_.size();
 }
 
 uint64_t ActivationQueue::peak_units() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return peak_units_;
 }
 
+uint64_t ActivationQueue::rejected_units() const {
+  MutexLock lock(&mu_);
+  return rejected_units_;
+}
+
 size_t ActivationQueue::SizeUnits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return units_;
 }
 
 bool ActivationQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return closed_;
 }
 

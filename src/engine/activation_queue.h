@@ -3,12 +3,12 @@
 
 #include <atomic>
 #include <cstddef>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "engine/activation.h"
 
 namespace dbs3 {
@@ -22,6 +22,10 @@ namespace dbs3 {
 /// of the operation consume from *any* instance queue — that is the dynamic
 /// load-balancing mechanism). Consumers never block here: waiting for work
 /// across all queues of the operation is the Operation's job.
+///
+/// Locking discipline is compiler-checked: every buffered field is
+/// GUARDED_BY(mu_), so a clang `-Wthread-safety` build rejects any access
+/// outside the lock.
 class ActivationQueue {
  public:
   /// `capacity` bounds the buffer in *tuple units* (Activation::unit_count:
@@ -37,14 +41,16 @@ class ActivationQueue {
 
   /// Enqueues `a`, blocking while the queue is full. Returns false when the
   /// queue has been closed (the activation is dropped) — this only happens
-  /// on cancelled executions, never in a well-formed plan.
+  /// on cancelled executions, never in a well-formed plan. Every rejected
+  /// unit is tallied (rejected_units) so the caller's drop accounting can
+  /// be cross-checked by the verify layer.
   ///
   /// Oversized-chunk contract (bounded queues): an activation larger than
   /// the whole capacity is admitted once the queue is *empty* (transiently
   /// overshooting the bound) rather than deadlocking. Producers that respect
   /// the bound — the engine's emitter clamps its chunk size to the consumer
   /// capacity — never overshoot.
-  bool Push(Activation a);
+  bool Push(Activation a) EXCLUDES(mu_);
 
   /// Dequeues up to `max` *activations* into `out` (appended). Non-blocking;
   /// returns the number of activations dequeued. This batch dequeue is the
@@ -52,22 +58,27 @@ class ActivationQueue {
   /// amortized over CacheSize activations reduces producer/consumer
   /// interference. `max` counts activations (not tuples) so the CacheSize
   /// knob keeps the paper's semantics under chunking.
-  size_t PopBatch(size_t max, std::vector<Activation>* out);
+  size_t PopBatch(size_t max, std::vector<Activation>* out) EXCLUDES(mu_);
 
   /// Marks the queue closed: pending Push calls wake and fail, future Push
   /// calls fail. Already-queued activations remain poppable.
-  void Close();
+  void Close() EXCLUDES(mu_);
 
-  bool Empty() const;
+  bool Empty() const EXCLUDES(mu_);
   /// Number of queued activations.
-  size_t Size() const;
+  size_t Size() const EXCLUDES(mu_);
   /// Number of queued tuple units (what `capacity` bounds).
-  size_t SizeUnits() const;
-  bool closed() const;
+  size_t SizeUnits() const EXCLUDES(mu_);
+  bool closed() const EXCLUDES(mu_);
 
   /// High-water mark of queued tuple units over the queue's lifetime (the
   /// buffering the pipeline actually needed, vs. the capacity configured).
-  uint64_t peak_units() const;
+  uint64_t peak_units() const EXCLUDES(mu_);
+
+  /// Tuple units rejected by Push because the queue was closed. The pushing
+  /// operation must count the same units as dropped; the verify ledger
+  /// checks the two tallies against each other after every execution.
+  uint64_t rejected_units() const EXCLUDES(mu_);
 
   /// Number of lock acquisitions that found the mutex already held
   /// (producer/consumer interference — what the main/secondary queue split
@@ -77,18 +88,21 @@ class ActivationQueue {
   uint64_t total_acquisitions() const { return acquisitions_.load(); }
 
  private:
-  /// Locks mu_, counting contention.
-  std::unique_lock<std::mutex> Lock() const;
+  /// Debug-build state-machine assertions (DBS3_VERIFY): unit counter
+  /// within peak, and — when `deep` — the unit counter equal to the sum
+  /// over the buffered activations (O(n); only checked at Close).
+  void CheckInvariants(bool deep) const REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::deque<Activation> items_;
+  mutable Mutex mu_{"ActivationQueue::mu"};
+  CondVar not_full_;
+  std::deque<Activation> items_ GUARDED_BY(mu_);
   /// Sum of unit_count() over items_.
-  size_t units_ = 0;
+  size_t units_ GUARDED_BY(mu_) = 0;
   /// Max value units_ ever reached.
-  uint64_t peak_units_ = 0;
+  uint64_t peak_units_ GUARDED_BY(mu_) = 0;
+  uint64_t rejected_units_ GUARDED_BY(mu_) = 0;
   const size_t capacity_;
-  bool closed_ = false;
+  bool closed_ GUARDED_BY(mu_) = false;
   mutable std::atomic<uint64_t> contended_{0};
   mutable std::atomic<uint64_t> acquisitions_{0};
 };

@@ -36,7 +36,7 @@ Status GroupByLogic::Prepare(size_t num_instances) {
 void GroupByLogic::OnData(size_t instance, Tuple tuple, Emitter* out) {
   (void)out;
   InstanceState& state = *instances_[instance];
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(&state.mu);
   AccumulateLocked(state, tuple);
 }
 
@@ -44,7 +44,7 @@ void GroupByLogic::OnDataBatch(size_t instance, std::span<Tuple> tuples,
                                Emitter* out) {
   (void)out;
   InstanceState& state = *instances_[instance];
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(&state.mu);
   for (const Tuple& t : tuples) AccumulateLocked(state, t);
 }
 
@@ -84,7 +84,7 @@ void GroupByLogic::AccumulateLocked(InstanceState& state,
 
 void GroupByLogic::OnFinish(size_t instance, Emitter* out) {
   InstanceState& state = *instances_[instance];
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(&state.mu);
   for (const auto& [key, group] : state.groups) {
     std::vector<Value> values;
     values.reserve(1 + aggregates_.size());
@@ -123,13 +123,13 @@ Status SortLogic::Prepare(size_t num_instances) {
 void SortLogic::OnData(size_t instance, Tuple tuple, Emitter* out) {
   (void)out;
   InstanceState& state = *instances_[instance];
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(&state.mu);
   state.rows.push_back(std::move(tuple));
 }
 
 void SortLogic::OnFinish(size_t instance, Emitter* out) {
   InstanceState& state = *instances_[instance];
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(&state.mu);
   std::stable_sort(state.rows.begin(), state.rows.end(),
                    [&](const Tuple& a, const Tuple& b) {
                      if (order_ == SortOrder::kAscending) {

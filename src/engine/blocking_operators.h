@@ -4,10 +4,11 @@
 #include <cstddef>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "engine/operator_logic.h"
 #include "engine/operators.h"
 #include "storage/relation.h"
@@ -55,12 +56,14 @@ class GroupByLogic : public OperatorLogic {
     std::vector<bool> seen;       ///< Min/max initialization flags.
   };
   struct InstanceState {
-    std::mutex mu;
-    std::map<Value, GroupState> groups;
+    Mutex mu{"GroupByLogic::instance_mu"};
+    std::map<Value, GroupState> groups GUARDED_BY(mu);
   };
 
-  /// Folds one tuple into `state`; caller holds state.mu.
-  void AccumulateLocked(InstanceState& state, const Tuple& tuple);
+  /// Folds one tuple into `state`; the caller must hold state.mu (a
+  /// compiler-checked contract under -Wthread-safety).
+  void AccumulateLocked(InstanceState& state, const Tuple& tuple)
+      REQUIRES(state.mu);
 
   size_t group_column_;
   std::vector<AggSpec> aggregates_;
@@ -87,8 +90,8 @@ class SortLogic : public OperatorLogic {
 
  private:
   struct InstanceState {
-    std::mutex mu;
-    std::vector<Tuple> rows;
+    Mutex mu{"SortLogic::instance_mu"};
+    std::vector<Tuple> rows GUARDED_BY(mu);
   };
 
   size_t column_;

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/logging.h"
+#include "engine/verify.h"
 
 namespace dbs3 {
 
@@ -140,6 +141,37 @@ Result<ExecutionResult> Executor::Run(Plan& plan) {
     result.op_stats.push_back(std::move(stats));
   }
   result.metrics = registry.Snapshot();
+
+#if DBS3_VERIFY_ENABLED
+  // Tuple-conservation ledger (debug builds): every unit pushed into an
+  // operation — producer emissions plus executor triggers — must come back
+  // out as processed or accounted-dropped, and every closed-queue
+  // rejection must be mirrored in the drop counter. All pools are joined,
+  // so the counters are exact.
+  {
+    std::vector<verify::LedgerEntry> ledger(plan.num_nodes());
+    for (size_t i = 0; i < plan.num_nodes(); ++i) {
+      const PlanNode& node = plan.node(i);
+      const OperationStats& stats = result.op_stats[i];
+      verify::LedgerEntry& entry = ledger[i];
+      entry.name = stats.name;
+      entry.consumer = node.output;
+      entry.emitted = stats.emitted;
+      entry.processed = std::accumulate(stats.per_instance_processed.begin(),
+                                        stats.per_instance_processed.end(),
+                                        uint64_t{0});
+      entry.dropped = stats.dropped;
+      entry.rejected = stats.queue_rejected_units;
+      if (node.mode == ActivationMode::kTriggered) {
+        entry.triggers = node.instances;
+      }
+    }
+    for (const std::string& violation :
+         verify::CheckTupleConservation(ledger)) {
+      verify::Fail(violation);
+    }
+  }
+#endif
 
   if (tracer != nullptr) {
     result.trace_json = tracer->ToChromeJson();

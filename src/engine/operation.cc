@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/logging.h"
+#include "common/mutex.h"
 
 namespace dbs3 {
 
@@ -103,10 +104,10 @@ Operation::~Operation() {
       // The flag write must pair with wait_mu_, exactly like ProducerDone:
       // an unpaired store+notify can land between a worker's predicate
       // check and its wait, losing the wakeup and hanging the Join below.
-      std::lock_guard<std::mutex> lock(wait_mu_);
+      MutexLock lock(&wait_mu_);
       producers_done_.store(true);
     }
-    work_cv_.notify_all();
+    work_cv_.SignalAll();
     Join();
   }
 }
@@ -124,10 +125,10 @@ void Operation::ProducerDone() {
     {
       // Pairing the flag write with the wait mutex prevents a lost wakeup
       // between a worker's predicate check and its wait.
-      std::lock_guard<std::mutex> lock(wait_mu_);
+      MutexLock lock(&wait_mu_);
       producers_done_.store(true);
     }
-    work_cv_.notify_all();
+    work_cv_.SignalAll();
   }
 }
 
@@ -149,10 +150,10 @@ void Operation::PushActivation(size_t instance, Activation a,
     // wakeup: without it, a worker that just evaluated the wait predicate
     // (pending == 0) could miss this notify and sleep through the last
     // activation (same discipline as ProducerDone).
-    std::lock_guard<std::mutex> lock(wait_mu_);
+    MutexLock lock(&wait_mu_);
     pending_.fetch_add(units, std::memory_order_release);
   }
-  work_cv_.notify_one();
+  work_cv_.Signal();
 }
 
 void Operation::PushData(size_t instance, Tuple tuple) {
@@ -208,6 +209,7 @@ OperationStats Operation::stats() const {
   s.main_queue_acquisitions = main_acquisitions_.load();
   s.secondary_queue_acquisitions = secondary_acquisitions_.load();
   s.wall_span_seconds = static_cast<double>(wall_span_ns_.load()) * 1e-9;
+  for (const auto& q : queues_) s.queue_rejected_units += q->rejected_units();
   s.per_thread_busy_seconds.reserve(config_.num_threads);
   s.per_thread_idle_seconds.reserve(config_.num_threads);
   for (size_t t = 0; t < config_.num_threads; ++t) {
@@ -244,15 +246,17 @@ void Operation::WorkerLoop(size_t thread_id) {
     const size_t got = AcquireBatch(thread_id, rng, &batch, &instance,
                                     &units);
     if (got == 0) {
-      std::unique_lock<std::mutex> lock(wait_mu_);
-      work_cv_.wait(lock, [&] {
-        return pending_.load(std::memory_order_acquire) > 0 ||
-               producers_done_.load();
-      });
-      if (pending_.load(std::memory_order_acquire) <= 0 &&
-          producers_done_.load()) {
-        break;
+      bool drained_and_done = false;
+      {
+        MutexLock lock(&wait_mu_);
+        while (pending_.load(std::memory_order_acquire) <= 0 &&
+               !producers_done_.load()) {
+          work_cv_.Wait(&wait_mu_);
+        }
+        drained_and_done = pending_.load(std::memory_order_acquire) <= 0 &&
+                           producers_done_.load();
       }
+      if (drained_and_done) break;
       continue;
     }
     // Busy time is measured per acquired batch, not per tuple: two clock

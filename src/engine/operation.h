@@ -4,15 +4,15 @@
 #include <cstddef>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "common/status.h"
 #include "common/trace.h"
 #include "engine/activation.h"
@@ -73,6 +73,10 @@ struct OperationStats {
   /// plan; non-zero only for cancelled/abandoned executions, and surfaced
   /// so it can never again be silent data loss.
   uint64_t dropped = 0;
+  /// Tuple units the instance queues rejected after close, summed over the
+  /// queues. Must equal `dropped` — the verify ledger cross-checks the two
+  /// tallies after every execution.
+  uint64_t queue_rejected_units = 0;
   /// Batch acquisitions served from one of the consuming thread's own main
   /// queues vs. stolen from a secondary queue (load-balancing traffic).
   uint64_t main_queue_acquisitions = 0;
@@ -142,17 +146,17 @@ class Operation {
 
   /// Signals that one producer will push no more activations. When the last
   /// producer finishes, queues are closed and idle workers drain and exit.
-  void ProducerDone();
+  void ProducerDone() EXCLUDES(wait_mu_);
 
   /// Enqueues a single-tuple data activation for `instance`.
-  void PushData(size_t instance, Tuple tuple);
+  void PushData(size_t instance, Tuple tuple) EXCLUDES(wait_mu_);
 
   /// Enqueues a chunked data activation for `instance`. Empty chunks are
   /// ignored.
-  void PushDataChunk(size_t instance, TupleChunk tuples);
+  void PushDataChunk(size_t instance, TupleChunk tuples) EXCLUDES(wait_mu_);
 
   /// Enqueues the control activation for `instance`.
-  void PushTrigger(size_t instance);
+  void PushTrigger(size_t instance) EXCLUDES(wait_mu_);
 
   /// Spawns the worker pool. Prepare() of the logic must have succeeded.
   void Start();
@@ -176,12 +180,13 @@ class Operation {
  private:
   friend class OperationEmitter;
 
-  void WorkerLoop(size_t thread_id);
+  void WorkerLoop(size_t thread_id) EXCLUDES(wait_mu_);
 
   /// Enqueues `a` on `instance` and wakes a worker; the pending-counter
   /// update is paired with wait_mu_ so the wakeup cannot be lost between a
   /// worker's predicate check and its wait.
-  void PushActivation(size_t instance, Activation a, const char* what);
+  void PushActivation(size_t instance, Activation a, const char* what)
+      EXCLUDES(wait_mu_);
 
   /// Pops a batch from the best queue per the strategy; returns the number
   /// of activations, sets `*instance` to the queue the batch came from and
@@ -214,9 +219,13 @@ class Operation {
 
   /// Producer/consumer synchronization across all queues. pending_ counts
   /// queued tuple units (not activations) so bounded-queue back-pressure
-  /// and drain detection keep their meaning under chunking.
-  std::mutex wait_mu_;
-  std::condition_variable work_cv_;
+  /// and drain detection keep their meaning under chunking. pending_ and
+  /// producers_done_ stay atomics rather than GUARDED_BY(wait_mu_):
+  /// workers read them lock-free on the acquire fast path; writes pair
+  /// with wait_mu_ only to close the lost-wakeup window against a waiting
+  /// worker's predicate check.
+  Mutex wait_mu_{"Operation::wait_mu"};
+  CondVar work_cv_;
   std::atomic<int64_t> pending_{0};
   std::atomic<int64_t> open_producers_{0};
   std::atomic<bool> producers_done_{false};

@@ -311,21 +311,21 @@ Status StoreLogic::Prepare(size_t num_instances) {
   }
   fragment_mu_.clear();
   for (size_t i = 0; i < num_instances; ++i) {
-    fragment_mu_.push_back(std::make_unique<std::mutex>());
+    fragment_mu_.push_back(std::make_unique<Mutex>("StoreLogic::fragment_mu"));
   }
   return Status::OK();
 }
 
 void StoreLogic::OnData(size_t instance, Tuple tuple, Emitter* out) {
   (void)out;
-  std::lock_guard<std::mutex> lock(*fragment_mu_[instance]);
+  MutexLock lock(fragment_mu_[instance].get());
   result_->AppendToFragment(instance, std::move(tuple));
 }
 
 void StoreLogic::OnDataBatch(size_t instance, std::span<Tuple> tuples,
                              Emitter* out) {
   (void)out;
-  std::lock_guard<std::mutex> lock(*fragment_mu_[instance]);
+  MutexLock lock(fragment_mu_[instance].get());
   for (Tuple& t : tuples) {
     result_->AppendToFragment(instance, std::move(t));
   }

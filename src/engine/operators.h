@@ -5,12 +5,12 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "engine/operator_logic.h"
 #include "storage/relation.h"
 #include "storage/temp_index.h"
@@ -155,7 +155,10 @@ class StoreLogic : public OperatorLogic {
 
  private:
   Relation* result_;
-  std::vector<std::unique_ptr<std::mutex>> fragment_mu_;
+  /// One lock per result fragment. Dynamically indexed, so per-element
+  /// GUARDED_BY is not expressible; AppendToFragment calls happen only
+  /// under the matching fragment's lock.
+  std::vector<std::unique_ptr<Mutex>> fragment_mu_;
 };
 
 /// Pipelined filter: forwards each incoming tuple iff it matches the

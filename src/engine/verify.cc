@@ -1,0 +1,76 @@
+#include "engine/verify.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace dbs3 {
+namespace verify {
+
+namespace {
+
+FailureHandler* LedgerHandler() {
+  // Leaked: verification hooks may fire during static destruction.
+  static FailureHandler* handler = new FailureHandler();
+  return handler;
+}
+
+}  // namespace
+
+std::vector<std::string> CheckTupleConservation(
+    const std::vector<LedgerEntry>& ledger) {
+  std::vector<std::string> violations;
+  // Units-in per entry: triggers plus every producer's emissions.
+  std::vector<uint64_t> units_in(ledger.size(), 0);
+  for (size_t i = 0; i < ledger.size(); ++i) {
+    units_in[i] += ledger[i].triggers;
+    const int64_t c = ledger[i].consumer;
+    if (c < 0) continue;
+    if (static_cast<size_t>(c) >= ledger.size()) {
+      violations.push_back("ledger entry '" + ledger[i].name +
+                           "' names consumer index " + std::to_string(c) +
+                           " outside the ledger");
+      continue;
+    }
+    units_in[static_cast<size_t>(c)] += ledger[i].emitted;
+  }
+  for (size_t i = 0; i < ledger.size(); ++i) {
+    const LedgerEntry& e = ledger[i];
+    const uint64_t units_out = e.processed + e.dropped;
+    if (units_in[i] != units_out) {
+      violations.push_back(
+          "tuple conservation broken at operation '" + e.name + "': " +
+          std::to_string(units_in[i]) + " units in (" +
+          std::to_string(e.triggers) + " triggers + " +
+          std::to_string(units_in[i] - e.triggers) +
+          " produced) vs " + std::to_string(units_out) + " units out (" +
+          std::to_string(e.processed) + " processed + " +
+          std::to_string(e.dropped) + " dropped)");
+    }
+    if (e.dropped != e.rejected) {
+      violations.push_back(
+          "drop accounting broken at operation '" + e.name + "': queues "
+          "rejected " + std::to_string(e.rejected) + " units after close "
+          "but the drop counter recorded " + std::to_string(e.dropped));
+    }
+  }
+  return violations;
+}
+
+void Fail(const std::string& message) {
+  const FailureHandler& handler = *LedgerHandler();
+  if (handler) {
+    handler(message);
+    return;
+  }
+  std::fprintf(stderr, "DBS3 VERIFY FAILURE: %s\n", message.c_str());
+  std::abort();
+}
+
+FailureHandler SetVerifyFailureHandler(FailureHandler handler) {
+  LockOrderRecorder::Instance().SetFailureHandler(handler);
+  return std::exchange(*LedgerHandler(), std::move(handler));
+}
+
+}  // namespace verify
+}  // namespace dbs3

@@ -1,0 +1,75 @@
+#ifndef DBS3_ENGINE_VERIFY_H_
+#define DBS3_ENGINE_VERIFY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+
+namespace dbs3 {
+namespace verify {
+
+/// Debug invariant layer for the engine (see DBS3_VERIFY_ENABLED in
+/// common/mutex.h). Three pieces:
+///
+///  1. Tuple-conservation ledger (this header): at Executor::Run exit,
+///     every unit pushed into an operation must be accounted for —
+///     processed, or dropped on a closed queue with the drop recorded.
+///  2. Queue state-machine assertions (activation_queue.cc): rejected
+///     pushes are tallied, SizeUnits() never exceeds peak_units, the unit
+///     sum matches the buffered activations at close.
+///  3. Lock-order recorder (common/mutex.{h,cc}): aborts on a cyclic
+///     held-before relation between lock classes. It lives below the
+///     engine because every dbs3::Mutex — including the ones in
+///     common/metrics and common/trace — feeds it.
+///
+/// The check *implementations* compile in every build so negative tests
+/// can exercise detection anywhere; only the engine-side hooks (and the
+/// Mutex hooks) are gated on DBS3_VERIFY_ENABLED.
+
+/// Per-operation row of the conservation ledger, filled by the executor
+/// from OperationStats after all pools have been joined.
+struct LedgerEntry {
+  std::string name;
+  /// Index of the consuming entry, -1 for a terminal operation.
+  int64_t consumer = -1;
+  /// Tuple units emitted through the output edge (Emitter::Emit calls,
+  /// including OnFinish flushes).
+  uint64_t emitted = 0;
+  /// Tuple units dequeued and processed (sum of per-instance counters;
+  /// includes control activations, one unit per trigger).
+  uint64_t processed = 0;
+  /// Tuple units counted as dropped by the operation (closed-queue pushes).
+  uint64_t dropped = 0;
+  /// Tuple units the operation's queues rejected after close — must equal
+  /// `dropped`, or a drop went unaccounted.
+  uint64_t rejected = 0;
+  /// Control-activation units injected by the executor (instances of a
+  /// triggered operation; 0 for pipelined operations).
+  uint64_t triggers = 0;
+};
+
+/// Checks conservation over a completed execution's ledger: for every
+/// entry `c`, units-in (producers' emissions routed to `c` plus `c`'s
+/// triggers) must equal units-out (processed plus dropped), and every
+/// queue-rejected unit must appear in the drop counter. Returns one
+/// human-readable violation per broken entry (empty = conserved). Pure
+/// bookkeeping over already-joined counters: O(entries), no locking.
+std::vector<std::string> CheckTupleConservation(
+    const std::vector<LedgerEntry>& ledger);
+
+/// Reports an invariant violation through the failure handler: the one
+/// installed by SetVerifyFailureHandler, else log-and-abort.
+void Fail(const std::string& message);
+
+/// Installs `handler` for every verify-layer report (conservation ledger
+/// and lock-order recorder alike); nullptr restores log-and-abort.
+/// Returns the previous ledger handler. Not thread-safe against concurrent
+/// verification; meant for test setup.
+FailureHandler SetVerifyFailureHandler(FailureHandler handler);
+
+}  // namespace verify
+}  // namespace dbs3
+
+#endif  // DBS3_ENGINE_VERIFY_H_

@@ -203,7 +203,10 @@ class Parser {
     }
     do {
       SelectItem item;
-      AggKind agg;
+      // Initialized despite only being read when AggFromKeyword succeeds:
+      // gcc's -Wmaybe-uninitialized cannot prove that, and -Werror builds
+      // must stay clean.
+      AggKind agg = AggKind::kCount;
       if (Current().kind == Token::Kind::kIdent &&
           AggFromKeyword(Upper(Current().text), &agg) &&
           pos_ + 1 < tokens_.size() &&

@@ -1,9 +1,17 @@
 // Stress and failure-injection tests for the real multithreaded engine.
 
+#include <atomic>
+#include <chrono>
+#include <random>
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "dbs3/database.h"
 #include "dbs3/query.h"
+#include "engine/operation.h"
+#include "engine/operator_logic.h"
 
 namespace dbs3 {
 namespace {
@@ -212,6 +220,88 @@ TEST(EngineConcurrencyTest, SelectAfterJoinPipeline) {
   ASSERT_TRUE(select.ok()) << select.status().ToString();
   for (const Tuple& t : select.value().result->Scan()) {
     EXPECT_LE(t.at(0).AsInt(), 4);
+  }
+}
+
+TEST(EngineConcurrencyTest, RandomizedShortQueryStress) {
+  // Many short executions with randomized knobs, several in flight at
+  // once: each driver thread runs its own database through query shapes
+  // drawn from a deterministic per-thread RNG. This is the sanitizer
+  // honeypot — rapid Operation construction/teardown, pool start/join,
+  // back-pressure and chunking all churn concurrently.
+  constexpr int kDrivers = 3;
+  constexpr int kQueriesPerDriver = 4;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> drivers;
+  for (int d = 0; d < kDrivers; ++d) {
+    drivers.emplace_back([d, &failures] {
+      std::mt19937 rng(0x9e3779b9u + static_cast<unsigned>(d));
+      Database db(2 + d % 3);
+      SkewSpec spec;
+      spec.a_cardinality = 800;
+      spec.b_cardinality = 80;
+      spec.degree = 8;
+      spec.theta = 0.5;
+      if (!db.CreateSkewedPair(spec, "A", "B").ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int q = 0; q < kQueriesPerDriver; ++q) {
+        QueryOptions options;
+        options.schedule.total_threads = 2 + rng() % 5;
+        options.schedule.processors = 4 + rng() % 5;
+        options.schedule.cache_size = 1 + rng() % 8;
+        options.schedule.chunk_size = 1 + rng() % 32;
+        options.schedule.queue_capacity = (q % 2 == 0) ? 4 + rng() % 16 : 0;
+        auto r = RunAssocJoin(db, "B", "key", "A", "key", options);
+        if (!r.ok() || r.value().result->cardinality() != 800u) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : drivers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(EngineConcurrencyTest, DestroyWhileWorkersStillDrainingIsSafe) {
+  // Tear an Operation down while its pool is mid-drain: the destructor's
+  // defensive path (close queues, mark producers done, join) must race
+  // cleanly against workers still popping and processing — the executor
+  // never does this, but a failing query unwind does.
+  class SlowLogic : public OperatorLogic {
+   public:
+    void OnData(size_t, Tuple, Emitter*) override {
+      processed.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    std::string name() const override { return "slow"; }
+    std::atomic<uint64_t> processed{0};
+  };
+
+  for (int round = 0; round < 8; ++round) {
+    SlowLogic logic;
+    uint64_t accepted = 0;
+    {
+      OperationConfig config;
+      config.name = "teardown";
+      config.num_instances = 4;
+      config.num_threads = 3;
+      config.cache_size = 2;
+      Operation op(config, &logic, DataOutput{});
+      op.AddProducer();
+      op.Start();
+      for (int64_t k = 0; k < 400; ++k) {
+        op.PushData(static_cast<size_t>(k) % 4, Tuple({Value(k)}));
+      }
+      accepted = 400;
+      // No ProducerDone, no Join: the destructor must shut the pool down
+      // itself while workers are still chewing on the backlog.
+    }
+    const uint64_t done = logic.processed.load();
+    EXPECT_LE(done, accepted) << "round " << round;
+    EXPECT_GT(done, 0u) << "round " << round;
   }
 }
 

@@ -125,6 +125,38 @@ TEST(MetricsSamplerTest, StartStopAreIdempotent) {
   EXPECT_GE(registry.Snapshot().series.at("p").samples, samples);
 }
 
+TEST(MetricsSamplerTest, ConcurrentStartStopNeverLeaksTheLoop) {
+  // Regression test: Start() used to race Stop()'s join window — a Start
+  // that slipped in between Stop's stop_=true and its join() reset the
+  // stop flag under the old loop, leaving a sampler thread running forever
+  // and the next Stop() hung. Two threads hammering Start/Stop must
+  // terminate, and after the final Stop no further samples may appear.
+  MetricsRegistry registry;
+  registry.RegisterProbe("p", [] { return int64_t{1}; });
+  MetricsSampler sampler(&registry, std::chrono::microseconds(20));
+
+  std::atomic<bool> go{false};
+  std::thread starter([&] {
+    while (!go.load()) {
+    }
+    for (int i = 0; i < 200; ++i) sampler.Start();
+  });
+  std::thread stopper([&] {
+    while (!go.load()) {
+    }
+    for (int i = 0; i < 200; ++i) sampler.Stop();
+  });
+  go.store(true);
+  starter.join();
+  stopper.join();
+
+  sampler.Stop();  // Whatever the interleaving left behind, shut it down.
+  const uint64_t settled = registry.Snapshot().series.at("p").samples;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(registry.Snapshot().series.at("p").samples, settled)
+      << "a sampler loop survived Stop()";
+}
+
 /// Minimal JSON well-formedness walker: validates balanced braces/brackets,
 /// string escapes, and that top-level content is one object. Not a parser —
 /// just enough to catch emission bugs (unescaped quotes, trailing commas
