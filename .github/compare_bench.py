@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Compare two Google Benchmark JSON dumps for the CI perf gate.
+
+Usage: compare_bench.py BASELINE.json CANDIDATE.json TOLERANCE
+
+Matches benchmarks by name on their median aggregate (the runs use
+--benchmark_repetitions with --benchmark_report_aggregates_only) and
+fails if any candidate median real_time exceeds the baseline by more
+than TOLERANCE (a fraction, e.g. 0.03 for 3%). Benchmarks present on
+only one side are reported and skipped, so adding or removing a case
+does not trip the gate.
+"""
+
+import json
+import sys
+
+
+def medians(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("aggregate_name") == "median":
+            out[b["run_name"]] = float(b["real_time"])
+    return out
+
+
+def main():
+    baseline_path, candidate_path, tolerance = sys.argv[1:4]
+    tolerance = float(tolerance)
+    baseline = medians(baseline_path)
+    candidate = medians(candidate_path)
+
+    failed = False
+    for name in sorted(set(baseline) | set(candidate)):
+        if name not in baseline or name not in candidate:
+            side = "baseline" if name in baseline else "candidate"
+            print(f"SKIP {name}: only present in {side}")
+            continue
+        base = baseline[name]
+        cand = candidate[name]
+        ratio = cand / base if base > 0 else float("inf")
+        verdict = "OK"
+        if ratio > 1.0 + tolerance:
+            verdict = "REGRESSION"
+            failed = True
+        print(f"{verdict} {name}: baseline={base:.0f} candidate={cand:.0f} "
+              f"({(ratio - 1.0) * 100.0:+.2f}%)")
+
+    if failed:
+        print(f"perf gate failed: median real_time regressed more than "
+              f"{tolerance * 100.0:.0f}% vs parent")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

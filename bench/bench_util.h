@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "engine/executor.h"
 #include "engine/operation.h"
 #include "sim/costs.h"
@@ -75,6 +76,24 @@ inline void PrintThreadLoad(const ExecutionResult& execution) {
                 static_cast<unsigned long long>(op.peak_queue_units));
     for (double f : BusyFractions(op)) std::printf(" %.2f", f);
     std::printf("\n");
+  }
+}
+
+/// Prints the query runtime's per-query latency summaries (admission wait,
+/// execution wall, busy seconds) from a registry snapshot — the multi-user
+/// companion of PrintThreadLoad. Quiet when no query ran through the
+/// runtime.
+inline void PrintQueryLatencies(const MetricsSnapshot& snapshot) {
+  static constexpr const char* kSeries[] = {
+      "runtime.admission_wait_us", "runtime.execution_wall_us",
+      "runtime.busy_us"};
+  for (const char* name : kSeries) {
+    auto it = snapshot.series.find(name);
+    if (it == snapshot.series.end() || it->second.samples == 0) continue;
+    const SeriesStats& s = it->second;
+    std::printf("  %-26s n=%llu mean=%.0fus min=%lldus max=%lldus\n", name,
+                static_cast<unsigned long long>(s.samples), s.mean(),
+                static_cast<long long>(s.min), static_cast<long long>(s.max));
   }
 }
 

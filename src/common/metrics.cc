@@ -35,6 +35,13 @@ MetricGauge* MetricsRegistry::gauge(const std::string& name) {
   return slot.get();
 }
 
+MetricSummary* MetricsRegistry::summary(const std::string& name) {
+  MutexLock lock(&mu_);
+  auto& slot = summaries_[name];
+  if (slot == nullptr) slot = std::make_unique<MetricSummary>();
+  return slot.get();
+}
+
 void MetricsRegistry::RegisterProbe(const std::string& name,
                                     std::function<int64_t()> probe) {
   MutexLock lock(&mu_);
@@ -74,6 +81,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
   for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
   for (const auto& [name, p] : probes_) snap.series[name] = p.series;
+  for (const auto& [name, s] : summaries_) snap.series[name] = s->value();
   return snap;
 }
 

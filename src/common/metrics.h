@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <string>
@@ -38,8 +39,9 @@ class MetricGauge {
   std::atomic<int64_t> value_{0};
 };
 
-/// Running summary of one sampled probe (the registry keeps the summary,
-/// not the raw samples, so a long execution costs O(1) memory per probe).
+/// Running summary of one sampled probe or recorded distribution (the
+/// registry keeps the summary, not the raw samples, so a long execution
+/// costs O(1) memory per probe).
 struct SeriesStats {
   uint64_t samples = 0;
   int64_t min = 0;
@@ -50,6 +52,50 @@ struct SeriesStats {
   double mean() const {
     return samples > 0 ? sum / static_cast<double>(samples) : 0.0;
   }
+};
+
+/// Explicitly recorded value distribution (per-query latencies, batch
+/// sizes...): the push-model sibling of a sampled probe. Record() is a
+/// handful of relaxed atomic ops, so hot paths can feed it directly; the
+/// folded SeriesStats lands in MetricsSnapshot::series under the
+/// summary's name. Values are integers — callers pick the unit (the
+/// convention in this codebase is microseconds for durations, tuple
+/// units for work).
+class MetricSummary {
+ public:
+  void Record(int64_t v) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    last_.store(v, std::memory_order_relaxed);
+    int64_t seen = min_.load(std::memory_order_relaxed);
+    while (v < seen &&
+           !min_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+    seen = max_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Folded view; exact once writers are quiescent (same contract as the
+  /// counters).
+  SeriesStats value() const {
+    SeriesStats s;
+    s.samples = count_.load(std::memory_order_relaxed);
+    if (s.samples == 0) return s;
+    s.min = min_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+    s.last = last_.load(std::memory_order_relaxed);
+    s.sum = static_cast<double>(sum_.load(std::memory_order_relaxed));
+    return s;
+  }
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> min_{std::numeric_limits<int64_t>::max()};
+  std::atomic<int64_t> max_{std::numeric_limits<int64_t>::min()};
+  std::atomic<int64_t> last_{0};
 };
 
 /// Point-in-time copy of a registry, safe to keep after the registry (and
@@ -77,6 +123,7 @@ class MetricsRegistry {
 
   MetricCounter* counter(const std::string& name) EXCLUDES(mu_);
   MetricGauge* gauge(const std::string& name) EXCLUDES(mu_);
+  MetricSummary* summary(const std::string& name) EXCLUDES(mu_);
 
   /// Registers `probe` to be sampled into the series named `name`. The
   /// callback must stay valid until ClearProbes() (or registry destruction);
@@ -106,6 +153,8 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<MetricCounter>> counters_
       GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<MetricGauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<MetricSummary>> summaries_
+      GUARDED_BY(mu_);
   std::map<std::string, Probe> probes_ GUARDED_BY(mu_);
 };
 

@@ -6,6 +6,36 @@ namespace dbs3 {
 
 Database::Database(size_t num_disks) : disks_(num_disks) {}
 
+/// Out of line so the header does not need QueryRuntime's destructor;
+/// runtime_ (declared last) drains in-flight queries before the catalog
+/// and metrics go away.
+Database::~Database() = default;
+
+Status Database::StartRuntime(QueryRuntimeOptions options) {
+  MutexLock lock(&runtime_mu_);
+  if (runtime_ != nullptr) {
+    return Status::FailedPrecondition(
+        "query runtime already started for this database");
+  }
+  options.metrics = &metrics_;
+  runtime_ = std::make_unique<QueryRuntime>(options);
+  return Status::OK();
+}
+
+QueryRuntime& Database::runtime() {
+  MutexLock lock(&runtime_mu_);
+  if (runtime_ == nullptr) {
+    QueryRuntimeOptions options;
+    options.metrics = &metrics_;
+    runtime_ = std::make_unique<QueryRuntime>(options);
+  }
+  return *runtime_;
+}
+
+QueryHandle Database::Submit(QuerySpec spec) {
+  return runtime().Submit(std::move(spec));
+}
+
 Status Database::CreateWisconsin(const std::string& name,
                                  const WisconsinOptions& options) {
   auto relation = GenerateWisconsin(name, options);

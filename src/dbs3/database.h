@@ -6,8 +6,11 @@
 #include <string>
 
 #include "common/metrics.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
+#include "server/query_runtime.h"
 #include "storage/catalog.h"
 #include "storage/disk.h"
 #include "storage/skew.h"
@@ -23,10 +26,15 @@ class Database {
   /// Creates a database with `num_disks` placement targets.
   explicit Database(size_t num_disks = 8);
 
+  ~Database();
+
+  /// Neither copyable nor movable: the query runtime and the queries in
+  /// flight hold pointers to the metrics registry and catalog — moving the
+  /// database out from under them would dangle every one of those.
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
-  Database(Database&&) = default;
-  Database& operator=(Database&&) = default;
+  Database(Database&&) = delete;
+  Database& operator=(Database&&) = delete;
 
   /// Generates and registers a Wisconsin benchmark relation.
   Status CreateWisconsin(const std::string& name,
@@ -56,17 +64,34 @@ class Database {
 
   /// Engine-wide metrics, accumulated across every query run against this
   /// database (engine.queries, engine.tuple_units, engine.busy_ns,
-  /// engine.units_dropped...). Per-execution detail lives on each query's
-  /// ExecutionResult; this registry is the long-running aggregate.
-  MetricsRegistry& metrics() { return *metrics_; }
-  const MetricsRegistry& metrics() const { return *metrics_; }
+  /// engine.units_dropped, runtime.*...). Per-execution detail lives on
+  /// each query's ExecutionResult; this registry is the long-running
+  /// aggregate.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Starts the concurrent query runtime with explicit sizing. Optional:
+  /// the first Submit (or runtime()) lazily starts one with defaults.
+  /// Fails with FailedPrecondition once a runtime exists.
+  /// `options.metrics` is overridden to this database's registry.
+  Status StartRuntime(QueryRuntimeOptions options) EXCLUDES(runtime_mu_);
+
+  /// The shared query runtime (lazily started with default sizing).
+  QueryRuntime& runtime() EXCLUDES(runtime_mu_);
+
+  /// Queues `spec` on the runtime and returns its future-like handle —
+  /// the async entry point the synchronous query API is built on. See
+  /// examples in README ("Concurrent sessions").
+  QueryHandle Submit(QuerySpec spec) EXCLUDES(runtime_mu_);
 
  private:
   Catalog catalog_;
   DiskArray disks_;
-  /// unique_ptr keeps Database movable (the registry holds a mutex).
-  std::unique_ptr<MetricsRegistry> metrics_ =
-      std::make_unique<MetricsRegistry>();
+  MetricsRegistry metrics_;
+  /// Lazily started on first use; declared after everything queries touch
+  /// so in-flight queries drain (runtime dtor) before any of it goes away.
+  Mutex runtime_mu_{"Database::runtime_mu"};
+  std::unique_ptr<QueryRuntime> runtime_ GUARDED_BY(runtime_mu_);
 };
 
 }  // namespace dbs3

@@ -1,6 +1,9 @@
 #include "dbs3/query.h"
 
+#include <functional>
 #include <utility>
+
+#include "server/query_runtime.h"
 
 namespace dbs3 {
 
@@ -12,6 +15,7 @@ void AccumulateEngineMetrics(MetricsRegistry& metrics,
                              const ExecutionResult& execution) {
   metrics.counter("engine.queries")->Add(1);
   metrics.counter("engine.units_dropped")->Add(execution.units_dropped);
+  metrics.counter("engine.units_cancelled")->Add(execution.units_cancelled);
   uint64_t tuple_units = 0, activations = 0, emitted = 0;
   double busy = 0.0;
   for (const OperationStats& op : execution.op_stats) {
@@ -28,31 +32,93 @@ void AccumulateEngineMetrics(MetricsRegistry& metrics,
       ->Add(static_cast<uint64_t>(execution.seconds * 1e9));
 }
 
-/// Schedules and runs a finished plan, packaging the result.
-Result<QueryResult> Finish(Database& db, Plan& plan,
-                           std::unique_ptr<Relation> result,
-                           const QueryOptions& options) {
+/// A built-but-not-yet-executed query: the dataflow graph plus the
+/// relation its store node materializes into.
+struct PlannedQuery {
+  Plan plan;
+  std::unique_ptr<Relation> result;
+};
+
+/// Deferred plan construction, run on the driver thread for submitted
+/// queries (so catalog errors surface through the handle) and inline for
+/// the legacy direct path.
+using QueryPlanner = std::function<Result<PlannedQuery>()>;
+
+/// The cancel token a direct (non-runtime) execution observes: the
+/// caller's token if provided, a fresh one if only a deadline was set,
+/// nothing otherwise.
+CancelToken DirectToken(const QueryOptions& options) {
+  if (!options.cancel.has_value() && !options.deadline.has_value()) {
+    return CancelToken::None();
+  }
+  CancelToken token =
+      options.cancel.has_value() ? *options.cancel : CancelToken();
+  if (options.deadline.has_value()) token.set_deadline(*options.deadline);
+  return token;
+}
+
+/// Legacy path: schedule and execute inline on the caller's thread with
+/// private per-operation threads.
+Result<QueryResult> FinishDirect(Database& db, PlannedQuery planned,
+                                 const QueryOptions& options) {
   QueryResult out;
-  DBS3_ASSIGN_OR_RETURN(
-      out.schedule, ScheduleQuery(plan, options.cost_model, options.schedule));
+  DBS3_ASSIGN_OR_RETURN(out.schedule, ScheduleQuery(planned.plan,
+                                                    options.cost_model,
+                                                    options.schedule));
+  ExecOptions exec;
+  exec.cancel = DirectToken(options);
   Executor executor;
-  DBS3_ASSIGN_OR_RETURN(out.execution, executor.Run(plan));
+  DBS3_ASSIGN_OR_RETURN(out.execution, executor.Run(planned.plan, exec));
   AccumulateEngineMetrics(db.metrics(), out.execution);
-  out.result = std::move(result);
+  if (!out.execution.completion.ok()) return out.execution.completion;
+  out.result = std::move(planned.result);
   return out;
+}
+
+/// Shared-runtime path: wrap the planner in a query body and submit it.
+QueryHandle SubmitPlanned(Database& db, QueryPlanner planner,
+                          const QueryOptions& options) {
+  QuerySpec spec;
+  spec.priority = options.priority;
+  spec.memory_units = options.memory_units;
+  spec.deadline = options.deadline;
+  spec.cancel = options.cancel;
+  spec.body = [&db, planner = std::move(planner),
+               options](QueryEnv& env) -> Result<QueryResult> {
+    DBS3_ASSIGN_OR_RETURN(PlannedQuery planned, planner());
+    DBS3_ASSIGN_OR_RETURN(
+        PhaseOutcome phase,
+        env.Run(planned.plan, options.cost_model, options.schedule));
+    AccumulateEngineMetrics(db.metrics(), phase.execution);
+    QueryResult out;
+    out.result = std::move(planned.result);
+    out.execution = std::move(phase.execution);
+    out.schedule = std::move(phase.schedule);
+    return out;
+  };
+  return db.Submit(std::move(spec));
+}
+
+/// Sync facade over a planner: submit + take on the shared runtime, or
+/// the inline legacy path when the caller opted out.
+Result<QueryResult> RunPlanned(Database& db, QueryPlanner planner,
+                               const QueryOptions& options) {
+  if (!options.use_shared_runtime) {
+    DBS3_ASSIGN_OR_RETURN(PlannedQuery planned, planner());
+    return FinishDirect(db, std::move(planned), options);
+  }
+  return SubmitPlanned(db, std::move(planner), options).Take();
 }
 
 Result<size_t> ColumnOf(const Relation* rel, const std::string& column) {
   return rel->schema().IndexOf(column);
 }
 
-}  // namespace
-
-Result<QueryResult> RunIdealJoin(Database& db, const std::string& outer,
-                                 const std::string& outer_column,
-                                 const std::string& inner,
-                                 const std::string& inner_column,
-                                 const QueryOptions& options) {
+Result<PlannedQuery> PlanIdealJoin(Database& db, const std::string& outer,
+                                   const std::string& outer_column,
+                                   const std::string& inner,
+                                   const std::string& inner_column,
+                                   const QueryOptions& options) {
   DBS3_ASSIGN_OR_RETURN(Relation * outer_rel, db.relation(outer));
   DBS3_ASSIGN_OR_RETURN(Relation * inner_rel, db.relation(inner));
   DBS3_ASSIGN_OR_RETURN(const size_t outer_col,
@@ -66,28 +132,28 @@ Result<QueryResult> RunIdealJoin(Database& db, const std::string& outer,
         "' has " + std::to_string(inner_rel->degree()));
   }
   const size_t degree = outer_rel->degree();
-  auto result = std::make_unique<Relation>(
+  PlannedQuery planned;
+  planned.result = std::make_unique<Relation>(
       options.result_name, Schema::Concat(outer_rel->schema(),
                                           inner_rel->schema()),
       outer_col, Partitioner(outer_rel->partitioner().kind(), degree));
 
-  Plan plan;
-  const size_t join = plan.AddNode(
+  const size_t join = planned.plan.AddNode(
       "join", ActivationMode::kTriggered, degree,
       std::make_unique<TriggeredJoinLogic>(outer_rel, outer_col, inner_rel,
                                            inner_col, options.algorithm));
-  const size_t store =
-      plan.AddNode("store", ActivationMode::kPipelined, degree,
-                   std::make_unique<StoreLogic>(result.get()));
-  DBS3_RETURN_IF_ERROR(plan.ConnectSameInstance(join, store));
-  return Finish(db, plan, std::move(result), options);
+  const size_t store = planned.plan.AddNode(
+      "store", ActivationMode::kPipelined, degree,
+      std::make_unique<StoreLogic>(planned.result.get()));
+  DBS3_RETURN_IF_ERROR(planned.plan.ConnectSameInstance(join, store));
+  return planned;
 }
 
-Result<QueryResult> RunAssocJoin(Database& db, const std::string& probe_rel,
-                                 const std::string& probe_column,
-                                 const std::string& inner,
-                                 const std::string& inner_column,
-                                 const QueryOptions& options) {
+Result<PlannedQuery> PlanAssocJoin(Database& db, const std::string& probe_rel,
+                                   const std::string& probe_column,
+                                   const std::string& inner,
+                                   const std::string& inner_column,
+                                   const QueryOptions& options) {
   DBS3_ASSIGN_OR_RETURN(Relation * probe, db.relation(probe_rel));
   DBS3_ASSIGN_OR_RETURN(Relation * inner_rel, db.relation(inner));
   DBS3_ASSIGN_OR_RETURN(const size_t probe_col,
@@ -101,35 +167,35 @@ Result<QueryResult> RunAssocJoin(Database& db, const std::string& probe_rel,
         std::to_string(inner_rel->partition_column()) + ")");
   }
   const size_t degree = inner_rel->degree();
-  auto result = std::make_unique<Relation>(
+  PlannedQuery planned;
+  planned.result = std::make_unique<Relation>(
       options.result_name,
       Schema::Concat(probe->schema(), inner_rel->schema()), probe_col,
       Partitioner(inner_rel->partitioner().kind(), degree));
 
-  Plan plan;
-  const size_t transmit =
-      plan.AddNode("transmit", ActivationMode::kTriggered, probe->degree(),
-                   std::make_unique<TransmitLogic>(probe));
-  const size_t join = plan.AddNode(
+  const size_t transmit = planned.plan.AddNode(
+      "transmit", ActivationMode::kTriggered, probe->degree(),
+      std::make_unique<TransmitLogic>(probe));
+  const size_t join = planned.plan.AddNode(
       "join", ActivationMode::kPipelined, degree,
       std::make_unique<PipelinedJoinLogic>(inner_rel, inner_col, probe_col,
                                            options.algorithm));
-  const size_t store =
-      plan.AddNode("store", ActivationMode::kPipelined, degree,
-                   std::make_unique<StoreLogic>(result.get()));
-  DBS3_RETURN_IF_ERROR(plan.ConnectByColumn(transmit, join, probe_col,
-                                            inner_rel->partitioner()));
-  DBS3_RETURN_IF_ERROR(plan.ConnectSameInstance(join, store));
-  return Finish(db, plan, std::move(result), options);
+  const size_t store = planned.plan.AddNode(
+      "store", ActivationMode::kPipelined, degree,
+      std::make_unique<StoreLogic>(planned.result.get()));
+  DBS3_RETURN_IF_ERROR(planned.plan.ConnectByColumn(
+      transmit, join, probe_col, inner_rel->partitioner()));
+  DBS3_RETURN_IF_ERROR(planned.plan.ConnectSameInstance(join, store));
+  return planned;
 }
 
-Result<QueryResult> RunFilterJoin(Database& db, const std::string& filtered,
-                                  TuplePredicate predicate,
-                                  double selectivity,
-                                  const std::string& filter_join_column,
-                                  const std::string& inner,
-                                  const std::string& inner_column,
-                                  const QueryOptions& options) {
+Result<PlannedQuery> PlanFilterJoin(Database& db, const std::string& filtered,
+                                    TuplePredicate predicate,
+                                    double selectivity,
+                                    const std::string& filter_join_column,
+                                    const std::string& inner,
+                                    const std::string& inner_column,
+                                    const QueryOptions& options) {
   DBS3_ASSIGN_OR_RETURN(Relation * filtered_rel, db.relation(filtered));
   DBS3_ASSIGN_OR_RETURN(Relation * inner_rel, db.relation(inner));
   DBS3_ASSIGN_OR_RETURN(const size_t probe_col,
@@ -142,49 +208,164 @@ Result<QueryResult> RunFilterJoin(Database& db, const std::string& filtered,
         "'");
   }
   const size_t degree = inner_rel->degree();
-  auto result = std::make_unique<Relation>(
+  PlannedQuery planned;
+  planned.result = std::make_unique<Relation>(
       options.result_name,
       Schema::Concat(filtered_rel->schema(), inner_rel->schema()), probe_col,
       Partitioner(inner_rel->partitioner().kind(), degree));
 
-  Plan plan;
-  const size_t filter = plan.AddNode(
+  const size_t filter = planned.plan.AddNode(
       "filter", ActivationMode::kTriggered, filtered_rel->degree(),
       std::make_unique<FilterLogic>(filtered_rel, std::move(predicate),
                                     selectivity));
-  const size_t join = plan.AddNode(
+  const size_t join = planned.plan.AddNode(
       "join", ActivationMode::kPipelined, degree,
       std::make_unique<PipelinedJoinLogic>(inner_rel, inner_col, probe_col,
                                            options.algorithm));
-  const size_t store =
-      plan.AddNode("store", ActivationMode::kPipelined, degree,
-                   std::make_unique<StoreLogic>(result.get()));
-  DBS3_RETURN_IF_ERROR(plan.ConnectByColumn(filter, join, probe_col,
-                                            inner_rel->partitioner()));
-  DBS3_RETURN_IF_ERROR(plan.ConnectSameInstance(join, store));
-  return Finish(db, plan, std::move(result), options);
+  const size_t store = planned.plan.AddNode(
+      "store", ActivationMode::kPipelined, degree,
+      std::make_unique<StoreLogic>(planned.result.get()));
+  DBS3_RETURN_IF_ERROR(planned.plan.ConnectByColumn(
+      filter, join, probe_col, inner_rel->partitioner()));
+  DBS3_RETURN_IF_ERROR(planned.plan.ConnectSameInstance(join, store));
+  return planned;
+}
+
+Result<PlannedQuery> PlanSelect(Database& db, const std::string& input,
+                                TuplePredicate predicate, double selectivity,
+                                const QueryOptions& options) {
+  DBS3_ASSIGN_OR_RETURN(Relation * input_rel, db.relation(input));
+  const size_t degree = input_rel->degree();
+  PlannedQuery planned;
+  planned.result = std::make_unique<Relation>(
+      options.result_name, input_rel->schema(),
+      input_rel->partition_column(),
+      Partitioner(input_rel->partitioner().kind(), degree));
+
+  const size_t filter = planned.plan.AddNode(
+      "filter", ActivationMode::kTriggered, degree,
+      std::make_unique<FilterLogic>(input_rel, std::move(predicate),
+                                    selectivity));
+  const size_t store = planned.plan.AddNode(
+      "store", ActivationMode::kPipelined, degree,
+      std::make_unique<StoreLogic>(planned.result.get()));
+  DBS3_RETURN_IF_ERROR(planned.plan.ConnectSameInstance(filter, store));
+  return planned;
+}
+
+}  // namespace
+
+Result<QueryResult> RunIdealJoin(Database& db, const std::string& outer,
+                                 const std::string& outer_column,
+                                 const std::string& inner,
+                                 const std::string& inner_column,
+                                 const QueryOptions& options) {
+  return RunPlanned(
+      db,
+      [&db, outer, outer_column, inner, inner_column, options] {
+        return PlanIdealJoin(db, outer, outer_column, inner, inner_column,
+                             options);
+      },
+      options);
+}
+
+Result<QueryResult> RunAssocJoin(Database& db, const std::string& probe_rel,
+                                 const std::string& probe_column,
+                                 const std::string& inner,
+                                 const std::string& inner_column,
+                                 const QueryOptions& options) {
+  return RunPlanned(
+      db,
+      [&db, probe_rel, probe_column, inner, inner_column, options] {
+        return PlanAssocJoin(db, probe_rel, probe_column, inner,
+                             inner_column, options);
+      },
+      options);
+}
+
+Result<QueryResult> RunFilterJoin(Database& db, const std::string& filtered,
+                                  TuplePredicate predicate,
+                                  double selectivity,
+                                  const std::string& filter_join_column,
+                                  const std::string& inner,
+                                  const std::string& inner_column,
+                                  const QueryOptions& options) {
+  return RunPlanned(
+      db,
+      [&db, filtered, predicate = std::move(predicate), selectivity,
+       filter_join_column, inner, inner_column, options] {
+        return PlanFilterJoin(db, filtered, predicate, selectivity,
+                              filter_join_column, inner, inner_column,
+                              options);
+      },
+      options);
 }
 
 Result<QueryResult> RunSelect(Database& db, const std::string& input,
                               TuplePredicate predicate, double selectivity,
                               const QueryOptions& options) {
-  DBS3_ASSIGN_OR_RETURN(Relation * input_rel, db.relation(input));
-  const size_t degree = input_rel->degree();
-  auto result = std::make_unique<Relation>(
-      options.result_name, input_rel->schema(),
-      input_rel->partition_column(),
-      Partitioner(input_rel->partitioner().kind(), degree));
+  return RunPlanned(
+      db,
+      [&db, input, predicate = std::move(predicate), selectivity, options] {
+        return PlanSelect(db, input, predicate, selectivity, options);
+      },
+      options);
+}
 
-  Plan plan;
-  const size_t filter = plan.AddNode(
-      "filter", ActivationMode::kTriggered, degree,
-      std::make_unique<FilterLogic>(input_rel, std::move(predicate),
-                                    selectivity));
-  const size_t store =
-      plan.AddNode("store", ActivationMode::kPipelined, degree,
-                   std::make_unique<StoreLogic>(result.get()));
-  DBS3_RETURN_IF_ERROR(plan.ConnectSameInstance(filter, store));
-  return Finish(db, plan, std::move(result), options);
+QueryHandle SubmitIdealJoin(Database& db, const std::string& outer,
+                            const std::string& outer_column,
+                            const std::string& inner,
+                            const std::string& inner_column,
+                            const QueryOptions& options) {
+  return SubmitPlanned(
+      db,
+      [&db, outer, outer_column, inner, inner_column, options] {
+        return PlanIdealJoin(db, outer, outer_column, inner, inner_column,
+                             options);
+      },
+      options);
+}
+
+QueryHandle SubmitAssocJoin(Database& db, const std::string& probe_rel,
+                            const std::string& probe_column,
+                            const std::string& inner,
+                            const std::string& inner_column,
+                            const QueryOptions& options) {
+  return SubmitPlanned(
+      db,
+      [&db, probe_rel, probe_column, inner, inner_column, options] {
+        return PlanAssocJoin(db, probe_rel, probe_column, inner,
+                             inner_column, options);
+      },
+      options);
+}
+
+QueryHandle SubmitFilterJoin(Database& db, const std::string& filtered,
+                             TuplePredicate predicate, double selectivity,
+                             const std::string& filter_join_column,
+                             const std::string& inner,
+                             const std::string& inner_column,
+                             const QueryOptions& options) {
+  return SubmitPlanned(
+      db,
+      [&db, filtered, predicate = std::move(predicate), selectivity,
+       filter_join_column, inner, inner_column, options] {
+        return PlanFilterJoin(db, filtered, predicate, selectivity,
+                              filter_join_column, inner, inner_column,
+                              options);
+      },
+      options);
+}
+
+QueryHandle SubmitSelect(Database& db, const std::string& input,
+                         TuplePredicate predicate, double selectivity,
+                         const QueryOptions& options) {
+  return SubmitPlanned(
+      db,
+      [&db, input, predicate = std::move(predicate), selectivity, options] {
+        return PlanSelect(db, input, predicate, selectivity, options);
+      },
+      options);
 }
 
 }  // namespace dbs3

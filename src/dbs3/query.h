@@ -1,15 +1,20 @@
 #ifndef DBS3_DBS3_QUERY_H_
 #define DBS3_DBS3_QUERY_H_
 
+#include <chrono>
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "common/result.h"
 #include "dbs3/database.h"
+#include "engine/cancel.h"
 #include "engine/executor.h"
 #include "engine/operators.h"
 #include "engine/plan.h"
 #include "sched/scheduler.h"
+#include "server/query_handle.h"
 
 namespace dbs3 {
 
@@ -23,17 +28,28 @@ struct QueryOptions {
   JoinAlgorithm algorithm = JoinAlgorithm::kHash;
   /// Name given to the materialized result relation.
   std::string result_name = "Res";
+
+  /// Multi-user knobs, forwarded to the runtime's QuerySpec.
+  /// Higher-priority queries leave the admission queue first.
+  int priority = 0;
+  /// Declared working-set tuple units charged against the runtime's
+  /// memory budget. 0 = free.
+  uint64_t memory_units = 0;
+  /// Absolute deadline; expiry (even while queued) fails the query with
+  /// DeadlineExceeded.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// External cancel token; default = fresh (cancel via the handle).
+  std::optional<CancelToken> cancel;
+  /// Run through the database's shared QueryRuntime (admission control,
+  /// shared worker pool). false = legacy path: schedule and execute
+  /// inline on the caller's thread with private per-operation threads.
+  bool use_shared_runtime = true;
 };
 
-/// Result of one query execution.
-struct QueryResult {
-  /// The materialized result, partitioned like the final operator.
-  std::unique_ptr<Relation> result;
-  /// Engine timing and per-operation load-balance statistics.
-  ExecutionResult execution;
-  /// What the scheduler decided (threads, strategies, estimates).
-  ScheduleReport schedule;
-};
+/// QueryResult (materialized relation + ExecutionResult + ScheduleReport)
+/// lives in server/query_handle.h so the async API can return it through
+/// QueryHandle; the synchronous RunXxx functions below return the same
+/// type.
 
 /// Runs the IdealJoin plan (Figure 10): `outer` and `inner` must be
 /// co-partitioned on the join columns; join instance i joins fragment i
@@ -68,6 +84,33 @@ Result<QueryResult> RunFilterJoin(Database& db, const std::string& filtered,
 Result<QueryResult> RunSelect(Database& db, const std::string& input,
                               TuplePredicate predicate, double selectivity,
                               const QueryOptions& options);
+
+/// Async variants: queue the query on the database's shared runtime and
+/// return immediately with a handle (wait / cancel / stats / Take). The
+/// RunXxx functions above are Submit + Take when
+/// options.use_shared_runtime (the default).
+QueryHandle SubmitIdealJoin(Database& db, const std::string& outer,
+                            const std::string& outer_column,
+                            const std::string& inner,
+                            const std::string& inner_column,
+                            const QueryOptions& options);
+
+QueryHandle SubmitAssocJoin(Database& db, const std::string& probe_rel,
+                            const std::string& probe_column,
+                            const std::string& inner,
+                            const std::string& inner_column,
+                            const QueryOptions& options);
+
+QueryHandle SubmitFilterJoin(Database& db, const std::string& filtered,
+                             TuplePredicate predicate, double selectivity,
+                             const std::string& filter_join_column,
+                             const std::string& inner,
+                             const std::string& inner_column,
+                             const QueryOptions& options);
+
+QueryHandle SubmitSelect(Database& db, const std::string& input,
+                         TuplePredicate predicate, double selectivity,
+                         const QueryOptions& options);
 
 }  // namespace dbs3
 

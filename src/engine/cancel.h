@@ -1,0 +1,114 @@
+#ifndef DBS3_ENGINE_CANCEL_H_
+#define DBS3_ENGINE_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+
+namespace dbs3 {
+
+/// Cooperative cancellation handle for one query execution.
+///
+/// A token is a cheap copyable view of shared state: every copy observes
+/// the same flag, so the caller keeps one copy to Cancel() from any thread
+/// while the engine's workers poll ShouldStop() at activation-consumption
+/// boundaries. A deadline folded into the token turns into cancellation
+/// with kDeadlineExceeded the first time a checkpoint runs past it.
+///
+/// Cancellation is cooperative and drains rather than kills: workers that
+/// observe a stopped token keep consuming queued activations but dispose
+/// of them into the operation's `cancelled_units` bucket instead of
+/// invoking operator logic, so queues empty, the drain protocol completes,
+/// and the conservation ledger stays balanced (see engine/verify.h).
+class CancelToken {
+ public:
+  /// A fresh, independently cancellable token.
+  CancelToken() : state_(std::make_shared<State>()) {}
+
+  /// A token that can never be cancelled (shared null state; zero-cost
+  /// checks). The default for executions that opt out of cancellation.
+  static CancelToken None() { return CancelToken(nullptr); }
+
+  /// Latches cancellation (first cause wins: a Cancel after a deadline
+  /// expiry keeps reporting DeadlineExceeded, and vice versa). No-op on a
+  /// None() token.
+  void Cancel() const {
+    if (state_ == nullptr) return;
+    int expected = kNone;
+    state_->code.compare_exchange_strong(expected, kCancelled,
+                                         std::memory_order_relaxed);
+  }
+
+  /// Sets the absolute deadline checked by ShouldStop(). Meant to be set
+  /// once, before the execution starts; a later call moves the deadline.
+  void set_deadline(std::chrono::steady_clock::time_point deadline) const {
+    if (state_ == nullptr) return;
+    state_->deadline_ns.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            deadline.time_since_epoch())
+            .count(),
+        std::memory_order_relaxed);
+  }
+
+  /// True once Cancel() ran or a checkpoint saw the deadline expire.
+  bool cancelled() const {
+    return state_ != nullptr &&
+           state_->code.load(std::memory_order_relaxed) != kNone;
+  }
+
+  /// The engine's checkpoint: true when the execution must stop (explicit
+  /// cancel, or deadline expired — which latches DeadlineExceeded so later
+  /// calls are flag-only).
+  bool ShouldStop() const {
+    if (state_ == nullptr) return false;
+    if (state_->code.load(std::memory_order_relaxed) != kNone) return true;
+    const int64_t deadline =
+        state_->deadline_ns.load(std::memory_order_relaxed);
+    if (deadline == 0) return false;
+    const int64_t now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now().time_since_epoch())
+                            .count();
+    if (now < deadline) return false;
+    int expected = kNone;
+    state_->code.compare_exchange_strong(expected, kDeadline,
+                                         std::memory_order_relaxed);
+    return true;
+  }
+
+  /// OK while running; Cancelled or DeadlineExceeded once stopped.
+  Status ToStatus() const {
+    if (state_ == nullptr) return Status::OK();
+    switch (state_->code.load(std::memory_order_relaxed)) {
+      case kCancelled:
+        return Status::Cancelled("query cancelled");
+      case kDeadline:
+        return Status::DeadlineExceeded("query deadline exceeded");
+      default:
+        return Status::OK();
+    }
+  }
+
+  /// False for None() tokens (nothing can ever stop them).
+  bool can_cancel() const { return state_ != nullptr; }
+
+ private:
+  enum : int { kNone = 0, kCancelled = 1, kDeadline = 2 };
+
+  struct State {
+    std::atomic<int> code{kNone};
+    /// Absolute steady_clock deadline in ns since epoch; 0 = none.
+    std::atomic<int64_t> deadline_ns{0};
+  };
+
+  explicit CancelToken(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace dbs3
+
+#endif  // DBS3_ENGINE_CANCEL_H_

@@ -12,6 +12,11 @@
 namespace dbs3 {
 
 Result<ExecutionResult> Executor::Run(Plan& plan) {
+  return Run(plan, ExecOptions{});
+}
+
+Result<ExecutionResult> Executor::Run(Plan& plan,
+                                      const ExecOptions& options) {
   DBS3_RETURN_IF_ERROR(plan.Validate());
   DBS3_ASSIGN_OR_RETURN(std::vector<size_t> order, plan.TopologicalOrder());
 
@@ -39,6 +44,7 @@ Result<ExecutionResult> Executor::Run(Plan& plan) {
     config.use_main_queues = node.params.use_main_queues;
     config.seed = 0x5bd1e995u + i;
     config.tracer = tracer.get();
+    config.cancel = options.cancel;
 
     DataOutput output;
     if (node.output >= 0) {
@@ -84,7 +90,16 @@ Result<ExecutionResult> Executor::Run(Plan& plan) {
 
   const auto t0 = std::chrono::steady_clock::now();
 
-  for (size_t i : order) ops[i]->Start();
+  // Producers start before their consumers (topological order), so on a
+  // FIFO thread source every dispatched worker either runs or is preceded
+  // only by workers it does not wait on.
+  for (size_t i : order) {
+    if (options.workers != nullptr) {
+      ops[i]->StartOn(options.workers);
+    } else {
+      ops[i]->Start();
+    }
+  }
 
   // Fire the control activations (Figure 2: one trigger per instance).
   for (size_t i : order) {
@@ -102,7 +117,11 @@ Result<ExecutionResult> Executor::Run(Plan& plan) {
   // drain and the downstream close.
   for (size_t i : order) {
     ops[i]->Join();
-    ops[i]->Finish();
+    // A cancelled execution withholds OnFinish: the blocking operators'
+    // buffered results are partial, and emitting them would only feed
+    // downstream cancelled buckets. ProducerDone still runs so every
+    // consumer sees its producers close and the drain terminates.
+    if (!options.cancel.ShouldStop()) ops[i]->Finish();
     const PlanNode& node = plan.node(i);
     if (node.output >= 0) {
       ops[static_cast<size_t>(node.output)]->ProducerDone();
@@ -129,6 +148,7 @@ Result<ExecutionResult> Executor::Run(Plan& plan) {
     registry.counter(prefix + "activations")->Add(stats.activations);
     registry.counter(prefix + "emitted")->Add(stats.emitted);
     registry.counter(prefix + "dropped_units")->Add(stats.dropped);
+    registry.counter(prefix + "cancelled_units")->Add(stats.cancelled_units);
     registry.counter(prefix + "busy_ns")
         ->Add(static_cast<uint64_t>(stats.busy_seconds * 1e9));
     registry.counter(prefix + "main_queue_acquisitions")
@@ -138,8 +158,10 @@ Result<ExecutionResult> Executor::Run(Plan& plan) {
     registry.counter(prefix + "peak_queue_units")
         ->Add(stats.peak_queue_units);
     result.units_dropped += stats.dropped;
+    result.units_cancelled += stats.cancelled_units;
     result.op_stats.push_back(std::move(stats));
   }
+  result.completion = options.cancel.ToStatus();
   result.metrics = registry.Snapshot();
 
 #if DBS3_VERIFY_ENABLED
@@ -161,6 +183,7 @@ Result<ExecutionResult> Executor::Run(Plan& plan) {
                                         stats.per_instance_processed.end(),
                                         uint64_t{0});
       entry.dropped = stats.dropped;
+      entry.cancelled = stats.cancelled_units;
       entry.rejected = stats.queue_rejected_units;
       if (node.mode == ActivationMode::kTriggered) {
         entry.triggers = node.instances;

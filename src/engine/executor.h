@@ -7,10 +7,27 @@
 #include "common/metrics.h"
 #include "common/result.h"
 #include "common/trace.h"
+#include "engine/cancel.h"
 #include "engine/operation.h"
 #include "engine/plan.h"
+#include "engine/thread_source.h"
 
 namespace dbs3 {
+
+/// How a plan execution runs: on private per-operation threads (default)
+/// or on a shared ThreadSource, and under which cancel token.
+struct ExecOptions {
+  /// When set, every operation's workers run on this source instead of
+  /// spawning private threads. The caller must reserve at least the plan's
+  /// total thread count on the source (see ThreadSource::Dispatch); the
+  /// server's admission controller does so before submitting.
+  ThreadSource* workers = nullptr;
+  /// Cooperative cancellation/deadline for the whole execution. Once it
+  /// fires, remaining queued units drain into the per-operation
+  /// `cancelled_units` bucket, OnFinish hooks are skipped, and the result's
+  /// `completion` reports Cancelled or DeadlineExceeded.
+  CancelToken cancel = CancelToken::None();
+};
 
 /// Outcome of one plan execution on the real multithreaded engine.
 struct ExecutionResult {
@@ -23,6 +40,13 @@ struct ExecutionResult {
   /// Always 0 for a completed well-formed plan; surfaced so data loss is
   /// never silent.
   uint64_t units_dropped = 0;
+  /// Tuple units drained into the cancelled bucket across all operations
+  /// (0 unless the execution's cancel token fired).
+  uint64_t units_cancelled = 0;
+  /// OK for a run that completed normally; Cancelled or DeadlineExceeded
+  /// when the cancel token fired. The execution still drained cleanly
+  /// either way — results are merely partial or withheld.
+  Status completion = Status::OK();
   /// Per-execution metric snapshot: engine counters aggregated from the
   /// operations plus (when tracing was enabled) the background sampler's
   /// queue-depth series.
@@ -47,6 +71,11 @@ class Executor {
   /// Executes `plan` to completion. The plan's relations are read and (for
   /// Store nodes) written. Returns timing and per-operation stats.
   Result<ExecutionResult> Run(Plan& plan);
+
+  /// As Run(plan), on shared workers and/or under a cancel token. A
+  /// cancelled execution is not an error at this layer: the result carries
+  /// a non-OK `completion` plus the partial stats gathered so far.
+  Result<ExecutionResult> Run(Plan& plan, const ExecOptions& options);
 };
 
 }  // namespace dbs3

@@ -98,7 +98,7 @@ Operation::Operation(OperationConfig config, OperatorLogic* logic,
 
 Operation::~Operation() {
   // Defensive: a well-formed executor always Joins explicitly.
-  if (!threads_.empty()) {
+  if (started_) {
     for (auto& q : queues_) q->Close();
     {
       // The flag write must pair with wait_mu_, exactly like ProducerDone:
@@ -171,12 +171,33 @@ void Operation::PushTrigger(size_t instance) {
   PushActivation(instance, Activation::Trigger(), "trigger");
 }
 
+void Operation::BeginWorkers(size_t count) {
+  MutexLock lock(&exit_mu_);
+  live_workers_ = count;
+}
+
 void Operation::Start() {
-  assert(threads_.empty());
+  assert(!started_);
+  started_ = true;
   start_time_ = std::chrono::steady_clock::now();
+  BeginWorkers(config_.num_threads);
   threads_.reserve(config_.num_threads);
   for (size_t t = 0; t < config_.num_threads; ++t) {
     threads_.emplace_back([this, t] { WorkerLoop(t); });
+  }
+}
+
+void Operation::StartOn(ThreadSource* source) {
+  assert(!started_);
+  assert(source != nullptr);
+  started_ = true;
+  start_time_ = std::chrono::steady_clock::now();
+  // All workers are marked live before the first dispatch: a worker that
+  // runs and exits immediately must not let Join() observe a 0 count while
+  // later workers are still being handed to the pool.
+  BeginWorkers(config_.num_threads);
+  for (size_t t = 0; t < config_.num_threads; ++t) {
+    source->Dispatch([this, t] { WorkerLoop(t); });
   }
 }
 
@@ -185,6 +206,13 @@ void Operation::Join() {
     if (t.joinable()) t.join();
   }
   threads_.clear();
+  {
+    // Pool-dispatched workers have no thread handle; their exit is the
+    // count reaching zero. Private-thread runs pass through trivially.
+    MutexLock lock(&exit_mu_);
+    while (live_workers_ > 0) exit_cv_.Wait(&exit_mu_);
+  }
+  started_ = false;
 }
 
 void Operation::Finish() {
@@ -206,6 +234,7 @@ OperationStats Operation::stats() const {
   s.activations = activations_.load();
   s.emitted = emitted_.load();
   s.dropped = dropped_.load();
+  s.cancelled_units = cancelled_units_.load();
   s.main_queue_acquisitions = main_acquisitions_.load();
   s.secondary_queue_acquisitions = secondary_acquisitions_.load();
   s.wall_span_seconds = static_cast<double>(wall_span_ns_.load()) * 1e-9;
@@ -259,6 +288,14 @@ void Operation::WorkerLoop(size_t thread_id) {
       if (drained_and_done) break;
       continue;
     }
+    if (config_.cancel.ShouldStop()) {
+      // Cancelled execution: keep draining so bounded queues unblock their
+      // producers and the executor's drain protocol terminates, but dispose
+      // of the units without invoking operator logic. They land in their
+      // own conservation-ledger bucket instead of `processed`.
+      cancelled_units_.fetch_add(units, std::memory_order_relaxed);
+      continue;
+    }
     // Busy time is measured per acquired batch, not per tuple: two clock
     // reads amortized over the whole batch keep the accounting overhead off
     // the per-tuple path.
@@ -300,6 +337,13 @@ void Operation::WorkerLoop(size_t thread_id) {
   int64_t prev = wall_span_ns_.load();
   while (prev < span && !wall_span_ns_.compare_exchange_weak(prev, span)) {
   }
+  {
+    MutexLock lock(&exit_mu_);
+    --live_workers_;
+  }
+  // Signal outside the lock, per the codebase's signal-after-unlock
+  // discipline; Join's predicate re-check makes the wakeup safe.
+  exit_cv_.SignalAll();
 }
 
 size_t Operation::AcquireBatch(size_t thread_id, Rng& rng,

@@ -17,8 +17,10 @@
 #include "common/trace.h"
 #include "engine/activation.h"
 #include "engine/activation_queue.h"
+#include "engine/cancel.h"
 #include "engine/operator_logic.h"
 #include "engine/strategy.h"
+#include "engine/thread_source.h"
 #include "storage/partitioner.h"
 
 namespace dbs3 {
@@ -77,6 +79,11 @@ struct OperationStats {
   /// queues. Must equal `dropped` — the verify ledger cross-checks the two
   /// tallies after every execution.
   uint64_t queue_rejected_units = 0;
+  /// Tuple units acquired after the execution's cancel token fired: the
+  /// worker disposed of them without invoking operator logic. Kept in its
+  /// own bucket (not `processed`) so the conservation ledger balances as
+  /// units_in == processed + cancelled + dropped.
+  uint64_t cancelled_units = 0;
   /// Batch acquisitions served from one of the consuming thread's own main
   /// queues vs. stolen from a secondary queue (load-balancing traffic).
   uint64_t main_queue_acquisitions = 0;
@@ -122,6 +129,11 @@ struct OperationConfig {
   /// acquired batch). Must outlive the operation. Null = tracing off; the
   /// only per-batch cost left is the busy-time clock reads.
   ActivationTracer* tracer = nullptr;
+  /// Cooperative cancellation, checked after every batch acquisition. Once
+  /// stopped, workers keep draining their queues but route the units into
+  /// `cancelled_units` instead of the operator logic. The default None()
+  /// token costs one null check per batch.
+  CancelToken cancel = CancelToken::None();
 };
 
 /// One node of the executing plan: a table of activation queues (one per
@@ -161,9 +173,16 @@ class Operation {
   /// Spawns the worker pool. Prepare() of the logic must have succeeded.
   void Start();
 
+  /// Runs the worker loops on threads borrowed from `source` instead of
+  /// spawning private ones. The caller must guarantee the source has enough
+  /// threads for every concurrently-blocking worker it dispatches across
+  /// all operations (the server's admission controller reserves slots for
+  /// exactly this). `source` must outlive Join().
+  void StartOn(ThreadSource* source) EXCLUDES(exit_mu_);
+
   /// Blocks until every worker has exited (i.e. all producers done and all
   /// queues drained).
-  void Join();
+  void Join() EXCLUDES(exit_mu_);
 
   /// Runs the logic's OnFinish hook for every instance (emitting through
   /// this operation's output edge). Must be called after Join() and before
@@ -180,7 +199,11 @@ class Operation {
  private:
   friend class OperationEmitter;
 
-  void WorkerLoop(size_t thread_id) EXCLUDES(wait_mu_);
+  void WorkerLoop(size_t thread_id) EXCLUDES(wait_mu_, exit_mu_);
+
+  /// Marks `count` workers as live before any of them runs, so Join() can
+  /// wait for pool-dispatched workers that have no joinable thread handle.
+  void BeginWorkers(size_t count) EXCLUDES(exit_mu_);
 
   /// Enqueues `a` on `instance` and wakes a worker; the pending-counter
   /// update is paired with wait_mu_ so the wakeup cannot be lost between a
@@ -217,6 +240,16 @@ class Operation {
 
   std::vector<std::thread> threads_;
 
+  /// Worker-exit tracking: counts live worker loops regardless of whether
+  /// they run on private threads or on a shared ThreadSource. Join() waits
+  /// on this (plus the private-thread joins) so both start modes share one
+  /// lifetime protocol. `started_` arms the destructor's defensive drain
+  /// for pool-backed runs, where threads_ stays empty.
+  Mutex exit_mu_{"Operation::exit_mu"};
+  CondVar exit_cv_;
+  size_t live_workers_ GUARDED_BY(exit_mu_) = 0;
+  bool started_ = false;
+
   /// Producer/consumer synchronization across all queues. pending_ counts
   /// queued tuple units (not activations) so bounded-queue back-pressure
   /// and drain detection keep their meaning under chunking. pending_ and
@@ -240,6 +273,7 @@ class Operation {
   std::atomic<uint64_t> activations_{0};
   std::atomic<uint64_t> emitted_{0};
   std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> cancelled_units_{0};
   std::atomic<uint64_t> main_acquisitions_{0};
   std::atomic<uint64_t> secondary_acquisitions_{0};
   std::chrono::steady_clock::time_point start_time_;

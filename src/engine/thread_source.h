@@ -1,0 +1,31 @@
+#ifndef DBS3_ENGINE_THREAD_SOURCE_H_
+#define DBS3_ENGINE_THREAD_SOURCE_H_
+
+#include <functional>
+
+namespace dbs3 {
+
+/// Where an execution's worker loops run. The engine's default is one
+/// private std::thread per worker (Operation::Start); a ThreadSource lets
+/// the executor borrow threads from an engine-wide pool instead
+/// (Operation::StartOn), so concurrent queries share workers without
+/// per-query spawn/teardown — see server/worker_pool.h.
+class ThreadSource {
+ public:
+  virtual ~ThreadSource() = default;
+
+  /// Runs `fn` on some worker thread, asynchronously. Dispatched functions
+  /// may block (a worker loop waits for activations until its producers
+  /// finish), so callers must never dispatch more concurrently-blocking
+  /// work than the source has threads — the server's admission controller
+  /// reserves worker slots per query phase to enforce exactly that.
+  virtual void Dispatch(std::function<void()> fn) = 0;
+
+  /// Number of threads backing the source (capacity for the caller's
+  /// reservation arithmetic).
+  virtual size_t num_threads() const = 0;
+};
+
+}  // namespace dbs3
+
+#endif  // DBS3_ENGINE_THREAD_SOURCE_H_

@@ -36,7 +36,7 @@ std::vector<std::string> CheckTupleConservation(
   }
   for (size_t i = 0; i < ledger.size(); ++i) {
     const LedgerEntry& e = ledger[i];
-    const uint64_t units_out = e.processed + e.dropped;
+    const uint64_t units_out = e.processed + e.cancelled + e.dropped;
     if (units_in[i] != units_out) {
       violations.push_back(
           "tuple conservation broken at operation '" + e.name + "': " +
@@ -45,6 +45,7 @@ std::vector<std::string> CheckTupleConservation(
           std::to_string(units_in[i] - e.triggers) +
           " produced) vs " + std::to_string(units_out) + " units out (" +
           std::to_string(e.processed) + " processed + " +
+          std::to_string(e.cancelled) + " cancelled + " +
           std::to_string(e.dropped) + " dropped)");
     }
     if (e.dropped != e.rejected) {

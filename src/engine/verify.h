@@ -42,6 +42,10 @@ struct LedgerEntry {
   uint64_t processed = 0;
   /// Tuple units counted as dropped by the operation (closed-queue pushes).
   uint64_t dropped = 0;
+  /// Tuple units drained after the execution's cancel token fired (disposed
+  /// without invoking operator logic). A third units-out bucket next to
+  /// `processed` and `dropped`; 0 for uncancelled executions.
+  uint64_t cancelled = 0;
   /// Tuple units the operation's queues rejected after close — must equal
   /// `dropped`, or a drop went unaccounted.
   uint64_t rejected = 0;
@@ -52,7 +56,8 @@ struct LedgerEntry {
 
 /// Checks conservation over a completed execution's ledger: for every
 /// entry `c`, units-in (producers' emissions routed to `c` plus `c`'s
-/// triggers) must equal units-out (processed plus dropped), and every
+/// triggers) must equal units-out (processed plus cancelled plus dropped),
+/// and every
 /// queue-rejected unit must appear in the drop counter. Returns one
 /// human-readable violation per broken entry (empty = conserved). Pure
 /// bookkeeping over already-joined counters: O(entries), no locking.

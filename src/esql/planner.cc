@@ -1,13 +1,54 @@
 #include "esql/planner.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "engine/blocking_operators.h"
 #include "esql/parser.h"
+#include "server/query_runtime.h"
 
 namespace dbs3 {
 
 namespace {
+
+/// How plan phases execute: through a QueryEnv when running under the
+/// shared runtime (scheduler feedback, pooled workers, cancellation), or
+/// inline with at most a cancel token on the legacy path.
+struct EsqlExecContext {
+  QueryEnv* env = nullptr;
+  CancelToken cancel = CancelToken::None();
+  /// When set, every non-final phase's execution is appended here (becomes
+  /// QueryResult::phases).
+  std::vector<ExecutionResult>* phase_execs = nullptr;
+};
+
+/// Schedules and runs one plan phase through the context.
+Result<PhaseOutcome> RunEsqlPhase(Plan& plan, const CostModel& cost_model,
+                                  const ScheduleOptions& schedule,
+                                  EsqlExecContext& ctx) {
+  if (ctx.env != nullptr) return ctx.env->Run(plan, cost_model, schedule);
+  PhaseOutcome out;
+  DBS3_ASSIGN_OR_RETURN(out.schedule,
+                        ScheduleQuery(plan, cost_model, schedule));
+  ExecOptions exec;
+  exec.cancel = ctx.cancel;
+  Executor executor;
+  DBS3_ASSIGN_OR_RETURN(out.execution, executor.Run(plan, exec));
+  if (!out.execution.completion.ok()) return out.execution.completion;
+  return out;
+}
+
+/// The cancel token the legacy inline path observes (mirrors the query
+/// facade): caller's token, fresh-with-deadline, or none.
+CancelToken InlineToken(const EsqlOptions& options) {
+  if (!options.cancel.has_value() && !options.deadline.has_value()) {
+    return CancelToken::None();
+  }
+  CancelToken token =
+      options.cancel.has_value() ? *options.cancel : CancelToken();
+  if (options.deadline.has_value()) token.set_deadline(*options.deadline);
+  return token;
+}
 
 /// Provenance of one column of the working schema (for name resolution
 /// across joins, where duplicate bare names may exist).
@@ -129,7 +170,7 @@ bool BelongsTo(const Comparison& cmp, const Relation& rel) {
 /// the same degree — the subquery boundary of the general join case.
 Result<std::unique_ptr<Relation>> MaterializeRepartition(
     const Relation& rel, size_t column, TuplePredicate predicate,
-    double selectivity, const EsqlOptions& options) {
+    double selectivity, const EsqlOptions& options, EsqlExecContext& ctx) {
   auto temp = std::make_unique<Relation>(
       rel.name() + "_repart", rel.schema(), column,
       Partitioner(PartitionKind::kHash, rel.degree()));
@@ -142,10 +183,12 @@ Result<std::unique_ptr<Relation>> MaterializeRepartition(
                    std::make_unique<StoreLogic>(temp.get()));
   DBS3_RETURN_IF_ERROR(
       plan.ConnectByColumn(filter, store, column, temp->partitioner()));
-  DBS3_RETURN_IF_ERROR(
-      ScheduleQuery(plan, CostModel{}, options.schedule).status());
-  Executor executor;
-  DBS3_RETURN_IF_ERROR(executor.Run(plan).status());
+  DBS3_ASSIGN_OR_RETURN(
+      PhaseOutcome out,
+      RunEsqlPhase(plan, CostModel{}, options.schedule, ctx));
+  if (ctx.phase_execs != nullptr) {
+    ctx.phase_execs->push_back(std::move(out.execution));
+  }
   return temp;
 }
 
@@ -183,8 +226,8 @@ Status AppendFilter(const std::vector<Comparison>& comparisons,
 /// single co-partitioned join and repartition materializations (subquery
 /// boundaries) for misaligned inners.
 Status BuildSource(Database& db, const EsqlQuery& query,
-                   const EsqlOptions& options, PipelineState* state,
-                   size_t* phases) {
+                   const EsqlOptions& options, EsqlExecContext& ctx,
+                   PipelineState* state, size_t* phases) {
   // Resolve the relation chain.
   std::vector<Relation*> rels;
   DBS3_ASSIGN_OR_RETURN(Relation * from_rel, db.relation(query.from));
@@ -384,7 +427,7 @@ Status BuildSource(Database& db, const EsqlQuery& query,
             std::unique_ptr<Relation> temp,
             MaterializeRepartition(*inner, this_inner_col,
                                    std::move(inner_pred.first),
-                                   inner_pred.second, options));
+                                   inner_pred.second, options, ctx));
         state->description =
             "repartition(" + inner->name() + ") ; " + state->description;
         inner = temp.get();
@@ -557,10 +600,10 @@ Status BuildProjection(const EsqlQuery& query, PipelineState* state) {
   return Status::OK();
 }
 
-}  // namespace
-
-Result<EsqlResult> ExecuteEsql(Database& db, const EsqlQuery& query,
-                               const EsqlOptions& options) {
+/// Compiles and runs `query`, executing every phase through `ctx`.
+Result<EsqlResult> ExecuteEsqlCore(Database& db, const EsqlQuery& query,
+                                   const EsqlOptions& options,
+                                   EsqlExecContext& ctx) {
   if (query.items.empty()) {
     return Status::InvalidArgument("empty select list");
   }
@@ -575,7 +618,8 @@ Result<EsqlResult> ExecuteEsql(Database& db, const EsqlQuery& query,
 
   PipelineState state;
   size_t phases = 1;
-  DBS3_RETURN_IF_ERROR(BuildSource(db, query, options, &state, &phases));
+  DBS3_RETURN_IF_ERROR(
+      BuildSource(db, query, options, ctx, &state, &phases));
   if (has_aggregate) {
     DBS3_RETURN_IF_ERROR(BuildAggregation(query, &state));
   }
@@ -606,13 +650,65 @@ Result<EsqlResult> ExecuteEsql(Database& db, const EsqlQuery& query,
 
   EsqlResult out;
   DBS3_ASSIGN_OR_RETURN(
-      out.schedule,
-      ScheduleQuery(state.plan, options.cost_model, options.schedule));
-  Executor executor;
-  DBS3_ASSIGN_OR_RETURN(out.execution, executor.Run(state.plan));
+      PhaseOutcome final_phase,
+      RunEsqlPhase(state.plan, options.cost_model, options.schedule, ctx));
+  out.schedule = std::move(final_phase.schedule);
+  out.execution = std::move(final_phase.execution);
   out.result = std::move(result);
   out.physical_plan = state.description + " ; store";
   out.phases = phases;
+  return out;
+}
+
+/// Packages a core result as the runtime-facing QueryResult.
+QueryResult ToQueryResult(EsqlResult esql,
+                          std::vector<ExecutionResult> phase_execs) {
+  QueryResult out;
+  out.result = std::move(esql.result);
+  out.execution = std::move(esql.execution);
+  out.schedule = std::move(esql.schedule);
+  out.detail = std::move(esql.physical_plan);
+  out.phases = std::move(phase_execs);
+  return out;
+}
+
+QueryHandle SubmitParsed(Database& db, EsqlQuery query,
+                         const EsqlOptions& options) {
+  QuerySpec spec;
+  spec.priority = options.priority;
+  spec.memory_units = options.memory_units;
+  spec.deadline = options.deadline;
+  spec.cancel = options.cancel;
+  spec.body = [&db, query = std::move(query),
+               options](QueryEnv& env) -> Result<QueryResult> {
+    std::vector<ExecutionResult> phase_execs;
+    EsqlExecContext ctx;
+    ctx.env = &env;
+    ctx.phase_execs = &phase_execs;
+    DBS3_ASSIGN_OR_RETURN(EsqlResult esql,
+                          ExecuteEsqlCore(db, query, options, ctx));
+    return ToQueryResult(std::move(esql), std::move(phase_execs));
+  };
+  return db.Submit(std::move(spec));
+}
+
+}  // namespace
+
+Result<EsqlResult> ExecuteEsql(Database& db, const EsqlQuery& query,
+                               const EsqlOptions& options) {
+  if (!options.use_shared_runtime) {
+    EsqlExecContext ctx;
+    ctx.cancel = InlineToken(options);
+    return ExecuteEsqlCore(db, query, options, ctx);
+  }
+  QueryHandle handle = SubmitEsql(db, query, options);
+  DBS3_ASSIGN_OR_RETURN(QueryResult result, handle.Take());
+  EsqlResult out;
+  out.result = std::move(result.result);
+  out.execution = std::move(result.execution);
+  out.schedule = std::move(result.schedule);
+  out.physical_plan = std::move(result.detail);
+  out.phases = result.phases.size() + 1;
   return out;
 }
 
@@ -620,6 +716,34 @@ Result<EsqlResult> ExecuteEsql(Database& db, const std::string& query,
                                const EsqlOptions& options) {
   DBS3_ASSIGN_OR_RETURN(EsqlQuery parsed, ParseEsql(query));
   return ExecuteEsql(db, parsed, options);
+}
+
+QueryHandle SubmitEsql(Database& db, const EsqlQuery& query,
+                       const EsqlOptions& options) {
+  return SubmitParsed(db, query, options);
+}
+
+QueryHandle SubmitEsql(Database& db, const std::string& query,
+                       const EsqlOptions& options) {
+  // Parse inside the body so syntax errors surface through the handle
+  // like every other query failure.
+  QuerySpec spec;
+  spec.priority = options.priority;
+  spec.memory_units = options.memory_units;
+  spec.deadline = options.deadline;
+  spec.cancel = options.cancel;
+  spec.body = [&db, query,
+               options](QueryEnv& env) -> Result<QueryResult> {
+    DBS3_ASSIGN_OR_RETURN(EsqlQuery parsed, ParseEsql(query));
+    std::vector<ExecutionResult> phase_execs;
+    EsqlExecContext ctx;
+    ctx.env = &env;
+    ctx.phase_execs = &phase_execs;
+    DBS3_ASSIGN_OR_RETURN(EsqlResult esql,
+                          ExecuteEsqlCore(db, parsed, options, ctx));
+    return ToQueryResult(std::move(esql), std::move(phase_execs));
+  };
+  return db.Submit(std::move(spec));
 }
 
 }  // namespace dbs3

@@ -1,15 +1,20 @@
 #ifndef DBS3_ESQL_PLANNER_H_
 #define DBS3_ESQL_PLANNER_H_
 
+#include <chrono>
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "common/result.h"
 #include "dbs3/database.h"
+#include "engine/cancel.h"
 #include "engine/executor.h"
 #include "engine/operators.h"
 #include "esql/ast.h"
 #include "sched/scheduler.h"
+#include "server/query_handle.h"
 
 namespace dbs3 {
 
@@ -19,6 +24,17 @@ struct EsqlOptions {
   CostModel cost_model;
   JoinAlgorithm algorithm = JoinAlgorithm::kHash;
   std::string result_name = "esql_result";
+
+  /// Multi-user knobs, forwarded to the runtime's QuerySpec (see
+  /// QueryOptions in dbs3/query.h for semantics).
+  int priority = 0;
+  uint64_t memory_units = 0;
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  std::optional<CancelToken> cancel;
+  /// Run every phase (repartition materializations and the final
+  /// pipeline) through the database's shared QueryRuntime. false = legacy
+  /// inline execution with private per-operation threads.
+  bool use_shared_runtime = true;
 };
 
 /// Outcome of one ESQL query.
@@ -52,6 +68,19 @@ Result<EsqlResult> ExecuteEsql(Database& db, const std::string& query,
 /// Same, over an already-parsed query.
 Result<EsqlResult> ExecuteEsql(Database& db, const EsqlQuery& query,
                                const EsqlOptions& options = {});
+
+/// Async variant: queues the query on the database's shared runtime and
+/// returns a handle immediately. Parse errors, like planning errors,
+/// surface through the handle. The QueryResult's `detail` carries the
+/// physical-plan rendering and `phases` the intermediate (repartition)
+/// executions. ExecuteEsql above is Submit + Take when
+/// options.use_shared_runtime (the default).
+QueryHandle SubmitEsql(Database& db, const std::string& query,
+                       const EsqlOptions& options = {});
+
+/// Same, over an already-parsed query.
+QueryHandle SubmitEsql(Database& db, const EsqlQuery& query,
+                       const EsqlOptions& options = {});
 
 }  // namespace dbs3
 

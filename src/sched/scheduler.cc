@@ -20,6 +20,22 @@ std::string ScheduleReport::ToString() const {
   return out;
 }
 
+double MultiUserUtilization(size_t live_queries) {
+  return 1.0 / static_cast<double>(std::max<size_t>(1, live_queries));
+}
+
+ScheduleOptions ApplyUtilization(ScheduleOptions options, double factor) {
+  factor = std::clamp(factor, 1e-9, 1.0);
+  if (options.total_threads > 0) {
+    options.total_threads = std::max<size_t>(
+        1, static_cast<size_t>(std::lround(
+               static_cast<double>(options.total_threads) * factor)));
+  } else {
+    options.utilization = std::max(options.utilization * factor, 1e-9);
+  }
+  return options;
+}
+
 Result<ScheduleReport> ScheduleQuery(Plan& plan, const CostModel& cost_model,
                                      const ScheduleOptions& options) {
   DBS3_RETURN_IF_ERROR(plan.Validate());

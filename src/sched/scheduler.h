@@ -59,6 +59,21 @@ struct ScheduleReport {
   std::string ToString() const;
 };
 
+/// The [Rahm93] multi-user reduction as a feedback function: the
+/// utilization factor for one of `live_queries` queries executing
+/// concurrently. 1.0 for a single-user system; under load each query's
+/// thread allocation shrinks with the live degree of multiprogramming so
+/// aggregate thread pressure stays near the single-user level (throughput
+/// over response time). The server's QueryRuntime feeds its live-query
+/// count through this before every phase schedule.
+double MultiUserUtilization(size_t live_queries);
+
+/// Applies a utilization factor to `options` whether the caller fixed the
+/// thread count or left it derived: a fixed total_threads is scaled
+/// directly (the step-1 utilization input only affects derived counts),
+/// a derived one compounds the factor into options.utilization.
+ScheduleOptions ApplyUtilization(ScheduleOptions options, double factor);
+
 /// Runs steps 1-4 of Section 3 on `plan`: estimates every node's complexity
 /// (propagating cardinalities along pipeline edges), chooses the total
 /// thread count, splits it over the plan's operators proportionally to

@@ -1,0 +1,106 @@
+#include "server/admission.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <utility>
+
+namespace dbs3 {
+
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : config_(config) {}
+
+Status AdmissionController::TryEnqueue(PendingQuery q) {
+  if (config_.memory_budget_units > 0) {
+    q.memory_units = std::min(q.memory_units, config_.memory_budget_units);
+  }
+  {
+    MutexLock lock(&mu_);
+    if (shutdown_) {
+      return Status::Cancelled("admission queue shut down");
+    }
+    if (waiting_.size() >= config_.max_queued) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "admission queue full: " + std::to_string(waiting_.size()) +
+          " queries already waiting (max_queued=" +
+          std::to_string(config_.max_queued) + ")");
+    }
+    waiting_.push_back(std::move(q));
+    seq_.push_back(next_seq_++);
+    size_t peak = peak_queued_.load(std::memory_order_relaxed);
+    while (peak < waiting_.size() &&
+           !peak_queued_.compare_exchange_weak(peak, waiting_.size())) {
+    }
+  }
+  cv_.Signal();
+  return Status::OK();
+}
+
+bool AdmissionController::PopNext(PendingQuery* out) {
+  MutexLock lock(&mu_);
+  while (true) {
+    // Best admissible entry: highest priority, FIFO within a priority,
+    // skipping entries whose memory reservation does not fit — except
+    // cancelled ones, which are handed out unconditionally so their
+    // handles complete without waiting on budget they will never use.
+    size_t best = waiting_.size();
+    for (size_t i = 0; i < waiting_.size(); ++i) {
+      const bool fits =
+          config_.memory_budget_units == 0 ||
+          waiting_[i].memory_units + memory_in_use_ <=
+              config_.memory_budget_units ||
+          waiting_[i].cancel.ShouldStop();
+      if (!fits) continue;
+      if (best == waiting_.size() ||
+          waiting_[i].priority > waiting_[best].priority ||
+          (waiting_[i].priority == waiting_[best].priority &&
+           seq_[i] < seq_[best])) {
+        best = i;
+      }
+    }
+    if (best < waiting_.size()) {
+      *out = std::move(waiting_[best]);
+      waiting_.erase(waiting_.begin() + static_cast<ptrdiff_t>(best));
+      seq_.erase(seq_.begin() + static_cast<ptrdiff_t>(best));
+      if (out->cancel.ShouldStop()) {
+        // Nothing charged; zero the reservation so the caller's paired
+        // ReleaseMemory is a no-op.
+        out->memory_units = 0;
+      } else {
+        memory_in_use_ += out->memory_units;
+      }
+      admitted_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    if (shutdown_ && waiting_.empty()) return false;
+    // Bounded wait rather than pure Wait: a waiter blocked on the memory
+    // budget must notice when its entry's cancel token fires (nobody
+    // signals this cv on Cancel).
+    cv_.WaitFor(&mu_, std::chrono::milliseconds(2));
+  }
+}
+
+void AdmissionController::ReleaseMemory(uint64_t units) {
+  if (units == 0) return;
+  {
+    MutexLock lock(&mu_);
+    memory_in_use_ -= std::min(memory_in_use_, units);
+  }
+  cv_.SignalAll();
+}
+
+void AdmissionController::Shutdown() {
+  {
+    MutexLock lock(&mu_);
+    shutdown_ = true;
+  }
+  cv_.SignalAll();
+}
+
+size_t AdmissionController::queued_now() const {
+  MutexLock lock(&mu_);
+  return waiting_.size();
+}
+
+}  // namespace dbs3

@@ -1,0 +1,98 @@
+#ifndef DBS3_SERVER_ADMISSION_H_
+#define DBS3_SERVER_ADMISSION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "engine/cancel.h"
+
+namespace dbs3 {
+
+/// Load-shedding and budget limits for the admission queue.
+struct AdmissionConfig {
+  /// Queries allowed to wait for a driver. One past this is shed with
+  /// kResourceExhausted instead of queued (bounding worst-case queue time
+  /// under overload). Generous by default so the synchronous facade API
+  /// never sheds unexpectedly.
+  size_t max_queued = 256;
+  /// Memory/queue budget in tuple units shared by the running queries.
+  /// A query declares its working-set units at submit; the controller
+  /// withholds it from a driver until the budget covers it. 0 = unbounded.
+  uint64_t memory_budget_units = 0;
+};
+
+/// One waiting query, as the runtime enqueues it. The controller is
+/// agnostic to what `run` does — the runtime packs the whole drive-this-
+/// query sequence into it.
+struct PendingQuery {
+  uint64_t id = 0;
+  /// Higher runs sooner; ties dequeue FIFO.
+  int priority = 0;
+  /// Declared working-set size, clamped to the configured budget at
+  /// enqueue (a query larger than the whole budget would never admit).
+  uint64_t memory_units = 0;
+  CancelToken cancel;
+  std::chrono::steady_clock::time_point enqueued_at;
+  /// Runs the query; receives the measured admission wait in seconds.
+  std::function<void(double)> run;
+};
+
+/// The admission queue between Submit and the driver threads: bounded
+/// waiting room (excess load shed), priority-then-FIFO dequeue order, and
+/// a unit-denominated memory budget that gates when the head query may
+/// start. Driver-side concurrency (session slots) is bounded by the number
+/// of driver threads calling PopNext, not here.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config);
+
+  /// Queues `q`, or sheds it with ResourceExhausted when the waiting room
+  /// is full. Never blocks.
+  Status TryEnqueue(PendingQuery q) EXCLUDES(mu_);
+
+  /// Blocks until a query is admissible (best priority/FIFO entry whose
+  /// memory reservation fits the remaining budget) and pops it into
+  /// `*out`, charging its reservation. Returns false once shut down AND
+  /// drained — after Shutdown, queued entries are still handed out so
+  /// their handles can be completed. A cancelled waiter is handed out
+  /// immediately regardless of budget (its runner sees the fired token and
+  /// completes without executing, so it must not wait for memory).
+  bool PopNext(PendingQuery* out) EXCLUDES(mu_);
+
+  /// Returns a popped query's reservation to the budget.
+  void ReleaseMemory(uint64_t units) EXCLUDES(mu_);
+
+  /// Wakes every blocked PopNext; they drain the queue then return false.
+  void Shutdown() EXCLUDES(mu_);
+
+  /// Monitoring counters (exact under the controller's own lock).
+  uint64_t queries_shed() const { return shed_.load(); }
+  uint64_t queries_admitted() const { return admitted_.load(); }
+  size_t peak_queued() const { return peak_queued_.load(); }
+  size_t queued_now() const EXCLUDES(mu_);
+
+ private:
+  AdmissionConfig config_;
+  mutable Mutex mu_{"AdmissionController::mu"};
+  CondVar cv_;
+  std::vector<PendingQuery> waiting_ GUARDED_BY(mu_);
+  uint64_t memory_in_use_ GUARDED_BY(mu_) = 0;
+  uint64_t next_seq_ GUARDED_BY(mu_) = 0;
+  /// Enqueue order per entry, for FIFO ties (index-aligned with waiting_).
+  std::vector<uint64_t> seq_ GUARDED_BY(mu_);
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<size_t> peak_queued_{0};
+};
+
+}  // namespace dbs3
+
+#endif  // DBS3_SERVER_ADMISSION_H_

@@ -1,0 +1,64 @@
+#include "server/query_handle.h"
+
+#include <cassert>
+#include <utility>
+
+namespace dbs3 {
+
+uint64_t QueryHandle::id() const {
+  return state_ == nullptr ? 0 : state_->id;
+}
+
+void QueryHandle::Cancel() const {
+  if (state_ != nullptr) state_->cancel.Cancel();
+}
+
+const CancelToken& QueryHandle::cancel_token() const {
+  assert(state_ != nullptr);
+  return state_->cancel;
+}
+
+bool QueryHandle::done() const {
+  if (state_ == nullptr) return false;
+  MutexLock lock(&state_->mu);
+  return state_->done;
+}
+
+void QueryHandle::Wait() const {
+  assert(state_ != nullptr);
+  MutexLock lock(&state_->mu);
+  while (!state_->done) state_->cv.Wait(&state_->mu);
+}
+
+bool QueryHandle::WaitFor(std::chrono::nanoseconds timeout) const {
+  assert(state_ != nullptr);
+  const auto give_up = std::chrono::steady_clock::now() + timeout;
+  MutexLock lock(&state_->mu);
+  while (!state_->done) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= give_up) return false;
+    state_->cv.WaitFor(&state_->mu, give_up - now);
+  }
+  return true;
+}
+
+Result<QueryResult> QueryHandle::Take() {
+  assert(state_ != nullptr);
+  MutexLock lock(&state_->mu);
+  while (!state_->done) state_->cv.Wait(&state_->mu);
+  if (state_->taken) {
+    return Status::FailedPrecondition("query result already taken");
+  }
+  state_->taken = true;
+  Result<QueryResult> out = std::move(*state_->outcome);
+  state_->outcome.reset();
+  return out;
+}
+
+QueryRunStats QueryHandle::stats() const {
+  if (state_ == nullptr) return QueryRunStats{};
+  MutexLock lock(&state_->mu);
+  return state_->stats;
+}
+
+}  // namespace dbs3

@@ -1,0 +1,229 @@
+#include "server/query_runtime.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+namespace dbs3 {
+
+namespace {
+
+size_t DefaultPoolThreads(size_t configured) {
+  if (configured > 0) return configured;
+  return std::max<unsigned>(1, std::thread::hardware_concurrency());
+}
+
+int64_t Micros(double seconds) {
+  return static_cast<int64_t>(seconds * 1e6);
+}
+
+}  // namespace
+
+Result<PhaseOutcome> QueryEnv::Run(Plan& plan, const CostModel& cost_model,
+                                   const ScheduleOptions& schedule) {
+  if (cancel_.ShouldStop()) return cancel_.ToStatus();
+
+  // Scheduler feedback: the live multiprogramming level reduces this
+  // phase's thread allocation [Rahm93], so N concurrent queries together
+  // apply roughly single-user thread pressure to the machine.
+  const ScheduleOptions adjusted = ApplyUtilization(
+      schedule, MultiUserUtilization(runtime_->live_queries()));
+
+  PhaseOutcome out;
+  DBS3_ASSIGN_OR_RETURN(out.schedule,
+                        ScheduleQuery(plan, cost_model, adjusted));
+  const size_t total_threads = std::accumulate(
+      out.schedule.threads.begin(), out.schedule.threads.end(), size_t{0});
+
+  // Whole-plan reservation against the shared pool; a plan too wide for
+  // the pool falls back to private threads (correct, just without the
+  // spawn amortization).
+  ExecOptions exec;
+  exec.cancel = cancel_;
+  bool reserved = false;
+  if (total_threads <= runtime_->pool_.num_threads()) {
+    reserved = runtime_->ReserveWorkers(total_threads, cancel_);
+    if (reserved) {
+      exec.workers = &runtime_->pool_;
+    } else if (cancel_.ShouldStop()) {
+      return cancel_.ToStatus();
+    }
+  }
+
+  Executor executor;
+  Result<ExecutionResult> run = executor.Run(plan, exec);
+  if (reserved) runtime_->ReleaseWorkers(total_threads);
+  DBS3_RETURN_IF_ERROR(run.status());
+  out.execution = std::move(run).value();
+
+  // Fold the phase into the query's running stats — cancelled phases too,
+  // so a cancelled query reports the partial work it did.
+  ++stats_.phases;
+  stats_.execution_seconds += out.execution.seconds;
+  stats_.units_cancelled += out.execution.units_cancelled;
+  for (const OperationStats& op : out.execution.op_stats) {
+    stats_.busy_seconds += op.busy_seconds;
+    for (uint64_t c : op.per_instance_processed) stats_.units_processed += c;
+  }
+  if (reserved) stats_.used_shared_pool = true;
+  if (publish_) publish_(stats_);
+
+  if (!out.execution.completion.ok()) return out.execution.completion;
+  return out;
+}
+
+QueryRuntime::QueryRuntime(QueryRuntimeOptions options)
+    : options_(options),
+      pool_(DefaultPoolThreads(options.pool_threads)),
+      admission_(AdmissionConfig{
+          std::max<size_t>(1, options.max_queued_queries),
+          options.memory_budget_units}),
+      free_slots_(pool_.num_threads()) {
+  const size_t drivers = std::max<size_t>(1, options_.max_concurrent_queries);
+  drivers_.reserve(drivers);
+  for (size_t i = 0; i < drivers; ++i) {
+    drivers_.emplace_back([this] { DriverLoop(); });
+  }
+}
+
+QueryRuntime::~QueryRuntime() {
+  shutdown_.store(true);
+  admission_.Shutdown();
+  for (auto& d : drivers_) {
+    if (d.joinable()) d.join();
+  }
+  // pool_ destroys after the drivers: every execution has completed, so
+  // its queue is empty and the threads exit immediately.
+}
+
+QueryHandle QueryRuntime::Submit(QuerySpec spec) {
+  auto state = std::make_shared<QueryHandle::State>();
+  state->id = next_id_.fetch_add(1);
+  state->cancel = spec.cancel.has_value() ? *spec.cancel : CancelToken();
+  if (spec.deadline.has_value()) state->cancel.set_deadline(*spec.deadline);
+  QueryHandle handle(state);
+
+  if (options_.metrics != nullptr) {
+    options_.metrics->counter("runtime.queries_submitted")->Add(1);
+  }
+
+  PendingQuery pending;
+  pending.id = state->id;
+  pending.priority = spec.priority;
+  pending.memory_units = spec.memory_units;
+  pending.cancel = state->cancel;
+  pending.enqueued_at = std::chrono::steady_clock::now();
+  pending.run = [this, state, body = std::move(spec.body)](
+                    double wait_seconds) mutable {
+    QueryRunStats stats;
+    stats.admission_wait_seconds = wait_seconds;
+    {
+      MutexLock lock(&state->mu);
+      state->stats = stats;
+    }
+    if (shutdown_.load()) {
+      Complete(state, Status::Cancelled("query runtime shutting down"),
+               stats);
+      return;
+    }
+    if (state->cancel.ShouldStop()) {
+      // Cancelled or deadline-expired while still queued: complete without
+      // executing anything.
+      Complete(state, state->cancel.ToStatus(), stats);
+      return;
+    }
+    live_.fetch_add(1);
+    QueryEnv env(this, state->cancel, [this, state](const QueryRunStats& s) {
+      QueryRunStats merged = s;
+      MutexLock lock(&state->mu);
+      merged.admission_wait_seconds = state->stats.admission_wait_seconds;
+      state->stats = merged;
+    });
+    env.stats_.admission_wait_seconds = wait_seconds;
+    Result<QueryResult> outcome = body(env);
+    live_.fetch_sub(1);
+    Complete(state, std::move(outcome), env.stats_);
+  };
+
+  const Status queued = admission_.TryEnqueue(std::move(pending));
+  if (!queued.ok()) {
+    // Shed (or submitted into a shutting-down runtime): the handle
+    // completes immediately with the admission error.
+    if (options_.metrics != nullptr &&
+        queued.code() == StatusCode::kResourceExhausted) {
+      options_.metrics->counter("runtime.queries_shed")->Add(1);
+    }
+    Complete(state, queued, QueryRunStats{});
+  }
+  return handle;
+}
+
+void QueryRuntime::DriverLoop() {
+  PendingQuery q;
+  while (admission_.PopNext(&q)) {
+    const double wait_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      q.enqueued_at)
+            .count();
+    q.run(wait_seconds);
+    admission_.ReleaseMemory(q.memory_units);
+    q = PendingQuery{};
+  }
+}
+
+void QueryRuntime::Complete(const std::shared_ptr<QueryHandle::State>& state,
+                            Result<QueryResult> outcome,
+                            const QueryRunStats& stats) {
+  if (options_.metrics != nullptr) {
+    MetricsRegistry& m = *options_.metrics;
+    if (outcome.ok()) {
+      m.counter("runtime.queries_completed")->Add(1);
+    } else if (outcome.status().code() == StatusCode::kCancelled) {
+      m.counter("runtime.queries_cancelled")->Add(1);
+    } else if (outcome.status().code() == StatusCode::kDeadlineExceeded) {
+      m.counter("runtime.queries_deadline_exceeded")->Add(1);
+    }
+    if (!outcome.ok()) {
+      // A query that failed (cancel/deadline) never reaches the facade's
+      // engine-metrics accumulation, so its drained units are credited to
+      // the engine-wide ledger counter here.
+      m.counter("engine.units_cancelled")->Add(stats.units_cancelled);
+    }
+    m.summary("runtime.admission_wait_us")
+        ->Record(Micros(stats.admission_wait_seconds));
+    m.summary("runtime.execution_wall_us")
+        ->Record(Micros(stats.execution_seconds));
+    m.summary("runtime.busy_us")->Record(Micros(stats.busy_seconds));
+  }
+  {
+    MutexLock lock(&state->mu);
+    state->stats = stats;
+    state->outcome.emplace(std::move(outcome));
+    state->done = true;
+  }
+  state->cv.SignalAll();
+}
+
+bool QueryRuntime::ReserveWorkers(size_t slots, const CancelToken& cancel) {
+  if (slots == 0) return true;
+  if (slots > pool_.num_threads()) return false;
+  MutexLock lock(&slots_mu_);
+  while (free_slots_ < slots) {
+    if (cancel.ShouldStop()) return false;
+    // Bounded wait: nobody signals this cv when a cancel token fires.
+    slots_cv_.WaitFor(&slots_mu_, std::chrono::milliseconds(2));
+  }
+  free_slots_ -= slots;
+  return true;
+}
+
+void QueryRuntime::ReleaseWorkers(size_t slots) {
+  if (slots == 0) return;
+  {
+    MutexLock lock(&slots_mu_);
+    free_slots_ += slots;
+  }
+  slots_cv_.SignalAll();
+}
+
+}  // namespace dbs3

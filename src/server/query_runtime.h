@@ -1,0 +1,176 @@
+#ifndef DBS3_SERVER_QUERY_RUNTIME_H_
+#define DBS3_SERVER_QUERY_RUNTIME_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/mutex.h"
+#include "common/result.h"
+#include "common/thread_annotations.h"
+#include "engine/cancel.h"
+#include "engine/cost_model.h"
+#include "engine/executor.h"
+#include "engine/plan.h"
+#include "sched/scheduler.h"
+#include "server/admission.h"
+#include "server/query_handle.h"
+#include "server/worker_pool.h"
+
+namespace dbs3 {
+
+class QueryRuntime;
+
+/// Sizing of the concurrent query runtime.
+struct QueryRuntimeOptions {
+  /// Shared worker-pool threads. 0 = hardware concurrency (>= 1).
+  size_t pool_threads = 0;
+  /// Session slots: queries executing at once (= driver threads). Queries
+  /// past this wait in the admission queue.
+  size_t max_concurrent_queries = 4;
+  /// Waiting room past the session slots; one more is shed with
+  /// kResourceExhausted. Generous default so the synchronous facade API
+  /// never sheds unexpectedly.
+  size_t max_queued_queries = 256;
+  /// Memory/queue budget in tuple units shared by running queries (what a
+  /// query declares via QuerySpec::memory_units). 0 = unbounded.
+  uint64_t memory_budget_units = 0;
+  /// When set, the runtime publishes counters (runtime.queries_submitted,
+  /// .admitted, .shed, .cancelled, .deadline_exceeded, .completed) and
+  /// per-query latency summaries in microseconds
+  /// (runtime.admission_wait_us, .execution_wall_us, .busy_us) here. Must
+  /// outlive the runtime.
+  MetricsRegistry* metrics = nullptr;
+};
+
+/// The outcome of one scheduled-and-executed plan phase.
+struct PhaseOutcome {
+  ExecutionResult execution;
+  ScheduleReport schedule;
+};
+
+/// Execution context handed to a running query body. Each phase the body
+/// runs goes through Run(), which (a) feeds the live multiprogramming
+/// level into the scheduler's utilization factor, (b) reserves whole-plan
+/// worker slots on the shared pool — falling back to private threads when
+/// the plan wants more threads than the pool has — and (c) threads the
+/// query's cancel token into the engine. A fired token surfaces as a
+/// Cancelled/DeadlineExceeded error so multi-phase bodies abort their
+/// remaining phases naturally.
+class QueryEnv {
+ public:
+  /// Schedules and executes one plan phase. On cancellation/deadline the
+  /// partial work is folded into the query's stats and the token's status
+  /// is returned as the error.
+  Result<PhaseOutcome> Run(Plan& plan, const CostModel& cost_model,
+                           const ScheduleOptions& schedule);
+
+  const CancelToken& cancel() const { return cancel_; }
+
+  /// Convenience for bodies doing non-engine work between phases.
+  Status CheckCancelled() const { return cancel_.ToStatus(); }
+
+ private:
+  friend class QueryRuntime;
+
+  QueryEnv(QueryRuntime* runtime, CancelToken cancel,
+           std::function<void(const QueryRunStats&)> publish)
+      : runtime_(runtime),
+        cancel_(std::move(cancel)),
+        publish_(std::move(publish)) {}
+
+  QueryRuntime* runtime_;
+  CancelToken cancel_;
+  /// Pushes the running stats into the query's handle after every phase.
+  std::function<void(const QueryRunStats&)> publish_;
+  QueryRunStats stats_;
+};
+
+/// What a query body is: it builds and runs plan phases through the env
+/// and packages the final QueryResult. Returning an error (including the
+/// env's cancellation error) completes the handle with that status.
+using QueryBody = std::function<Result<QueryResult>(QueryEnv&)>;
+
+/// One query submission.
+struct QuerySpec {
+  QueryBody body;
+  /// Higher-priority queries leave the admission queue first.
+  int priority = 0;
+  /// Declared working-set tuple units, charged against the runtime's
+  /// memory budget while the query runs. 0 = free.
+  uint64_t memory_units = 0;
+  /// Absolute deadline; expiry (even while queued) completes the query
+  /// with DeadlineExceeded.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// External cancel token to share; default = a fresh token (cancel via
+  /// the returned handle).
+  std::optional<CancelToken> cancel;
+};
+
+/// The concurrent query runtime: one engine-wide WorkerPool all queries
+/// draw from, an admission controller bounding the number of in-flight and
+/// waiting queries, and driver threads that run admitted query bodies.
+/// Owned by dbs3::Database; Submit is thread-safe from any number of
+/// client sessions.
+class QueryRuntime {
+ public:
+  explicit QueryRuntime(QueryRuntimeOptions options = {});
+
+  /// Completes the waiting queue with Cancelled, waits for running
+  /// queries, then tears the pool down.
+  ~QueryRuntime();
+
+  QueryRuntime(const QueryRuntime&) = delete;
+  QueryRuntime& operator=(const QueryRuntime&) = delete;
+
+  /// Queues `spec` and returns immediately. Sheds (handle completes with
+  /// ResourceExhausted) when the waiting room is full.
+  QueryHandle Submit(QuerySpec spec);
+
+  /// Query bodies currently executing (the scheduler-feedback signal).
+  size_t live_queries() const { return live_.load(); }
+
+  WorkerPool& pool() { return pool_; }
+  const AdmissionController& admission() const { return admission_; }
+  const QueryRuntimeOptions& options() const { return options_; }
+
+ private:
+  friend class QueryEnv;
+
+  void DriverLoop();
+  void Complete(const std::shared_ptr<QueryHandle::State>& state,
+                Result<QueryResult> outcome, const QueryRunStats& stats);
+
+  /// Blocks until `slots` worker threads are free on the shared pool and
+  /// charges them. False when `cancel` fires first or `slots` exceeds the
+  /// pool. Reservations are whole-plan and all-or-nothing, so every
+  /// dispatched (possibly blocking) worker loop is backed by a real
+  /// thread — the no-deadlock invariant of running plans on a shared pool.
+  bool ReserveWorkers(size_t slots, const CancelToken& cancel)
+      EXCLUDES(slots_mu_);
+  void ReleaseWorkers(size_t slots) EXCLUDES(slots_mu_);
+
+  QueryRuntimeOptions options_;
+  WorkerPool pool_;
+  AdmissionController admission_;
+  std::atomic<size_t> live_{0};
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<bool> shutdown_{false};
+
+  Mutex slots_mu_{"QueryRuntime::slots_mu"};
+  CondVar slots_cv_;
+  size_t free_slots_ GUARDED_BY(slots_mu_);
+
+  std::vector<std::thread> drivers_;
+};
+
+}  // namespace dbs3
+
+#endif  // DBS3_SERVER_QUERY_RUNTIME_H_

@@ -1,0 +1,53 @@
+#include "server/worker_pool.h"
+
+#include <cassert>
+#include <utility>
+
+namespace dbs3 {
+
+WorkerPool::WorkerPool(size_t num_threads) {
+  assert(num_threads >= 1);
+  threads_.reserve(num_threads);
+  for (size_t t = 0; t < num_threads; ++t) {
+    threads_.emplace_back([this] { ThreadMain(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    MutexLock lock(&mu_);
+    shutdown_ = true;
+  }
+  cv_.SignalAll();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void WorkerPool::Dispatch(std::function<void()> fn) {
+  dispatched_.fetch_add(1, std::memory_order_relaxed);
+  {
+    MutexLock lock(&mu_);
+    assert(!shutdown_ && "Dispatch on a shut-down WorkerPool");
+    tasks_.push_back(std::move(fn));
+  }
+  cv_.Signal();
+}
+
+void WorkerPool::ThreadMain() {
+  while (true) {
+    std::function<void()> task;
+    {
+      MutexLock lock(&mu_);
+      while (tasks_.empty() && !shutdown_) cv_.Wait(&mu_);
+      // Drain outstanding tasks even under shutdown: a queued worker loop
+      // belongs to an execution someone is still Join()ing on.
+      if (tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace dbs3

@@ -32,8 +32,9 @@ std::vector<Tuple> ReferenceJoin(const Relation& left, size_t left_col,
   return out;
 }
 
-Database MakeSmallSkewedDb(double theta) {
-  Database db(4);
+/// Populates `db` in place: Database is intentionally non-movable (the
+/// query runtime pins it), so tests fill a stack instance.
+void MakeSmallSkewedDb(Database& db, double theta) {
   SkewSpec spec;
   spec.a_cardinality = 2'000;
   spec.b_cardinality = 400;
@@ -41,11 +42,11 @@ Database MakeSmallSkewedDb(double theta) {
   spec.theta = theta;
   spec.seed = 7;
   EXPECT_TRUE(db.CreateSkewedPair(spec, "A", "Bp").ok());
-  return db;
 }
 
 TEST(ExecutorTest, IdealJoinMatchesReferenceJoin) {
-  Database db = MakeSmallSkewedDb(0.5);
+  Database db(4);
+  MakeSmallSkewedDb(db, 0.5);
   QueryOptions options;
   options.schedule.total_threads = 4;
   options.schedule.processors = 4;
@@ -62,7 +63,8 @@ TEST(ExecutorTest, IdealJoinMatchesReferenceJoin) {
 }
 
 TEST(ExecutorTest, AssocJoinMatchesIdealJoin) {
-  Database db = MakeSmallSkewedDb(0.8);
+  Database db(4);
+  MakeSmallSkewedDb(db, 0.8);
   QueryOptions options;
   options.schedule.total_threads = 4;
   options.schedule.processors = 4;
@@ -93,7 +95,8 @@ TEST(ExecutorTest, AssocJoinMatchesIdealJoin) {
 }
 
 TEST(ExecutorTest, SelectKeepsMatchingTuplesOnly) {
-  Database db = MakeSmallSkewedDb(0.0);
+  Database db(4);
+  MakeSmallSkewedDb(db, 0.0);
   QueryOptions options;
   options.schedule.total_threads = 2;
   options.schedule.processors = 2;
@@ -115,7 +118,8 @@ TEST(ExecutorTest, SelectKeepsMatchingTuplesOnly) {
 }
 
 TEST(ExecutorTest, FilterJoinPipelineProducesJoin) {
-  Database db = MakeSmallSkewedDb(0.3);
+  Database db(4);
+  MakeSmallSkewedDb(db, 0.3);
   QueryOptions options;
   options.schedule.total_threads = 3;
   options.schedule.processors = 4;
@@ -127,7 +131,8 @@ TEST(ExecutorTest, FilterJoinPipelineProducesJoin) {
 }
 
 TEST(ExecutorTest, StatsAccountForEveryActivation) {
-  Database db = MakeSmallSkewedDb(0.6);
+  Database db(4);
+  MakeSmallSkewedDb(db, 0.6);
   QueryOptions options;
   options.schedule.total_threads = 4;
   options.schedule.processors = 4;
@@ -155,7 +160,8 @@ TEST(ExecutorTest, NoUnitsDroppedOnWellFormedPlans) {
   // Activations pushed onto closed queues used to disappear with only a log
   // line. On a well-formed plan (consumers outlive their producers) nothing
   // may ever be dropped — across all four query shapes.
-  Database db = MakeSmallSkewedDb(0.7);
+  Database db(4);
+  MakeSmallSkewedDb(db, 0.7);
   QueryOptions options;
   options.schedule.total_threads = 4;
   options.schedule.processors = 4;
@@ -186,7 +192,8 @@ TEST(ExecutorTest, NoUnitsDroppedOnWellFormedPlans) {
 }
 
 TEST(ExecutorTest, MetricsSnapshotAggregatesPerOperationCounters) {
-  Database db = MakeSmallSkewedDb(0.4);
+  Database db(4);
+  MakeSmallSkewedDb(db, 0.4);
   QueryOptions options;
   options.schedule.total_threads = 2;
   options.schedule.processors = 2;
@@ -211,7 +218,8 @@ TEST(ExecutorTest, MetricsSnapshotAggregatesPerOperationCounters) {
 }
 
 TEST(ExecutorTest, TracingProducesSpansAndQueueDepthSeries) {
-  Database db = MakeSmallSkewedDb(0.4);
+  Database db(4);
+  MakeSmallSkewedDb(db, 0.4);
   QueryOptions options;
   options.schedule.total_threads = 2;
   options.schedule.processors = 2;

@@ -1,0 +1,145 @@
+// Multi-user stress: several client threads submit short ESQL queries
+// against one shared Database/QueryRuntime while a canceller thread
+// randomly cancels in-flight handles. Runs in the TSan and ASan+UBSan CI
+// jobs and in the Debug+DBS3_VERIFY job, where the conservation ledger
+// additionally checks every (possibly cancelled) execution.
+
+#include <atomic>
+#include <mutex>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dbs3/database.h"
+#include "dbs3/query.h"
+#include "esql/planner.h"
+#include "server/query_runtime.h"
+
+namespace dbs3 {
+namespace {
+
+TEST(ServerStressTest, ConcurrentEsqlSubmittersWithRandomCanceller) {
+  constexpr size_t kSubmitters = 4;
+  constexpr size_t kQueriesPerThread = 6;
+
+  Database db(2);
+  SkewSpec spec;
+  spec.a_cardinality = 1'000;
+  spec.b_cardinality = 100;
+  spec.degree = 8;
+  spec.theta = 0.3;
+  ASSERT_TRUE(db.CreateSkewedPair(spec, "people", "towns").ok());
+  QueryRuntimeOptions runtime_options;
+  runtime_options.max_concurrent_queries = 3;
+  runtime_options.max_queued_queries = 256;  // Roomy: nothing sheds.
+  ASSERT_TRUE(db.StartRuntime(runtime_options).ok());
+
+  const std::vector<std::string> queries = {
+      "SELECT * FROM towns",
+      "SELECT key, payload FROM people WHERE payload < 50",
+      "SELECT * FROM people JOIN towns ON people.key = towns.key",
+      "SELECT COUNT(*) FROM people",
+  };
+
+  std::mutex handles_mu;
+  std::vector<QueryHandle> handles;
+  std::atomic<bool> submitting_done{false};
+
+  std::vector<std::thread> submitters;
+  for (size_t t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      std::mt19937 rng(static_cast<unsigned>(1000 + t));
+      EsqlOptions options;
+      options.schedule.total_threads = 2;
+      options.schedule.processors = 2;
+      for (size_t q = 0; q < kQueriesPerThread; ++q) {
+        const std::string& text = queries[rng() % queries.size()];
+        QueryHandle handle = SubmitEsql(db, text, options);
+        std::lock_guard<std::mutex> lock(handles_mu);
+        handles.push_back(handle);
+      }
+    });
+  }
+
+  std::thread canceller([&] {
+    std::mt19937 rng(99);
+    while (!submitting_done.load()) {
+      QueryHandle victim;
+      {
+        std::lock_guard<std::mutex> lock(handles_mu);
+        if (!handles.empty()) victim = handles[rng() % handles.size()];
+      }
+      if (victim.id() != 0 && rng() % 2 == 0) victim.Cancel();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  for (std::thread& t : submitters) t.join();
+  submitting_done.store(true);
+  canceller.join();
+
+  size_t completed = 0, cancelled = 0;
+  for (QueryHandle& handle : handles) {
+    auto taken = handle.Take();
+    if (taken.ok()) {
+      ++completed;
+      ASSERT_NE(taken.value().result, nullptr);
+    } else {
+      // Cancellation is the only legitimate failure here (the waiting
+      // room is large enough that nothing sheds, and no deadlines are
+      // set).
+      ASSERT_EQ(taken.status().code(), StatusCode::kCancelled)
+          << taken.status().ToString();
+      ++cancelled;
+    }
+  }
+  EXPECT_EQ(completed + cancelled, kSubmitters * kQueriesPerThread);
+
+  MetricsSnapshot snap = db.metrics().Snapshot();
+  EXPECT_EQ(snap.counters["runtime.queries_submitted"],
+            kSubmitters * kQueriesPerThread);
+  EXPECT_EQ(snap.counters["runtime.queries_completed"] +
+                snap.counters["runtime.queries_cancelled"],
+            kSubmitters * kQueriesPerThread);
+  EXPECT_EQ(snap.counters["runtime.queries_shed"], 0u);
+  // Every completed query recorded a latency sample.
+  EXPECT_EQ(snap.series["runtime.admission_wait_us"].samples,
+            kSubmitters * kQueriesPerThread);
+}
+
+TEST(ServerStressTest, RuntimeShutdownWithInFlightQueriesIsClean) {
+  // Destroying the Database (and with it the runtime) while handles are
+  // outstanding must complete every one of them — running bodies drain,
+  // queued ones complete with Cancelled.
+  std::vector<QueryHandle> handles;
+  {
+    Database db(2);
+    WisconsinOptions opt;
+    opt.cardinality = 2'000;
+    opt.degree = 8;
+    ASSERT_TRUE(db.CreateWisconsin("t", opt).ok());
+    QueryRuntimeOptions runtime_options;
+    runtime_options.max_concurrent_queries = 2;
+    ASSERT_TRUE(db.StartRuntime(runtime_options).ok());
+
+    QueryOptions options;
+    options.schedule.total_threads = 2;
+    options.schedule.processors = 2;
+    for (int i = 0; i < 8; ++i) {
+      handles.push_back(SubmitSelect(db, "t", MatchAll(), 1.0, options));
+    }
+    // Database destruction joins the runtime here.
+  }
+  for (QueryHandle& handle : handles) {
+    ASSERT_TRUE(handle.done());
+    auto taken = handle.Take();
+    EXPECT_TRUE(taken.ok() ||
+                taken.status().code() == StatusCode::kCancelled)
+        << taken.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace dbs3

@@ -68,6 +68,32 @@ TEST(TupleConservationTest, AccountedDropsStillConserve) {
   EXPECT_TRUE(CheckTupleConservation(ledger).empty());
 }
 
+TEST(TupleConservationTest, CancelledUnitsAreAnAccountedBucket) {
+  // A cancelled execution drains queued units without processing them:
+  // drained units land in the `cancelled` counter and the ledger still
+  // balances (in == processed + cancelled + dropped).
+  std::vector<LedgerEntry> ledger;
+  ledger.push_back(Entry("scan", 1, 100, 2, 2));
+  LedgerEntry join = Entry("join", -1, 0, 60, 0);
+  join.cancelled = 40;
+  ledger.push_back(join);
+  EXPECT_TRUE(CheckTupleConservation(ledger).empty());
+}
+
+TEST(TupleConservationTest, CancelledUnitsStillMustBalance) {
+  // Draining must not hide losses: units neither processed nor recorded
+  // as cancelled/dropped are a violation even on a cancelled execution.
+  std::vector<LedgerEntry> ledger;
+  ledger.push_back(Entry("scan", 1, 100, 2, 2));
+  LedgerEntry join = Entry("join", -1, 0, 60, 0);
+  join.cancelled = 30;  // 10 units evaporated.
+  ledger.push_back(join);
+  const std::vector<std::string> violations = CheckTupleConservation(ledger);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("cancelled"), std::string::npos)
+      << violations[0];
+}
+
 TEST(TupleConservationTest, DropWithoutQueueRejectionIsDetected) {
   // An operation claims drops its own queues never saw: the two tallies
   // must agree or a unit was double-counted away.
