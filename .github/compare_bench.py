@@ -1,18 +1,63 @@
 #!/usr/bin/env python3
 """Compare two Google Benchmark JSON dumps for the CI perf gate.
 
-Usage: compare_bench.py BASELINE.json CANDIDATE.json TOLERANCE
+Usage:
+  compare_bench.py BASELINE.json CANDIDATE.json TOLERANCE
+  compare_bench.py --datapath CANDIDATE.json BUDGET [BASELINE.json TOLERANCE]
 
-Matches benchmarks by name on their median aggregate (the runs use
---benchmark_repetitions with --benchmark_report_aggregates_only) and
-fails if any candidate median real_time exceeds the baseline by more
+Default mode matches benchmarks by name on their median aggregate (the
+runs use --benchmark_repetitions with --benchmark_report_aggregates_only)
+and fails if any candidate median real_time exceeds the baseline by more
 than TOLERANCE (a fraction, e.g. 0.03 for 3%). Benchmarks present on
 only one side are reported and skipped, so adding or removing a case
 does not trip the gate.
+
+--datapath mode gates micro_datapath's BENCH_datapath.json instead:
+fails when the steady-state pipeline exceeds BUDGET heap allocations per
+result tuple, when the iterator-range probe path allocated at all, or —
+when a BASELINE dump from the parent commit is supplied — when the
+pipeline wall regressed more than TOLERANCE.
 """
 
 import json
 import sys
+
+
+def check_datapath(argv):
+    candidate_path, budget = argv[0], float(argv[1])
+    with open(candidate_path) as f:
+        candidate = json.load(f)
+    pipeline = candidate["pipeline"]
+    probe = candidate["probe"]
+
+    failed = False
+    per_tuple = float(pipeline["allocations_per_tuple"])
+    verdict = "OK" if per_tuple <= budget else "OVER BUDGET"
+    failed |= per_tuple > budget
+    print(f"{verdict} allocations_per_tuple: {per_tuple:.3f} "
+          f"(budget {budget:.3f})")
+
+    probe_allocs = int(probe["probe_allocations"])
+    verdict = "OK" if probe_allocs == 0 else "ALLOCATING"
+    failed |= probe_allocs != 0
+    print(f"{verdict} probe_allocations: {probe_allocs} (must be 0)")
+
+    if len(argv) >= 4:
+        baseline_path, tolerance = argv[2], float(argv[3])
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+        base = float(baseline["pipeline"]["wall_seconds"])
+        cand = float(pipeline["wall_seconds"])
+        ratio = cand / base if base > 0 else float("inf")
+        verdict = "OK" if ratio <= 1.0 + tolerance else "REGRESSION"
+        failed |= ratio > 1.0 + tolerance
+        print(f"{verdict} pipeline wall_seconds: baseline={base:.6f} "
+              f"candidate={cand:.6f} ({(ratio - 1.0) * 100.0:+.2f}%)")
+
+    if failed:
+        print("datapath gate failed")
+        return 1
+    return 0
 
 
 def medians(path):
@@ -26,6 +71,8 @@ def medians(path):
 
 
 def main():
+    if sys.argv[1] == "--datapath":
+        return check_datapath(sys.argv[2:])
     baseline_path, candidate_path, tolerance = sys.argv[1:4]
     tolerance = float(tolerance)
     baseline = medians(baseline_path)

@@ -33,6 +33,9 @@ struct Activation {
   static Activation Trigger() { return Activation{Kind::kTrigger, {}}; }
   static Activation Data(Tuple t) {
     TupleChunk chunk;
+    // Exactly one element ever lands here; reserving skips the growth
+    // policy's larger first allocation on the per-tuple path.
+    chunk.reserve(1);
     chunk.push_back(std::move(t));
     return Activation{Kind::kData, std::move(chunk)};
   }

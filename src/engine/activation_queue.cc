@@ -26,7 +26,7 @@ void ActivationQueue::CheckInvariants(bool deep) const {
 #endif
 }
 
-bool ActivationQueue::Push(Activation a) {
+bool ActivationQueue::Push(Activation&& a) {
   const size_t units = a.unit_count();
   CountingMutexLock lock(&mu_, &acquisitions_, &contended_);
   if (capacity_ > 0) {
@@ -43,6 +43,7 @@ bool ActivationQueue::Push(Activation a) {
   }
   items_.push_back(std::move(a));
   units_ += units;
+  approx_units_.store(units_, std::memory_order_release);
   if (units_ > peak_units_) peak_units_ = units_;
   CheckInvariants(/*deep=*/false);
   return true;
@@ -57,6 +58,7 @@ size_t ActivationQueue::PopBatch(size_t max, std::vector<Activation>* out) {
     items_.pop_front();
     ++popped;
   }
+  if (popped > 0) approx_units_.store(units_, std::memory_order_release);
   CheckInvariants(/*deep=*/false);
   if (popped > 0 && capacity_ > 0) not_full_.SignalAll();
   return popped;

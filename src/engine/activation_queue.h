@@ -40,17 +40,18 @@ class ActivationQueue {
   ActivationQueue& operator=(const ActivationQueue&) = delete;
 
   /// Enqueues `a`, blocking while the queue is full. Returns false when the
-  /// queue has been closed (the activation is dropped) — this only happens
-  /// on cancelled executions, never in a well-formed plan. Every rejected
-  /// unit is tallied (rejected_units) so the caller's drop accounting can
-  /// be cross-checked by the verify layer.
+  /// queue has been closed — this only happens on cancelled executions,
+  /// never in a well-formed plan. On rejection `a` is left intact (only a
+  /// successful push moves from it) so the caller can recycle its chunk
+  /// buffer; every rejected unit is tallied (rejected_units) so the
+  /// caller's drop accounting can be cross-checked by the verify layer.
   ///
   /// Oversized-chunk contract (bounded queues): an activation larger than
   /// the whole capacity is admitted once the queue is *empty* (transiently
   /// overshooting the bound) rather than deadlocking. Producers that respect
   /// the bound — the engine's emitter clamps its chunk size to the consumer
   /// capacity — never overshoot.
-  bool Push(Activation a) EXCLUDES(mu_);
+  bool Push(Activation&& a) EXCLUDES(mu_);
 
   /// Dequeues up to `max` *activations* into `out` (appended). Non-blocking;
   /// returns the number of activations dequeued. This batch dequeue is the
@@ -69,6 +70,14 @@ class ActivationQueue {
   size_t Size() const EXCLUDES(mu_);
   /// Number of queued tuple units (what `capacity` bounds).
   size_t SizeUnits() const EXCLUDES(mu_);
+  /// Lock-free advisory copy of SizeUnits for hot-path scans: workers
+  /// sweeping many queues skip the provably empty ones without paying a
+  /// mutex acquisition each. May lag the locked counter by a concurrent
+  /// push/pop; the operation's pending/work_cv protocol re-scans until the
+  /// backlog drains, so a stale zero only delays a pop, never loses one.
+  size_t ApproxUnits() const {
+    return approx_units_.load(std::memory_order_acquire);
+  }
   bool closed() const EXCLUDES(mu_);
 
   /// High-water mark of queued tuple units over the queue's lifetime (the
@@ -98,6 +107,8 @@ class ActivationQueue {
   std::deque<Activation> items_ GUARDED_BY(mu_);
   /// Sum of unit_count() over items_.
   size_t units_ GUARDED_BY(mu_) = 0;
+  /// Mirror of units_, published for ApproxUnits (updated under mu_).
+  std::atomic<size_t> approx_units_{0};
   /// Max value units_ ever reached.
   uint64_t peak_units_ GUARDED_BY(mu_) = 0;
   uint64_t rejected_units_ GUARDED_BY(mu_) = 0;

@@ -187,8 +187,10 @@ const TempIndex* PipelinedSemiJoinLogic::IndexFor(size_t instance) {
 
 void PipelinedSemiJoinLogic::OnData(size_t instance, Tuple tuple,
                                     Emitter* out) {
+  // Probe() materializes no match list — existence is the head of the
+  // chain, found without allocating.
   const bool match =
-      !IndexFor(instance)->Lookup(tuple.at(probe_column_)).empty();
+      !IndexFor(instance)->Probe(tuple.at(probe_column_)).empty();
   if (match != anti_) out->Emit(instance, std::move(tuple));
 }
 

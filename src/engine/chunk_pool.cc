@@ -1,0 +1,71 @@
+#include "engine/chunk_pool.h"
+
+#include <utility>
+
+namespace dbs3 {
+
+std::vector<TupleChunk>& ChunkPool::TlsCache() {
+  thread_local std::vector<TupleChunk> cache;
+  return cache;
+}
+
+TupleChunk ChunkPool::Acquire(size_t reserve_hint) {
+  std::vector<TupleChunk>& tls = TlsCache();
+  if (tls.empty()) {
+    // Refill a batch under one lock; amortizes the mutex over kTlsBatch
+    // subsequent thread-local hits.
+    MutexLock lock(&mu_);
+    const size_t take = free_.size() < kTlsBatch ? free_.size() : kTlsBatch;
+    for (size_t i = 0; i < take; ++i) {
+      tls.push_back(std::move(free_.back()));
+      free_.pop_back();
+    }
+  }
+  if (!tls.empty()) {
+    TupleChunk chunk = std::move(tls.back());
+    tls.pop_back();
+    reused_.fetch_add(1, std::memory_order_relaxed);
+    return chunk;
+  }
+  allocated_.fetch_add(1, std::memory_order_relaxed);
+  TupleChunk chunk;
+  chunk.reserve(reserve_hint);
+  return chunk;
+}
+
+void ChunkPool::Release(TupleChunk&& chunk) {
+  if (chunk.capacity() == 0) return;
+  released_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<TupleChunk>& tls = TlsCache();
+  tls.push_back(std::move(chunk));
+  if (tls.size() < 2 * kTlsBatch) return;
+  // Spill half the cache so a pure-releaser thread (a pipeline's sink) keeps
+  // feeding buffers back to the acquiring threads.
+  size_t overflow = 0;
+  {
+    MutexLock lock(&mu_);
+    while (tls.size() > kTlsBatch && free_.size() < max_free_) {
+      free_.push_back(std::move(tls.back()));
+      tls.pop_back();
+    }
+    overflow = tls.size() > kTlsBatch ? tls.size() - kTlsBatch : 0;
+  }
+  if (overflow > 0) {
+    // Shared list full: free the overflow outside the pool lock.
+    discarded_.fetch_add(overflow, std::memory_order_relaxed);
+    tls.resize(kTlsBatch);
+  }
+}
+
+ChunkPool::Stats ChunkPool::stats() const {
+  Stats s;
+  s.allocated = allocated_.load(std::memory_order_relaxed);
+  s.reused = reused_.load(std::memory_order_relaxed);
+  s.released = released_.load(std::memory_order_relaxed);
+  s.discarded = discarded_.load(std::memory_order_relaxed);
+  MutexLock lock(&mu_);
+  s.free_buffers = free_.size();
+  return s;
+}
+
+}  // namespace dbs3

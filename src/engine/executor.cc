@@ -24,6 +24,18 @@ Result<ExecutionResult> Executor::Run(Plan& plan,
   std::unique_ptr<ActivationTracer> tracer;
   if (trace.enabled) tracer = std::make_unique<ActivationTracer>();
 
+  // Chunk pool shared by every operation: emitters draw their outgoing
+  // buffers here and workers return drained ones, so a pipeline in steady
+  // state cycles a bounded working set of chunks instead of allocating per
+  // activation. The caller may supply a longer-lived pool (ExecOptions),
+  // which keeps the free list warm across executions; otherwise a
+  // per-execution pool is used. Declared before `ops` so the fallback
+  // outlives the operations that hold a pointer to it.
+  ChunkPool local_pool;
+  ChunkPool* chunk_pool =
+      options.chunk_pool != nullptr ? options.chunk_pool : &local_pool;
+  const ChunkPool::Stats pool_before = chunk_pool->stats();
+
   // Instantiate operations consumers-first so producers can hold their
   // consumer's pointer in the output edge.
   std::vector<std::unique_ptr<Operation>> ops(plan.num_nodes());
@@ -45,6 +57,7 @@ Result<ExecutionResult> Executor::Run(Plan& plan,
     config.seed = 0x5bd1e995u + i;
     config.tracer = tracer.get();
     config.cancel = options.cancel;
+    config.chunk_pool = chunk_pool;
 
     DataOutput output;
     if (node.output >= 0) {
@@ -161,6 +174,20 @@ Result<ExecutionResult> Executor::Run(Plan& plan,
     result.units_cancelled += stats.cancelled_units;
     result.op_stats.push_back(std::move(stats));
   }
+  {
+    // This execution's recycling activity: the delta over the pool's
+    // counters (exact for a private pool, approximate under sharing).
+    const ChunkPool::Stats after = chunk_pool->stats();
+    result.chunk_pool.allocated = after.allocated - pool_before.allocated;
+    result.chunk_pool.reused = after.reused - pool_before.reused;
+    result.chunk_pool.released = after.released - pool_before.released;
+    result.chunk_pool.discarded = after.discarded - pool_before.discarded;
+    result.chunk_pool.free_buffers = after.free_buffers;
+  }
+  registry.counter("engine.chunks_allocated")->Add(result.chunk_pool.allocated);
+  registry.counter("engine.chunks_reused")->Add(result.chunk_pool.reused);
+  registry.counter("engine.chunks_discarded")
+      ->Add(result.chunk_pool.discarded);
   result.completion = options.cancel.ToStatus();
   result.metrics = registry.Snapshot();
 

@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "common/trace.h"
 #include "engine/cancel.h"
+#include "engine/chunk_pool.h"
 #include "engine/operation.h"
 #include "engine/plan.h"
 #include "engine/thread_source.h"
@@ -27,6 +28,12 @@ struct ExecOptions {
   /// `cancelled_units` bucket, OnFinish hooks are skipped, and the result's
   /// `completion` reports Cancelled or DeadlineExceeded.
   CancelToken cancel = CancelToken::None();
+  /// When set, chunk buffers recycle through this pool instead of a
+  /// per-execution one, carrying the warmed-up free list across executions
+  /// (the server's QueryRuntime passes its own). The pool must outlive the
+  /// call; the result's `chunk_pool` stats then report this execution's
+  /// delta (approximate when executions share the pool concurrently).
+  ChunkPool* chunk_pool = nullptr;
 };
 
 /// Outcome of one plan execution on the real multithreaded engine.
@@ -55,6 +62,11 @@ struct ExecutionResult {
   /// (chrome://tracing-loadable). Empty unless the plan's TraceOptions
   /// enabled tracing.
   std::string trace_json;
+  /// The execution's chunk-recycling counters: in an allocation-lean steady
+  /// state `chunk_pool.reused` dominates `chunk_pool.allocated` (each
+  /// emitter buffer is allocated at most once and then cycles through
+  /// producer -> consumer queue -> pool -> producer).
+  ChunkPool::Stats chunk_pool;
 };
 
 /// Runs a Plan with real threads on the host machine.

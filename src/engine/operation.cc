@@ -11,23 +11,30 @@ namespace dbs3 {
 /// Routes tuples emitted while processing an activation to the consumer
 /// operation, per the plan edge (same-instance or repartition-by-column).
 ///
-/// With chunk_size > 1 the emitter keeps one buffer per destination
-/// instance and pushes a whole TupleChunk when a buffer fills, amortizing
-/// the consumer's queue-mutex acquisition and condition-variable notify
-/// over the chunk (the producer-side mirror of the paper's internal
-/// activation cache). chunk_size == 1 bypasses the buffers entirely and is
-/// bit-for-bit the paper's per-tuple behavior.
+/// The emitter keeps one buffer per destination instance and pushes a whole
+/// TupleChunk when a buffer reaches chunk_size, amortizing the consumer's
+/// queue-mutex acquisition and condition-variable notify over the chunk
+/// (the producer-side mirror of the paper's internal activation cache).
+/// chunk_size == 1 flushes after every tuple — the paper's per-tuple mode.
+///
+/// Buffers come from the execution's ChunkPool: a recycled buffer arrives
+/// with its Tuple elements intact, and the emitter overwrites those slots in
+/// place (EmitCopy / EmitConcat assign into the slot; Emit move-assigns), so
+/// a warm producer->consumer->pool cycle allocates neither chunk vectors nor
+/// — when slot capacities suffice — tuple value storage.
 class OperationEmitter : public Emitter {
  public:
-  explicit OperationEmitter(Operation* op) : op_(op) {
-    const Operation* consumer = op_->output_.consumer;
-    if (consumer != nullptr) {
+  explicit OperationEmitter(Operation* op)
+      : op_(op),
+        consumer_(op->output_.consumer),
+        pool_(op->config_.chunk_pool) {
+    if (consumer_ != nullptr) {
       chunk_size_ = std::max<size_t>(1, op_->config_.chunk_size);
       // Split-chunks contract: never emit a chunk a bounded consumer queue
       // could not admit within its capacity.
-      const size_t cap = consumer->config_.queue_capacity;
+      const size_t cap = consumer_->config_.queue_capacity;
       if (cap > 0 && chunk_size_ > cap) chunk_size_ = cap;
-      if (chunk_size_ > 1) buffers_.resize(consumer->config_.num_instances);
+      buffers_.resize(consumer_->config_.num_instances);
     }
   }
 
@@ -35,23 +42,37 @@ class OperationEmitter : public Emitter {
 
   void Emit(size_t producer_instance, Tuple tuple) override {
     op_->emitted_.fetch_add(1, std::memory_order_relaxed);
+    if (consumer_ == nullptr) return;  // Terminal operation: discard.
+    const size_t dest = DestOf(producer_instance, tuple);
+    // Move-assign into the slot: adopts the tuple's storage, no copy.
+    *NextSlot(dest) = std::move(tuple);
+    CommitSlot(dest);
+  }
+
+  void EmitCopy(size_t producer_instance, const Tuple& tuple) override {
+    op_->emitted_.fetch_add(1, std::memory_order_relaxed);
+    if (consumer_ == nullptr) return;
+    const size_t dest = DestOf(producer_instance, tuple);
+    NextSlot(dest)->AssignFrom(tuple);
+    CommitSlot(dest);
+  }
+
+  void EmitConcat(size_t producer_instance, const Tuple& left,
+                  const Tuple& right) override {
+    op_->emitted_.fetch_add(1, std::memory_order_relaxed);
+    if (consumer_ == nullptr) return;
     const DataOutput& out = op_->output_;
-    if (out.consumer == nullptr) return;  // Terminal operation: discard.
     size_t dest = producer_instance;
     if (out.route == DataOutput::Route::kByColumn) {
-      dest = out.partitioner.FragmentOf(tuple.at(out.column));
+      // The route column indexes the concatenated output row; resolve it
+      // against the half it falls in without materializing the row.
+      const Value& key = out.column < left.size()
+                             ? left.at(out.column)
+                             : right.at(out.column - left.size());
+      dest = out.partitioner.FragmentOf(key);
     }
-    if (chunk_size_ <= 1) {
-      out.consumer->PushData(dest, std::move(tuple));
-      return;
-    }
-    TupleChunk& buffer = buffers_[dest];
-    if (buffer.empty()) buffer.reserve(chunk_size_);
-    buffer.push_back(std::move(tuple));
-    if (buffer.size() >= chunk_size_) {
-      out.consumer->PushDataChunk(dest, std::move(buffer));
-      buffer.clear();
-    }
+    NextSlot(dest)->AssignConcat(left, right);
+    CommitSlot(dest);
   }
 
   /// Pushes every residual (partially filled) buffer downstream. Called
@@ -59,17 +80,66 @@ class OperationEmitter : public Emitter {
   /// tuple outlives its producer inside an emitter buffer.
   void Flush() {
     for (size_t dest = 0; dest < buffers_.size(); ++dest) {
-      if (buffers_[dest].empty()) continue;
-      op_->output_.consumer->PushDataChunk(dest, std::move(buffers_[dest]));
-      buffers_[dest].clear();
+      FlushBuffer(dest);
     }
   }
 
  private:
+  /// One outgoing chunk per consumer instance. `used` is the logical fill:
+  /// a recycled chunk may hold more (reusable) elements than have been
+  /// overwritten so far.
+  struct Buffer {
+    TupleChunk chunk;
+    size_t used = 0;
+  };
+
+  size_t DestOf(size_t producer_instance, const Tuple& tuple) const {
+    const DataOutput& out = op_->output_;
+    if (out.route == DataOutput::Route::kByColumn) {
+      return out.partitioner.FragmentOf(tuple.at(out.column));
+    }
+    return producer_instance;
+  }
+
+  /// The next output slot of `dest`'s buffer: a recycled element to
+  /// overwrite when one is available, else a freshly appended Tuple.
+  /// Acquires a buffer (from the pool when the operation has one) on first
+  /// use after a flush.
+  Tuple* NextSlot(size_t dest) {
+    Buffer& b = buffers_[dest];
+    if (b.used == 0 && b.chunk.capacity() == 0) {
+      if (pool_ != nullptr) {
+        b.chunk = pool_->Acquire(chunk_size_);
+      } else {
+        b.chunk.reserve(chunk_size_);
+      }
+    }
+    if (b.used < b.chunk.size()) return &b.chunk[b.used];
+    return &b.chunk.emplace_back();
+  }
+
+  void CommitSlot(size_t dest) {
+    Buffer& b = buffers_[dest];
+    ++b.used;
+    if (b.used >= chunk_size_) FlushBuffer(dest);
+  }
+
+  void FlushBuffer(size_t dest) {
+    Buffer& b = buffers_[dest];
+    if (b.used == 0) return;
+    // Trim leftover recycled elements so the activation's unit count is
+    // exactly the tuples written this round.
+    if (b.chunk.size() > b.used) b.chunk.resize(b.used);
+    consumer_->PushDataChunk(dest, std::move(b.chunk));
+    b.chunk = TupleChunk{};
+    b.used = 0;
+  }
+
   Operation* op_;
+  Operation* consumer_;
+  ChunkPool* pool_;
   size_t chunk_size_ = 1;
-  /// One pending chunk per consumer instance; empty when chunk_size_ <= 1.
-  std::vector<TupleChunk> buffers_;
+  std::vector<Buffer> buffers_;
 };
 
 Operation::Operation(OperationConfig config, OperatorLogic* logic,
@@ -143,17 +213,27 @@ void Operation::PushActivation(size_t instance, Activation a,
                        std::memory_order_relaxed);
     DBS3_LOG(kWarning) << what << " dropped: queue " << instance
                        << " of operation '" << config_.name << "' is closed";
+    // A rejected Push leaves the activation intact — reclaim its buffer so
+    // cancellation doesn't leak chunks out of the recycling cycle.
+    if (!a.is_trigger() && config_.chunk_pool != nullptr) {
+      config_.chunk_pool->Release(std::move(a.tuples));
+    }
     return;
   }
-  {
-    // Pairing the counter update with the wait mutex prevents a lost
-    // wakeup: without it, a worker that just evaluated the wait predicate
-    // (pending == 0) could miss this notify and sleep through the last
-    // activation (same discipline as ProducerDone).
-    MutexLock lock(&wait_mu_);
-    pending_.fetch_add(units, std::memory_order_release);
+  // Eventcount fast path: publish the units (seq_cst), then only pay the
+  // mutex + signal when a worker is actually parked. A worker announces
+  // itself in waiting_workers_ (seq_cst, under wait_mu_) *before* its final
+  // predicate check, so either that check sees these units or this load
+  // sees the waiter — the lost-wakeup window stays closed without
+  // serializing every push through wait_mu_.
+  pending_.fetch_add(units, std::memory_order_seq_cst);
+  if (waiting_workers_.load(std::memory_order_seq_cst) > 0) {
+    // Taking (and releasing) the mutex fences against a waiter between its
+    // predicate check and its wait; signal after unlock per the codebase's
+    // discipline.
+    { MutexLock lock(&wait_mu_); }
+    work_cv_.Signal();
   }
-  work_cv_.Signal();
 }
 
 void Operation::PushData(size_t instance, Tuple tuple) {
@@ -278,10 +358,15 @@ void Operation::WorkerLoop(size_t thread_id) {
       bool drained_and_done = false;
       {
         MutexLock lock(&wait_mu_);
-        while (pending_.load(std::memory_order_acquire) <= 0 &&
+        // Announce the (imminent) wait before re-checking the predicate —
+        // the producer-side eventcount in PushActivation relies on this
+        // order (see the waiting_workers_ comment in the header).
+        waiting_workers_.fetch_add(1, std::memory_order_seq_cst);
+        while (pending_.load(std::memory_order_seq_cst) <= 0 &&
                !producers_done_.load()) {
           work_cv_.Wait(&wait_mu_);
         }
+        waiting_workers_.fetch_sub(1, std::memory_order_seq_cst);
         drained_and_done = pending_.load(std::memory_order_acquire) <= 0 &&
                            producers_done_.load();
       }
@@ -294,6 +379,7 @@ void Operation::WorkerLoop(size_t thread_id) {
       // of the units without invoking operator logic. They land in their
       // own conservation-ledger bucket instead of `processed`.
       cancelled_units_.fetch_add(units, std::memory_order_relaxed);
+      ReleaseBatchChunks(&batch);
       continue;
     }
     // Busy time is measured per acquired batch, not per tuple: two clock
@@ -320,6 +406,7 @@ void Operation::WorkerLoop(size_t thread_id) {
     per_instance_processed_[instance].fetch_add(units,
                                                 std::memory_order_relaxed);
     activations_.fetch_add(got, std::memory_order_relaxed);
+    ReleaseBatchChunks(&batch);
   }
   // Residual chunks must reach the consumer before this producer counts as
   // exited (the executor signals the consumer's ProducerDone after Join).
@@ -344,6 +431,13 @@ void Operation::WorkerLoop(size_t thread_id) {
   // Signal outside the lock, per the codebase's signal-after-unlock
   // discipline; Join's predicate re-check makes the wakeup safe.
   exit_cv_.SignalAll();
+}
+
+void Operation::ReleaseBatchChunks(std::vector<Activation>* batch) {
+  if (config_.chunk_pool == nullptr) return;
+  for (Activation& a : *batch) {
+    if (!a.is_trigger()) config_.chunk_pool->Release(std::move(a.tuples));
+  }
 }
 
 size_t Operation::AcquireBatch(size_t thread_id, Rng& rng,
@@ -395,7 +489,9 @@ size_t Operation::ScanQueuesLiveLpt(size_t start,
   }
   const size_t n = queues_.size();
   std::vector<size_t> live(n);
-  for (size_t q = 0; q < n; ++q) live[q] = queues_[q]->SizeUnits();
+  // Advisory lock-free sizes: the snapshot only orders the scan, and stale
+  // entries are tolerated below either way.
+  for (size_t q = 0; q < n; ++q) live[q] = queues_[q]->ApproxUnits();
   const std::vector<uint32_t> order =
       LiveLptOrder(live, config_.cost_estimates, start);
   for (uint32_t q : order) {
@@ -421,6 +517,10 @@ size_t Operation::ScanQueues(size_t start, size_t thread_id, bool main_only,
     // queue of thread q mod ThreadNb (paper: "all activation queues are
     // equally distributed among the associated threads").
     if (main_only && q % config_.num_threads != thread_id) continue;
+    // Lock-free emptiness peek: sweeping all-idle queues must not cost one
+    // mutex acquisition per queue. A push racing past the peek is caught by
+    // the pending/work_cv re-scan, never lost.
+    if (queues_[q]->ApproxUnits() == 0) continue;
     const size_t got = queues_[q]->PopBatch(config_.cache_size, batch);
     if (got > 0) {
       *instance = q;

@@ -18,6 +18,7 @@
 #include "engine/activation.h"
 #include "engine/activation_queue.h"
 #include "engine/cancel.h"
+#include "engine/chunk_pool.h"
 #include "engine/operator_logic.h"
 #include "engine/strategy.h"
 #include "engine/thread_source.h"
@@ -134,6 +135,13 @@ struct OperationConfig {
   /// `cancelled_units` instead of the operator logic. The default None()
   /// token costs one null check per batch.
   CancelToken cancel = CancelToken::None();
+  /// Chunk-buffer recycling (usually the executor's per-execution pool,
+  /// shared by every operation of the plan). Emitters acquire outgoing
+  /// chunk buffers here and workers release each drained data chunk back —
+  /// including on the cancellation drain and the closed-queue drop path —
+  /// so steady-state pipelining allocates no chunk buffers. Null = every
+  /// chunk is a fresh vector (the pre-pool behavior).
+  ChunkPool* chunk_pool = nullptr;
 };
 
 /// One node of the executing plan: a table of activation queues (one per
@@ -229,6 +237,11 @@ class Operation {
   size_t ScanQueues(size_t start, size_t thread_id, bool main_only,
                     std::vector<Activation>* batch, size_t* instance);
 
+  /// Returns every data activation's chunk buffer in `batch` to the
+  /// execution's pool (no-op without one). Called after processing a batch
+  /// and on the cancellation drain, closing the recycling cycle.
+  void ReleaseBatchChunks(std::vector<Activation>* batch);
+
   OperationConfig config_;
   OperatorLogic* logic_;
   DataOutput output_;
@@ -257,9 +270,18 @@ class Operation {
   /// workers read them lock-free on the acquire fast path; writes pair
   /// with wait_mu_ only to close the lost-wakeup window against a waiting
   /// worker's predicate check.
+  ///
+  /// waiting_workers_ is the push fast path's eventcount: a producer only
+  /// pays the wait_mu_ acquisition and the condvar signal when a worker is
+  /// actually parked. Both sides use seq_cst (Dekker pattern): the worker
+  /// publishes waiting_workers_ before re-reading pending_, the producer
+  /// publishes pending_ before reading waiting_workers_, so at least one
+  /// of them sees the other — a worker can sleep through a push only if
+  /// the push already saw and signalled a waiter.
   Mutex wait_mu_{"Operation::wait_mu"};
   CondVar work_cv_;
   std::atomic<int64_t> pending_{0};
+  std::atomic<size_t> waiting_workers_{0};
   std::atomic<int64_t> open_producers_{0};
   std::atomic<bool> producers_done_{false};
 

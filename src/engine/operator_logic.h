@@ -23,6 +23,23 @@ class Emitter {
   /// whose activation is being processed (needed for same-instance routing,
   /// e.g. join_i -> store_i in the paper's plans).
   virtual void Emit(size_t producer_instance, Tuple tuple) = 0;
+
+  /// Sends a copy of `tuple` downstream. Operators that keep the original
+  /// (scans emitting from an immutable fragment) use this so the engine can
+  /// copy straight into a recycled output slot instead of materializing a
+  /// fresh Tuple first.
+  virtual void EmitCopy(size_t producer_instance, const Tuple& tuple) {
+    Emit(producer_instance, Tuple(tuple));
+  }
+
+  /// Sends the concatenation of `left` and `right` (a join output row)
+  /// downstream. The default materializes via Tuple::Concat; the engine's
+  /// emitter overrides it to write both halves into a recycled output slot
+  /// in place — the join kernels' zero-allocation emit path.
+  virtual void EmitConcat(size_t producer_instance, const Tuple& left,
+                          const Tuple& right) {
+    Emit(producer_instance, left.Concat(right));
+  }
 };
 
 /// The database function of an operation (the `DBFunc` field of Figure 4):

@@ -73,7 +73,7 @@ Status FilterLogic::Prepare(size_t num_instances) {
 void FilterLogic::OnTrigger(size_t instance, Emitter* out) {
   const Fragment& frag = input_->fragment(instance);
   for (const Tuple& t : frag.tuples) {
-    if (predicate_(t)) out->Emit(instance, t);
+    if (predicate_(t)) out->EmitCopy(instance, t);
   }
 }
 
@@ -110,7 +110,7 @@ Status TransmitLogic::Prepare(size_t num_instances) {
 
 void TransmitLogic::OnTrigger(size_t instance, Emitter* out) {
   const Fragment& frag = input_->fragment(instance);
-  for (const Tuple& t : frag.tuples) out->Emit(instance, t);
+  for (const Tuple& t : frag.tuples) out->EmitCopy(instance, t);
 }
 
 // -------------------------------------------------------- TriggeredJoin
@@ -177,17 +177,19 @@ void TriggeredJoinLogic::OnTrigger(size_t instance, Emitter* out) {
       for (const Tuple& r : outer.tuples) {
         const Value& key = r.at(outer_column_);
         for (const Tuple& s : inner.tuples) {
-          if (s.at(inner_column_) == key) out->Emit(instance, r.Concat(s));
+          if (s.at(inner_column_) == key) out->EmitConcat(instance, r, s);
         }
       }
       break;
     case JoinAlgorithm::kHash:
     case JoinAlgorithm::kTempIndex: {
       // Build on the fly over the inner fragment, probe with the outer.
+      // Probe() walks the index's preallocated chains and EmitConcat writes
+      // into a recycled output slot, so the match loop allocates nothing.
       const TempIndex index(inner, inner_column_);
       for (const Tuple& r : outer.tuples) {
-        for (uint32_t i : index.Lookup(r.at(outer_column_))) {
-          out->Emit(instance, r.Concat(inner.tuples[i]));
+        for (uint32_t i : index.Probe(r.at(outer_column_))) {
+          out->EmitConcat(instance, r, inner.tuples[i]);
         }
       }
       break;
@@ -272,7 +274,7 @@ void PipelinedJoinLogic::OnDataBatch(size_t instance,
       for (const Tuple& probe : tuples) {
         const Value& key = probe.at(probe_column_);
         for (const Tuple& s : inner.tuples) {
-          if (s.at(inner_column_) == key) out->Emit(instance, probe.Concat(s));
+          if (s.at(inner_column_) == key) out->EmitConcat(instance, probe, s);
         }
       }
       break;
@@ -280,8 +282,8 @@ void PipelinedJoinLogic::OnDataBatch(size_t instance,
     case JoinAlgorithm::kTempIndex: {
       const TempIndex* index = IndexFor(instance);
       for (const Tuple& probe : tuples) {
-        for (uint32_t i : index->Lookup(probe.at(probe_column_))) {
-          out->Emit(instance, probe.Concat(inner.tuples[i]));
+        for (uint32_t i : index->Probe(probe.at(probe_column_))) {
+          out->EmitConcat(instance, probe, inner.tuples[i]);
         }
       }
       break;

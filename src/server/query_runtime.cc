@@ -40,6 +40,7 @@ Result<PhaseOutcome> QueryEnv::Run(Plan& plan, const CostModel& cost_model,
   // spawn amortization).
   ExecOptions exec;
   exec.cancel = cancel_;
+  exec.chunk_pool = &runtime_->chunk_pool_;
   bool reserved = false;
   if (total_threads <= runtime_->pool_.num_threads()) {
     reserved = runtime_->ReserveWorkers(total_threads, cancel_);
@@ -75,6 +76,7 @@ Result<PhaseOutcome> QueryEnv::Run(Plan& plan, const CostModel& cost_model,
 QueryRuntime::QueryRuntime(QueryRuntimeOptions options)
     : options_(options),
       pool_(DefaultPoolThreads(options.pool_threads)),
+      chunk_pool_(options.chunk_pool_buffers),
       admission_(AdmissionConfig{
           std::max<size_t>(1, options.max_queued_queries),
           options.memory_budget_units}),

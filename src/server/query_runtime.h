@@ -48,6 +48,14 @@ struct QueryRuntimeOptions {
   /// (runtime.admission_wait_us, .execution_wall_us, .busy_us) here. Must
   /// outlive the runtime.
   MetricsRegistry* metrics = nullptr;
+  /// Chunk buffers the runtime's shared ChunkPool retains between
+  /// executions. The pool is what makes the engine's data path
+  /// allocation-lean across queries (the free list stays warm from one
+  /// execution to the next); sized to absorb a whole pipeline's in-flight
+  /// chunk population at the paper-faithful chunk_size of 1 (one buffer per
+  /// tuple in flight). Shrink it to trade steady-state allocations for
+  /// memory.
+  size_t chunk_pool_buffers = 64 * 1024;
 };
 
 /// The outcome of one scheduled-and-executed plan phase.
@@ -141,6 +149,11 @@ class QueryRuntime {
   const AdmissionController& admission() const { return admission_; }
   const QueryRuntimeOptions& options() const { return options_; }
 
+  /// The runtime's shared chunk pool: every execution run through a
+  /// QueryEnv recycles its data-path buffers here, so the free list one
+  /// query warms up serves the next.
+  ChunkPool& chunk_pool() { return chunk_pool_; }
+
  private:
   friend class QueryEnv;
 
@@ -159,6 +172,7 @@ class QueryRuntime {
 
   QueryRuntimeOptions options_;
   WorkerPool pool_;
+  ChunkPool chunk_pool_;
   AdmissionController admission_;
   std::atomic<size_t> live_{0};
   std::atomic<uint64_t> next_id_{1};

@@ -4,20 +4,39 @@ namespace dbs3 {
 
 TempIndex::TempIndex(const Fragment& fragment, size_t key_column)
     : fragment_(fragment), key_column_(key_column) {
-  buckets_.reserve(fragment.tuples.size());
-  for (uint32_t i = 0; i < fragment.tuples.size(); ++i) {
-    const Value& key = fragment.tuples[i].at(key_column_);
-    buckets_[key.Hash()].push_back(i);
+  const size_t n = fragment.tuples.size();
+  if (n == 0) return;
+  // Power-of-two bucket count at load factor <= 1, so a probe's expected
+  // chain length stays O(1) and the bucket lookup is a mask, not a modulo.
+  size_t buckets = 1;
+  while (buckets < n) buckets <<= 1;
+  head_.assign(buckets, kNone);
+  mask_ = buckets - 1;
+  next_.assign(n, kNone);
+  hashes_.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    hashes_[i] = fragment.tuples[i].at(key_column_).Hash();
+  }
+  // Insert in reverse: pushing at the chain head then yields chains in
+  // ascending tuple order, preserving the match order of the previous
+  // map-of-vectors layout.
+  for (uint32_t i = static_cast<uint32_t>(n); i-- > 0;) {
+    const size_t b = hashes_[i] & mask_;
+    next_[i] = head_[b];
+    head_[b] = i;
+  }
+  // A tuple is a distinct key iff the first chain match for its own key is
+  // itself. Expected O(n) at load factor <= 1.
+  for (uint32_t i = 0; i < n; ++i) {
+    if (FirstMatch(hashes_[i], fragment.tuples[i].at(key_column_)) == i) {
+      ++distinct_keys_;
+    }
   }
 }
 
 std::vector<uint32_t> TempIndex::Lookup(const Value& key) const {
   std::vector<uint32_t> out;
-  auto it = buckets_.find(key.Hash());
-  if (it == buckets_.end()) return out;
-  for (uint32_t i : it->second) {
-    if (fragment_.tuples[i].at(key_column_) == key) out.push_back(i);
-  }
+  for (uint32_t i : Probe(key)) out.push_back(i);
   return out;
 }
 

@@ -3,7 +3,6 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "storage/relation.h"
@@ -16,24 +15,126 @@ namespace dbs3 {
 /// join algorithm's cost does not mask the scheduling effects ("we use
 /// larger databases and build indexes on the fly", Section 5.3). IndexJoin
 /// builds one of these per inner fragment at trigger time.
+///
+/// Layout: a chained bucket index over preallocated arrays. `head_` is an
+/// open-addressed-by-hash bucket table (power-of-two size, one slot per
+/// bucket); `next_[i]` links tuple i to the next tuple of its bucket;
+/// `hashes_[i]` caches tuple i's key hash, computed exactly once at build.
+/// Probing walks one chain comparing cached hashes first and key equality
+/// only on hash match, and returns an iterator range over those arrays —
+/// the probe path performs zero heap allocations.
 class TempIndex {
  public:
+  /// Sentinel chain terminator / empty bucket marker.
+  static constexpr uint32_t kNone = 0xffffffffu;
+
   /// Builds the index over `fragment` keyed on column `key_column`.
   TempIndex(const Fragment& fragment, size_t key_column);
 
+  /// Forward iterator over the tuple indices matching one probed key.
+  /// Dereferences to the index into the fragment's tuple vector. The key
+  /// (and the TempIndex) must outlive the iterator.
+  class MatchIterator {
+   public:
+    uint32_t operator*() const { return pos_; }
+    MatchIterator& operator++() {
+      pos_ = index_->NextMatch(index_->next_[pos_], hash_, *key_);
+      return *this;
+    }
+    bool operator==(const MatchIterator& other) const {
+      return pos_ == other.pos_;
+    }
+    bool operator!=(const MatchIterator& other) const {
+      return pos_ != other.pos_;
+    }
+
+   private:
+    friend class TempIndex;
+    MatchIterator(const TempIndex* index, const Value* key, uint64_t hash,
+                  uint32_t pos)
+        : index_(index), key_(key), hash_(hash), pos_(pos) {}
+
+    const TempIndex* index_;
+    const Value* key_;
+    uint64_t hash_;
+    uint32_t pos_;
+  };
+
+  /// The matches of one probe: a range over the index's chain arrays.
+  /// Allocation-free; iteration order is ascending tuple index (the order
+  /// the old map-of-vectors probe returned).
+  class MatchRange {
+   public:
+    MatchIterator begin() const {
+      return MatchIterator(index_, key_, hash_, first_);
+    }
+    MatchIterator end() const {
+      return MatchIterator(index_, key_, hash_, kNone);
+    }
+    bool empty() const { return first_ == kNone; }
+
+   private:
+    friend class TempIndex;
+    MatchRange(const TempIndex* index, const Value* key, uint64_t hash,
+               uint32_t first)
+        : index_(index), key_(key), hash_(hash), first_(first) {}
+
+    const TempIndex* index_;
+    const Value* key_;
+    uint64_t hash_;
+    uint32_t first_;
+  };
+
+  /// Matches for `key`. `key` must outlive the returned range.
+  MatchRange Probe(const Value& key) const {
+    return ProbeHashed(key.Hash(), key);
+  }
+
+  /// As Probe, with the key's hash supplied by the caller — for probe loops
+  /// that compute each probe tuple's hash once and reuse it.
+  MatchRange ProbeHashed(uint64_t hash, const Value& key) const {
+    return MatchRange(this, &key, hash, FirstMatch(hash, key));
+  }
+
   /// Indices (into the fragment's tuple vector) of tuples whose key equals
-  /// `key`. Empty when there is no match.
+  /// `key`. Empty when there is no match. Materializing convenience over
+  /// Probe() for tests and cold paths; the join kernels iterate the range
+  /// directly.
   std::vector<uint32_t> Lookup(const Value& key) const;
 
-  /// Number of distinct keys.
-  size_t distinct_keys() const { return buckets_.size(); }
+  /// Number of distinct keys (exact: hash collisions are resolved by value).
+  size_t distinct_keys() const { return distinct_keys_; }
 
  private:
+  /// First tuple index matching (hash, key), or kNone.
+  uint32_t FirstMatch(uint64_t hash, const Value& key) const {
+    if (head_.empty()) return kNone;
+    return NextMatch(head_[hash & mask_], hash, key);
+  }
+
+  /// Scans the chain from `pos` (inclusive) for the next tuple whose cached
+  /// hash and key both match; kNone when the chain is exhausted.
+  uint32_t NextMatch(uint32_t pos, uint64_t hash, const Value& key) const {
+    while (pos != kNone) {
+      if (hashes_[pos] == hash &&
+          fragment_.tuples[pos].at(key_column_) == key) {
+        return pos;
+      }
+      pos = next_[pos];
+    }
+    return kNone;
+  }
+
   const Fragment& fragment_;
   size_t key_column_;
-  /// Hash of key -> tuple indices; probe re-checks value equality so hash
-  /// collisions cannot produce wrong matches.
-  std::unordered_map<uint64_t, std::vector<uint32_t>> buckets_;
+  /// Bucket heads, indexed by hash & mask_; kNone = empty bucket.
+  std::vector<uint32_t> head_;
+  /// Chain link per tuple of the fragment; kNone terminates.
+  std::vector<uint32_t> next_;
+  /// Key hash per tuple, computed once at build time.
+  std::vector<uint64_t> hashes_;
+  uint64_t mask_ = 0;
+  size_t distinct_keys_ = 0;
 };
 
 }  // namespace dbs3

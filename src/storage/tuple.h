@@ -30,9 +30,25 @@ class Tuple {
 
   /// The concatenation of this tuple and `other` (join output row).
   Tuple Concat(const Tuple& other) const {
-    std::vector<Value> out = values_;
+    std::vector<Value> out;
+    out.reserve(values_.size() + other.values_.size());
+    out.insert(out.end(), values_.begin(), values_.end());
     out.insert(out.end(), other.values_.begin(), other.values_.end());
     return Tuple(std::move(out));
+  }
+
+  /// Overwrites this tuple with a copy of `other`, reusing the value storage
+  /// this tuple already owns (element-wise copy assignment, so string
+  /// payloads reuse their buffers). Steady state performs no allocation;
+  /// the engine's recycled chunk slots depend on that.
+  void AssignFrom(const Tuple& other) {
+    OverwriteWith(other.values_, nullptr);
+  }
+
+  /// Overwrites this tuple with the concatenation of `left` and `right`
+  /// (join output row), reusing owned storage like AssignFrom.
+  void AssignConcat(const Tuple& left, const Tuple& right) {
+    OverwriteWith(left.values_, &right.values_);
   }
 
   bool operator==(const Tuple& other) const { return values_ == other.values_; }
@@ -50,6 +66,30 @@ class Tuple {
   }
 
  private:
+  /// Replaces the contents with `a` (then `b`, when non-null) by assigning
+  /// over the live prefix and trimming/appending the remainder: existing
+  /// Value slots (and their heap payloads) are reused instead of destroyed
+  /// and reconstructed.
+  void OverwriteWith(const std::vector<Value>& a,
+                     const std::vector<Value>* b) {
+    const size_t n = a.size() + (b != nullptr ? b->size() : 0);
+    if (values_.capacity() < n) values_.reserve(n);
+    size_t i = 0;
+    auto put = [&](const Value& v) {
+      if (i < values_.size()) {
+        values_[i] = v;
+      } else {
+        values_.push_back(v);
+      }
+      ++i;
+    };
+    for (const Value& v : a) put(v);
+    if (b != nullptr) {
+      for (const Value& v : *b) put(v);
+    }
+    if (values_.size() > n) values_.resize(n);
+  }
+
   std::vector<Value> values_;
 };
 

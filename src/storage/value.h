@@ -23,10 +23,11 @@ class Value {
   explicit Value(std::string v) : data_(std::move(v)) {}
 
   ValueType type() const {
-    return std::holds_alternative<int64_t>(data_) ? ValueType::kInt64
-                                                  : ValueType::kString;
+    // The variant's alternative order mirrors the enum (checked below), so
+    // the type tag is the index itself — no per-call alternative probing.
+    return static_cast<ValueType>(data_.index());
   }
-  bool is_int() const { return type() == ValueType::kInt64; }
+  bool is_int() const { return data_.index() == 0; }
 
   /// The integer payload. Requires is_int().
   int64_t AsInt() const { return std::get<int64_t>(data_); }
@@ -48,6 +49,10 @@ class Value {
 
  private:
   std::variant<int64_t, std::string> data_;
+
+  static_assert(static_cast<size_t>(ValueType::kInt64) == 0 &&
+                    static_cast<size_t>(ValueType::kString) == 1,
+                "ValueType values must match the variant alternative order");
 };
 
 }  // namespace dbs3

@@ -99,6 +99,32 @@ Activation ChunkOf(size_t n) {
   return Activation::DataChunk(std::move(chunk));
 }
 
+TEST(ActivationQueueTest, RejectedPushLeavesActivationIntact) {
+  // The chunk-recycling contract: a rejected Push must leave the caller's
+  // activation (and so its tuple buffer) intact, so the producer can
+  // release the buffer back to the pool instead of leaking it into a
+  // moved-from shell.
+  ActivationQueue q;
+  q.Close();
+  Activation a = ChunkOf(3);
+  const Tuple* buffer = a.tuples.data();
+  EXPECT_FALSE(q.Push(std::move(a)));
+  ASSERT_EQ(a.tuples.size(), 3u);
+  EXPECT_EQ(a.tuples.data(), buffer);
+  EXPECT_EQ(a.tuples.front().at(0).AsInt(), 0);
+}
+
+TEST(ActivationQueueTest, ApproxUnitsTracksPushAndPop) {
+  ActivationQueue q;
+  EXPECT_EQ(q.ApproxUnits(), 0u);
+  ASSERT_TRUE(q.Push(ChunkOf(3)));
+  ASSERT_TRUE(q.Push(DataWithKey(1)));
+  EXPECT_EQ(q.ApproxUnits(), 4u);
+  std::vector<Activation> out;
+  EXPECT_EQ(q.PopBatch(10, &out), 2u);
+  EXPECT_EQ(q.ApproxUnits(), 0u);
+}
+
 TEST(ActivationQueueTest, SizeCountsActivationsUnitsCountTuples) {
   ActivationQueue q;
   ASSERT_TRUE(q.Push(ChunkOf(3)));

@@ -1,6 +1,11 @@
 #include "storage/temp_index.h"
 
+#include <vector>
+
 #include <gtest/gtest.h>
+
+#include "storage/skew.h"
+#include "storage/wisconsin.h"
 
 namespace dbs3 {
 namespace {
@@ -59,6 +64,83 @@ TEST(TempIndexTest, StringKeys) {
   TempIndex index(f, 0);
   EXPECT_EQ(index.Lookup(Value(std::string("paris"))).size(), 2u);
   EXPECT_EQ(index.Lookup(Value(std::string("lyon"))).size(), 0u);
+}
+
+/// Collects a Probe range into a vector so it can be compared against
+/// Lookup and a reference scan.
+std::vector<uint32_t> Collect(const TempIndex::MatchRange& range) {
+  std::vector<uint32_t> out;
+  for (uint32_t i : range) out.push_back(i);
+  return out;
+}
+
+/// Probe (iterator range), ProbeHashed (caller-supplied hash), and Lookup
+/// (materializing) must agree with a reference scan — matches in ascending
+/// tuple order — for every key of a duplicate-heavy Wisconsin column.
+TEST(TempIndexTest, ProbeMatchesLookupAndScanOnWisconsin) {
+  WisconsinOptions options;
+  options.cardinality = 4'000;
+  options.degree = 4;
+  auto rel = GenerateWisconsin("wisc", options);
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+
+  // Column 5 is "twenty": values 0..19, ~50 duplicates per key and
+  // fragment, which exercises long bucket chains.
+  const size_t kTwenty = 5;
+  for (size_t frag = 0; frag < rel.value()->degree(); ++frag) {
+    const Fragment& f = rel.value()->fragment(frag);
+    TempIndex index(f, kTwenty);
+    for (int64_t key = 0; key <= 20; ++key) {  // 20 itself is a miss.
+      const Value probe_key(key);
+      std::vector<uint32_t> scan;
+      for (uint32_t i = 0; i < f.tuples.size(); ++i) {
+        if (f.tuples[i].at(kTwenty).AsInt() == key) scan.push_back(i);
+      }
+      EXPECT_EQ(Collect(index.Probe(probe_key)), scan) << "key " << key;
+      EXPECT_EQ(Collect(index.ProbeHashed(probe_key.Hash(), probe_key)),
+                scan)
+          << "key " << key;
+      EXPECT_EQ(index.Lookup(probe_key), scan) << "key " << key;
+      EXPECT_EQ(index.Probe(probe_key).empty(), scan.empty())
+          << "key " << key;
+    }
+    EXPECT_EQ(index.distinct_keys(), 20u) << "fragment " << frag;
+  }
+}
+
+/// Same equivalence under Zipf-skewed fragment cardinalities: the largest
+/// fragment concentrates most of the tuples, producing very uneven chain
+/// lengths.
+TEST(TempIndexTest, ProbeMatchesScanOnSkewedFragments) {
+  SkewSpec spec;
+  spec.a_cardinality = 3'000;
+  spec.b_cardinality = 300;
+  spec.degree = 8;
+  spec.theta = 0.8;
+  auto db = BuildSkewedDatabase(spec);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+
+  for (size_t frag = 0; frag < db.value().a->degree(); ++frag) {
+    const Fragment& f = db.value().a->fragment(frag);
+    TempIndex index(f, 0);
+    size_t scanned_distinct = 0;
+    // Fragment i of A holds keys congruent to i modulo the degree, drawn
+    // from B's key domain.
+    for (int64_t key = static_cast<int64_t>(frag);
+         key < static_cast<int64_t>(spec.b_cardinality);
+         key += static_cast<int64_t>(spec.degree)) {
+      const Value probe_key(key);
+      std::vector<uint32_t> scan;
+      for (uint32_t i = 0; i < f.tuples.size(); ++i) {
+        if (f.tuples[i].at(0).AsInt() == key) scan.push_back(i);
+      }
+      if (!scan.empty()) ++scanned_distinct;
+      EXPECT_EQ(Collect(index.Probe(probe_key)), scan)
+          << "fragment " << frag << " key " << key;
+    }
+    EXPECT_EQ(index.distinct_keys(), scanned_distinct)
+        << "fragment " << frag;
+  }
 }
 
 TEST(TempIndexTest, AgreesWithScanOnLargeFragment) {

@@ -65,6 +65,32 @@ TEST(TupleTest, ConcatJoinsValues) {
   EXPECT_EQ(b.size(), 1u);
 }
 
+TEST(TupleTest, AssignFromOverwritesInPlace) {
+  Tuple dest({Value(int64_t{9}), Value(int64_t{8}), Value(int64_t{7})});
+  // Shrinking assignment: reused slots, trimmed tail.
+  dest.AssignFrom(Tuple({Value(int64_t{1}), Value(std::string("x"))}));
+  EXPECT_EQ(dest, Tuple({Value(int64_t{1}), Value(std::string("x"))}));
+  // Growing assignment from a wider source.
+  dest.AssignFrom(
+      Tuple({Value(int64_t{4}), Value(int64_t{5}), Value(int64_t{6})}));
+  EXPECT_EQ(dest,
+            Tuple({Value(int64_t{4}), Value(int64_t{5}), Value(int64_t{6})}));
+}
+
+TEST(TupleTest, AssignConcatMatchesConcat) {
+  Tuple left({Value(int64_t{1}), Value(std::string("l"))});
+  Tuple right({Value(int64_t{2})});
+  Tuple dest({Value(int64_t{0})});  // Narrower than the output row.
+  dest.AssignConcat(left, right);
+  EXPECT_EQ(dest, left.Concat(right));
+  // Sources untouched, and a reused (now wider) destination converges to
+  // the same row.
+  EXPECT_EQ(left.size(), 2u);
+  EXPECT_EQ(right.size(), 1u);
+  dest.AssignConcat(right, left);
+  EXPECT_EQ(dest, right.Concat(left));
+}
+
 TEST(TupleTest, ComparisonIsLexicographic) {
   Tuple a({Value(int64_t{1}), Value(int64_t{2})});
   Tuple b({Value(int64_t{1}), Value(int64_t{3})});
