@@ -4,6 +4,7 @@
 Usage:
   compare_bench.py BASELINE.json CANDIDATE.json TOLERANCE
   compare_bench.py --datapath CANDIDATE.json BUDGET [BASELINE.json TOLERANCE]
+  compare_bench.py --kernels CANDIDATE.json MIN_SPEEDUP
 
 Default mode matches benchmarks by name on their median aggregate (the
 runs use --benchmark_repetitions with --benchmark_report_aggregates_only)
@@ -17,6 +18,12 @@ fails when the steady-state pipeline exceeds BUDGET heap allocations per
 result tuple, when the iterator-range probe path allocated at all, or —
 when a BASELINE dump from the parent commit is supplied — when the
 pipeline wall regressed more than TOLERANCE.
+
+--kernels mode gates micro_kernels' BENCH_kernels.json: for the filter
+sweep and the probe sweep, the best batch speedup over the row-path
+baseline among points with chunk_size >= 16 must reach MIN_SPEEDUP
+(e.g. 2.0), and every vectorized point at any chunk size must report
+zero steady-state heap allocations.
 """
 
 import json
@@ -42,6 +49,12 @@ def check_datapath(argv):
     failed |= probe_allocs != 0
     print(f"{verdict} probe_allocations: {probe_allocs} (must be 0)")
 
+    for name, allocs in sorted(candidate.get("kernels", {}).items()):
+        allocs = int(allocs)
+        verdict = "OK" if allocs == 0 else "ALLOCATING"
+        failed |= allocs != 0
+        print(f"{verdict} kernel {name}: {allocs} (must be 0)")
+
     if len(argv) >= 4:
         baseline_path, tolerance = argv[2], float(argv[3])
         with open(baseline_path) as f:
@@ -60,6 +73,39 @@ def check_datapath(argv):
     return 0
 
 
+def check_kernels(argv):
+    candidate_path, min_speedup = argv[0], float(argv[1])
+    with open(candidate_path) as f:
+        candidate = json.load(f)
+
+    failed = False
+    for sweep in ("filter", "probe"):
+        points = candidate[sweep]["points"]
+        gated = [p for p in points if int(p["chunk_size"]) >= 16]
+        best = max(gated, key=lambda p: float(p["speedup"]))
+        speedup = float(best["speedup"])
+        verdict = "OK" if speedup >= min_speedup else "TOO SLOW"
+        failed |= speedup < min_speedup
+        print(f"{verdict} {sweep} best speedup: {speedup:.2f}x at "
+              f"chunk_size={best['chunk_size']} "
+              f"(must reach {min_speedup:.2f}x at chunk_size >= 16)")
+        for p in points:
+            allocs = int(p["steady_allocations"])
+            if allocs != 0:
+                failed = True
+                print(f"ALLOCATING {sweep} chunk_size={p['chunk_size']}: "
+                      f"{allocs} steady-state allocations (must be 0)")
+        print(f"OK {sweep}: zero steady-state allocations at every "
+              f"chunk size" if all(int(p["steady_allocations"]) == 0
+                                   for p in points) else
+              f"{sweep}: allocation gate failed")
+
+    if failed:
+        print("kernel gate failed")
+        return 1
+    return 0
+
+
 def medians(path):
     with open(path) as f:
         doc = json.load(f)
@@ -73,6 +119,8 @@ def medians(path):
 def main():
     if sys.argv[1] == "--datapath":
         return check_datapath(sys.argv[2:])
+    if sys.argv[1] == "--kernels":
+        return check_kernels(sys.argv[2:])
     baseline_path, candidate_path, tolerance = sys.argv[1:4]
     tolerance = float(tolerance)
     baseline = medians(baseline_path)

@@ -3,19 +3,28 @@
 // result tuple on a steady-state pipelined join — the chunk pool and the
 // assign-in-place emitters are what keep this flat — and (b) the probe
 // kernels: TempIndex::Probe (iterator range, zero allocations) against the
-// materializing Lookup. Emits BENCH_datapath.json; the CI gate
+// materializing Lookup, and (c) the per-kernel steady-state allocation
+// counts of the vectorized path (gather, filter, hash, batched probe),
+// each of which must be zero. Emits BENCH_datapath.json; the CI gate
 // (compare_bench.py --datapath) enforces the allocation budget.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <new>
+#include <span>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "common/arena.h"
 #include "dbs3/database.h"
 #include "dbs3/query.h"
+#include "engine/vector/column_batch.h"
+#include "engine/vector/kernels.h"
+#include "engine/vector/pred.h"
 #include "storage/temp_index.h"
 
 namespace {
@@ -193,8 +202,72 @@ double MatchesPerSecond(uint64_t matches, double seconds) {
   return seconds > 0.0 ? static_cast<double>(matches) / seconds : 0.0;
 }
 
+/// Steady-state heap allocations of each vectorized kernel in isolation:
+/// the column gather, the predicate kernel, the hash kernel, and the
+/// batched probe, each swept over a chunked workload against the warmed
+/// thread-local arena. Every count must be zero — the kernels' transient
+/// state lives entirely in the arena.
+struct KernelAllocs {
+  uint64_t gather = 0;
+  uint64_t filter = 0;
+  uint64_t hash = 0;
+  uint64_t probe = 0;
+};
+
+KernelAllocs MeasureKernelAllocations(const Fragment& fragment) {
+  constexpr size_t kChunk = 256;
+  std::vector<Tuple> rows;
+  for (int64_t i = 0; i < 4'096; ++i) {
+    rows.push_back(Tuple({Value(i % 4'096), Value(i)}));
+  }
+  std::vector<PredExpr> conjuncts;
+  conjuncts.push_back(PredExpr::IntBetween(0, 16, 3'000));
+  const PredExpr pred = PredExpr::And(std::move(conjuncts));
+  const TempIndex index(fragment, 0);
+  Arena& arena = ThreadLocalKernelArena();
+
+  const auto sweep = [&](auto&& chunk_body) {
+    for (size_t base = 0; base < rows.size(); base += kChunk) {
+      const size_t n = std::min(kChunk, rows.size() - base);
+      ScopedArena scope(&arena);
+      ColumnBatch batch(std::span<const Tuple>(rows.data() + base, n),
+                        scope.get());
+      chunk_body(batch, *scope.get(), n);
+    }
+  };
+  const auto measure = [&](auto&& chunk_body) {
+    uint64_t best = ~uint64_t{0};
+    for (int rep = 0; rep < kReps + 1; ++rep) {
+      const uint64_t before = g_allocations.load(std::memory_order_relaxed);
+      sweep(chunk_body);
+      const uint64_t allocs =
+          g_allocations.load(std::memory_order_relaxed) - before;
+      if (rep > 0) best = std::min(best, allocs);  // Rep 0 warms the arena.
+    }
+    return best;
+  };
+
+  KernelAllocs out;
+  out.gather = measure([&](ColumnBatch& batch, Arena&, size_t) {
+    if (batch.Ints(0) == nullptr) std::abort();
+  });
+  out.filter = measure([&](ColumnBatch& batch, Arena& a, size_t n) {
+    uint32_t* sel = a.AllocateArrayOf<uint32_t>(n);
+    EvalPredAll(pred, batch, sel);
+  });
+  out.hash = measure([&](ColumnBatch& batch, Arena& a, size_t) {
+    if (HashColumn(batch, 0, &a) == nullptr) std::abort();
+  });
+  out.probe = measure([&](ColumnBatch& batch, Arena& a, size_t n) {
+    const int64_t* keys = batch.Ints(0);
+    uint32_t* first = a.AllocateArrayOf<uint32_t>(n);
+    index.ProbeKeys(std::span<const int64_t>(keys, n), first);
+  });
+  return out;
+}
+
 void WriteJson(const PipelinePoint& pipeline, const ProbePoint& probe,
-               const char* path) {
+               const KernelAllocs& kernels, const char* path) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", path);
@@ -230,6 +303,15 @@ void WriteJson(const PipelinePoint& pipeline, const ProbePoint& probe,
                MatchesPerSecond(probe.matches, probe.lookup_seconds),
                static_cast<unsigned long long>(probe.probe_allocations),
                static_cast<unsigned long long>(probe.lookup_allocations));
+  std::fprintf(f, ",\n");
+  std::fprintf(f,
+               "  \"kernels\": {\"gather_allocations\": %llu, "
+               "\"filter_allocations\": %llu, \"hash_allocations\": %llu, "
+               "\"batch_probe_allocations\": %llu}\n",
+               static_cast<unsigned long long>(kernels.gather),
+               static_cast<unsigned long long>(kernels.filter),
+               static_cast<unsigned long long>(kernels.hash),
+               static_cast<unsigned long long>(kernels.probe));
   std::fprintf(f, "}\n");
   std::fclose(f);
 }
@@ -270,13 +352,26 @@ int Main() {
               probe.lookup_seconds * 1e3,
               static_cast<unsigned long long>(probe.lookup_allocations));
 
-  WriteJson(pipeline, probe, "BENCH_datapath.json");
+  const KernelAllocs kernels = MeasureKernelAllocations(fragment);
+  std::printf("kernels:  steady-state allocations per sweep — gather %llu, "
+              "filter %llu, hash %llu, batch probe %llu\n",
+              static_cast<unsigned long long>(kernels.gather),
+              static_cast<unsigned long long>(kernels.filter),
+              static_cast<unsigned long long>(kernels.hash),
+              static_cast<unsigned long long>(kernels.probe));
+
+  WriteJson(pipeline, probe, kernels, "BENCH_datapath.json");
   std::printf("\nwrote BENCH_datapath.json\n");
 
-  // Hard invariant (budget thresholds live in compare_bench.py): the
-  // iterator-range probe path never touches the heap.
+  // Hard invariants (budget thresholds live in compare_bench.py): the
+  // iterator-range probe path and the vectorized kernels never touch the
+  // heap.
   if (probe.probe_allocations != 0) {
     std::printf("FAIL: Probe() allocated on the probe path\n");
+    return 1;
+  }
+  if (kernels.gather + kernels.filter + kernels.hash + kernels.probe != 0) {
+    std::printf("FAIL: a vectorized kernel allocated in steady state\n");
     return 1;
   }
   return 0;

@@ -141,7 +141,8 @@ Result<PlannedQuery> PlanIdealJoin(Database& db, const std::string& outer,
   const size_t join = planned.plan.AddNode(
       "join", ActivationMode::kTriggered, degree,
       std::make_unique<TriggeredJoinLogic>(outer_rel, outer_col, inner_rel,
-                                           inner_col, options.algorithm));
+                                           inner_col, options.algorithm,
+                                           options.vectorize));
   const size_t store = planned.plan.AddNode(
       "store", ActivationMode::kPipelined, degree,
       std::make_unique<StoreLogic>(planned.result.get()));
@@ -179,7 +180,8 @@ Result<PlannedQuery> PlanAssocJoin(Database& db, const std::string& probe_rel,
   const size_t join = planned.plan.AddNode(
       "join", ActivationMode::kPipelined, degree,
       std::make_unique<PipelinedJoinLogic>(inner_rel, inner_col, probe_col,
-                                           options.algorithm));
+                                           options.algorithm,
+                                           options.vectorize));
   const size_t store = planned.plan.AddNode(
       "store", ActivationMode::kPipelined, degree,
       std::make_unique<StoreLogic>(planned.result.get()));
@@ -190,7 +192,7 @@ Result<PlannedQuery> PlanAssocJoin(Database& db, const std::string& probe_rel,
 }
 
 Result<PlannedQuery> PlanFilterJoin(Database& db, const std::string& filtered,
-                                    TuplePredicate predicate,
+                                    Predicate predicate,
                                     double selectivity,
                                     const std::string& filter_join_column,
                                     const std::string& inner,
@@ -217,11 +219,12 @@ Result<PlannedQuery> PlanFilterJoin(Database& db, const std::string& filtered,
   const size_t filter = planned.plan.AddNode(
       "filter", ActivationMode::kTriggered, filtered_rel->degree(),
       std::make_unique<FilterLogic>(filtered_rel, std::move(predicate),
-                                    selectivity));
+                                    selectivity, options.vectorize));
   const size_t join = planned.plan.AddNode(
       "join", ActivationMode::kPipelined, degree,
       std::make_unique<PipelinedJoinLogic>(inner_rel, inner_col, probe_col,
-                                           options.algorithm));
+                                           options.algorithm,
+                                           options.vectorize));
   const size_t store = planned.plan.AddNode(
       "store", ActivationMode::kPipelined, degree,
       std::make_unique<StoreLogic>(planned.result.get()));
@@ -232,7 +235,7 @@ Result<PlannedQuery> PlanFilterJoin(Database& db, const std::string& filtered,
 }
 
 Result<PlannedQuery> PlanSelect(Database& db, const std::string& input,
-                                TuplePredicate predicate, double selectivity,
+                                Predicate predicate, double selectivity,
                                 const QueryOptions& options) {
   DBS3_ASSIGN_OR_RETURN(Relation * input_rel, db.relation(input));
   const size_t degree = input_rel->degree();
@@ -245,7 +248,7 @@ Result<PlannedQuery> PlanSelect(Database& db, const std::string& input,
   const size_t filter = planned.plan.AddNode(
       "filter", ActivationMode::kTriggered, degree,
       std::make_unique<FilterLogic>(input_rel, std::move(predicate),
-                                    selectivity));
+                                    selectivity, options.vectorize));
   const size_t store = planned.plan.AddNode(
       "store", ActivationMode::kPipelined, degree,
       std::make_unique<StoreLogic>(planned.result.get()));
@@ -284,7 +287,7 @@ Result<QueryResult> RunAssocJoin(Database& db, const std::string& probe_rel,
 }
 
 Result<QueryResult> RunFilterJoin(Database& db, const std::string& filtered,
-                                  TuplePredicate predicate,
+                                  Predicate predicate,
                                   double selectivity,
                                   const std::string& filter_join_column,
                                   const std::string& inner,
@@ -302,7 +305,7 @@ Result<QueryResult> RunFilterJoin(Database& db, const std::string& filtered,
 }
 
 Result<QueryResult> RunSelect(Database& db, const std::string& input,
-                              TuplePredicate predicate, double selectivity,
+                              Predicate predicate, double selectivity,
                               const QueryOptions& options) {
   return RunPlanned(
       db,
@@ -341,7 +344,7 @@ QueryHandle SubmitAssocJoin(Database& db, const std::string& probe_rel,
 }
 
 QueryHandle SubmitFilterJoin(Database& db, const std::string& filtered,
-                             TuplePredicate predicate, double selectivity,
+                             Predicate predicate, double selectivity,
                              const std::string& filter_join_column,
                              const std::string& inner,
                              const std::string& inner_column,
@@ -358,7 +361,7 @@ QueryHandle SubmitFilterJoin(Database& db, const std::string& filtered,
 }
 
 QueryHandle SubmitSelect(Database& db, const std::string& input,
-                         TuplePredicate predicate, double selectivity,
+                         Predicate predicate, double selectivity,
                          const QueryOptions& options) {
   return SubmitPlanned(
       db,

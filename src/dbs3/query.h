@@ -26,6 +26,12 @@ struct QueryOptions {
   CostModel cost_model;
   /// Join algorithm for join queries.
   JoinAlgorithm algorithm = JoinAlgorithm::kHash;
+  /// Run the vectorized batch kernels (columnar predicate evaluation,
+  /// batched index probes) when a predicate is lowerable and activations
+  /// carry enough tuples. Off = always the per-row loops; results are
+  /// identical either way, and chunk_size=1 executions take the row path
+  /// automatically.
+  bool vectorize = true;
   /// Name given to the materialized result relation.
   std::string result_name = "Res";
 
@@ -73,7 +79,7 @@ Result<QueryResult> RunAssocJoin(Database& db, const std::string& probe_rel,
 /// `predicate` (estimated `selectivity`), repartition the survivors on the
 /// join column, join against `inner`, materialize.
 Result<QueryResult> RunFilterJoin(Database& db, const std::string& filtered,
-                                  TuplePredicate predicate,
+                                  Predicate predicate,
                                   double selectivity,
                                   const std::string& filter_join_column,
                                   const std::string& inner,
@@ -82,7 +88,7 @@ Result<QueryResult> RunFilterJoin(Database& db, const std::string& filtered,
 
 /// Runs a parallel selection: filter + materialize.
 Result<QueryResult> RunSelect(Database& db, const std::string& input,
-                              TuplePredicate predicate, double selectivity,
+                              Predicate predicate, double selectivity,
                               const QueryOptions& options);
 
 /// Async variants: queue the query on the database's shared runtime and
@@ -102,14 +108,14 @@ QueryHandle SubmitAssocJoin(Database& db, const std::string& probe_rel,
                             const QueryOptions& options);
 
 QueryHandle SubmitFilterJoin(Database& db, const std::string& filtered,
-                             TuplePredicate predicate, double selectivity,
+                             Predicate predicate, double selectivity,
                              const std::string& filter_join_column,
                              const std::string& inner,
                              const std::string& inner_column,
                              const QueryOptions& options);
 
 QueryHandle SubmitSelect(Database& db, const std::string& input,
-                         TuplePredicate predicate, double selectivity,
+                         Predicate predicate, double selectivity,
                          const QueryOptions& options);
 
 }  // namespace dbs3

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/arena.h"
+#include "engine/vector/column_batch.h"
+#include "engine/vector/kernels.h"
+
 namespace dbs3 {
 
 const char* AggKindName(AggKind kind) {
@@ -155,11 +159,13 @@ NodeEstimate SortLogic::Estimate(const CostModel& cost_model,
 
 PipelinedSemiJoinLogic::PipelinedSemiJoinLogic(const Relation* inner,
                                                size_t inner_column,
-                                               size_t probe_column, bool anti)
+                                               size_t probe_column, bool anti,
+                                               bool vectorize)
     : inner_(inner),
       inner_column_(inner_column),
       probe_column_(probe_column),
-      anti_(anti) {}
+      anti_(anti),
+      vectorize_(vectorize) {}
 
 Status PipelinedSemiJoinLogic::Prepare(size_t num_instances) {
   if (num_instances > inner_->degree()) {
@@ -192,6 +198,38 @@ void PipelinedSemiJoinLogic::OnData(size_t instance, Tuple tuple,
   const bool match =
       !IndexFor(instance)->Probe(tuple.at(probe_column_)).empty();
   if (match != anti_) out->Emit(instance, std::move(tuple));
+}
+
+void PipelinedSemiJoinLogic::OnDataBatch(size_t instance,
+                                         std::span<Tuple> tuples,
+                                         Emitter* out) {
+  constexpr size_t kMinBatchRows = 4;
+  if (!vectorize_ || tuples.size() < kMinBatchRows) {
+    for (Tuple& t : tuples) OnData(instance, std::move(t), out);
+    return;
+  }
+  // Existence only needs each key's first match: one batched, prefetching
+  // probe resolves the whole chunk, then the emit loop moves out the
+  // keepers in order (identical to the row loop's output).
+  const TempIndex* index = IndexFor(instance);
+  const size_t n = tuples.size();
+  Arena& arena = ThreadLocalKernelArena();
+  ScopedArena scope(&arena);
+  ColumnBatch batch(std::span<const Tuple>(tuples.data(), n), &arena);
+  uint32_t* first = arena.AllocateArrayOf<uint32_t>(n);
+  const int64_t* int_keys =
+      index->int_keyed() ? batch.Ints(probe_column_) : nullptr;
+  if (int_keys != nullptr) {
+    index->ProbeKeys(std::span<const int64_t>(int_keys, n), first);
+  } else {
+    const uint64_t* hashes = HashColumn(batch, probe_column_, &arena);
+    const Value* const* keys = batch.Values(probe_column_);
+    index->ProbeHashed(std::span<const uint64_t>(hashes, n), keys, first);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const bool match = first[i] != TempIndex::kNone;
+    if (match != anti_) out->Emit(instance, std::move(tuples[i]));
+  }
 }
 
 NodeEstimate PipelinedSemiJoinLogic::Estimate(const CostModel& cost_model,

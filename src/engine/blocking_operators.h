@@ -104,11 +104,18 @@ class SortLogic : public OperatorLogic {
 /// matching key. The existential form of the AssocJoin probe.
 class PipelinedSemiJoinLogic : public OperatorLogic {
  public:
+  /// `vectorize` enables the batched prefetching existence probe for large
+  /// data activations (single-tuple activations always take the row path).
   PipelinedSemiJoinLogic(const Relation* inner, size_t inner_column,
-                         size_t probe_column, bool anti = false);
+                         size_t probe_column, bool anti = false,
+                         bool vectorize = true);
 
   Status Prepare(size_t num_instances) override;
   void OnData(size_t instance, Tuple tuple, Emitter* out) override;
+  /// Chunked probe: hashes the whole probe-key column up front and resolves
+  /// every key's existence with one batched, prefetching index probe.
+  void OnDataBatch(size_t instance, std::span<Tuple> tuples,
+                   Emitter* out) override;
   std::string name() const override { return anti_ ? "anti-join" : "semi-join"; }
   NodeEstimate Estimate(const CostModel& cost_model,
                         double input_tuples) const override;
@@ -120,6 +127,7 @@ class PipelinedSemiJoinLogic : public OperatorLogic {
   size_t inner_column_;
   size_t probe_column_;
   bool anti_;
+  bool vectorize_;
   std::vector<std::unique_ptr<std::once_flag>> index_once_;
   std::vector<std::unique_ptr<TempIndex>> indexes_;
 };

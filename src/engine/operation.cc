@@ -75,6 +75,21 @@ class OperationEmitter : public Emitter {
     CommitSlot(dest);
   }
 
+  void EmitSelect(size_t producer_instance, const Tuple& src,
+                  std::span<const size_t> columns) override {
+    op_->emitted_.fetch_add(1, std::memory_order_relaxed);
+    if (consumer_ == nullptr) return;
+    const DataOutput& out = op_->output_;
+    size_t dest = producer_instance;
+    if (out.route == DataOutput::Route::kByColumn) {
+      // The route column indexes the projected output row; resolve it to
+      // the source column without materializing the row.
+      dest = out.partitioner.FragmentOf(src.at(columns[out.column]));
+    }
+    NextSlot(dest)->AssignSelect(src, columns);
+    CommitSlot(dest);
+  }
+
   /// Pushes every residual (partially filled) buffer downstream. Called
   /// when the producing worker exits and after OnFinish emissions, so no
   /// tuple outlives its producer inside an emitter buffer.

@@ -5,6 +5,7 @@
 #include <span>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "engine/cost_model.h"
@@ -39,6 +40,18 @@ class Emitter {
   virtual void EmitConcat(size_t producer_instance, const Tuple& left,
                           const Tuple& right) {
     Emit(producer_instance, left.Concat(right));
+  }
+
+  /// Sends the listed columns of `src`, in order (a projection output row).
+  /// The default materializes a fresh tuple; the engine's emitter overrides
+  /// it to Tuple::AssignSelect into a recycled output slot — the projection
+  /// counterpart of EmitConcat's zero-allocation path.
+  virtual void EmitSelect(size_t producer_instance, const Tuple& src,
+                          std::span<const size_t> columns) {
+    std::vector<Value> values;
+    values.reserve(columns.size());
+    for (size_t c : columns) values.push_back(src.at(c));
+    Emit(producer_instance, Tuple(std::move(values)));
   }
 };
 

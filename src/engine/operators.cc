@@ -3,25 +3,83 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/arena.h"
+#include "engine/vector/column_batch.h"
+#include "engine/vector/kernels.h"
+
 namespace dbs3 {
 
-TuplePredicate ColumnEquals(size_t column, Value value) {
-  return [column, value = std::move(value)](const Tuple& t) {
-    return t.at(column) == value;
-  };
+namespace {
+
+/// Data activations with at least this many tuples take the batch kernels;
+/// smaller ones — chunk_size=1 in particular — stay on the row path, so the
+/// paper-faithful per-tuple mode never pays batch setup.
+constexpr size_t kMinBatchRows = 4;
+
+/// Triggered operators process whole fragments; the batch path tiles them
+/// so selection vectors, hash arrays, and column views stay cache-resident
+/// regardless of fragment size.
+constexpr size_t kFragmentTile = 1024;
+
+/// Batched indexed join probe: hashes the probe-key column in one pass,
+/// resolves every first match with the index's prefetching batch probe,
+/// then walks each chain emitting probe⋈match concatenations. Probe rows
+/// are processed in order and chains are ascending, so output order matches
+/// the per-row loop exactly. Scratch lives in the per-thread arena.
+void BatchProbeJoin(const TempIndex& index, std::span<const Tuple> probe,
+                    size_t probe_column, const std::vector<Tuple>& inner,
+                    size_t instance, Emitter* out) {
+  Arena& arena = ThreadLocalKernelArena();
+  for (size_t base = 0; base < probe.size(); base += kFragmentTile) {
+    const size_t count = std::min(kFragmentTile, probe.size() - base);
+    ScopedArena scope(&arena);
+    ColumnBatch batch(probe.subspan(base, count), &arena);
+    uint32_t* first = arena.AllocateArrayOf<uint32_t>(count);
+    const int64_t* int_keys =
+        index.int_keyed() ? batch.Ints(probe_column) : nullptr;
+    if (int_keys != nullptr) {
+      // Int keys both sides: the gathered column doubles as the probe
+      // keys, bucket indexes are computed inside the probe (no hash
+      // array), and every confirm is a flat compare against the index's
+      // inline key cache.
+      index.ProbeKeys(std::span<const int64_t>(int_keys, count), first);
+      for (size_t i = 0; i < count; ++i) {
+        for (uint32_t pos = first[i]; pos != TempIndex::kNone;
+             pos = index.NextMatchAfter(pos, int_keys[i])) {
+          out->EmitConcat(instance, probe[base + i], inner[pos]);
+        }
+      }
+      continue;
+    }
+    const uint64_t* hashes = HashColumn(batch, probe_column, &arena);
+    const Value* const* keys = batch.Values(probe_column);
+    index.ProbeHashed(std::span<const uint64_t>(hashes, count), keys, first);
+    for (size_t i = 0; i < count; ++i) {
+      for (uint32_t pos = first[i]; pos != TempIndex::kNone;
+           pos = index.NextMatchAfter(pos, hashes[i], *keys[i])) {
+        out->EmitConcat(instance, probe[base + i], inner[pos]);
+      }
+    }
+  }
 }
 
-TuplePredicate ColumnBetween(size_t column, int64_t lo, int64_t hi) {
-  return [column, lo, hi](const Tuple& t) {
-    const Value& v = t.at(column);
-    if (!v.is_int()) return false;
-    return v.AsInt() >= lo && v.AsInt() <= hi;
-  };
+}  // namespace
+
+Predicate::Predicate(PredExpr e)
+    : row([expr = e](const Tuple& t) { return expr.EvalRow(t); }),
+      expr(std::move(e)) {}
+
+Predicate ColumnEquals(size_t column, Value value) {
+  const uint32_t col = static_cast<uint32_t>(column);
+  if (value.is_int()) return PredExpr::IntEquals(col, value.AsInt());
+  return PredExpr::StringEquals(col, value.AsString());
 }
 
-TuplePredicate MatchAll() {
-  return [](const Tuple&) { return true; };
+Predicate ColumnBetween(size_t column, int64_t lo, int64_t hi) {
+  return PredExpr::IntBetween(static_cast<uint32_t>(column), lo, hi);
 }
+
+Predicate MatchAll() { return PredExpr::All(); }
 
 const char* JoinAlgorithmName(JoinAlgorithm a) {
   switch (a) {
@@ -37,11 +95,12 @@ const char* JoinAlgorithmName(JoinAlgorithm a) {
 
 // ---------------------------------------------------------------- Filter
 
-FilterLogic::FilterLogic(const Relation* input, TuplePredicate predicate,
-                         double selectivity)
+FilterLogic::FilterLogic(const Relation* input, Predicate predicate,
+                         double selectivity, bool vectorize)
     : input_(input),
       predicate_(std::move(predicate)),
-      selectivity_(selectivity) {}
+      selectivity_(selectivity),
+      vectorize_(vectorize) {}
 
 NodeEstimate FilterLogic::Estimate(const CostModel& cost_model,
                                    double input_tuples) const {
@@ -71,9 +130,41 @@ Status FilterLogic::Prepare(size_t num_instances) {
 }
 
 void FilterLogic::OnTrigger(size_t instance, Emitter* out) {
-  const Fragment& frag = input_->fragment(instance);
-  for (const Tuple& t : frag.tuples) {
-    if (predicate_(t)) out->EmitCopy(instance, t);
+  const std::vector<Tuple>& rows = input_->fragment(instance).tuples;
+  if (vectorize_ && predicate_.expr.has_value() &&
+      rows.size() >= kMinBatchRows) {
+    // Batch kernel, one tile at a time: build the column view, evaluate the
+    // lowered predicate into a selection vector, emit the survivors. All
+    // scratch lives in the per-thread arena — zero steady-state heap
+    // traffic. Tiles run in fragment order and selections are ascending, so
+    // emission order matches the row loop exactly.
+    const PredExpr& expr = *predicate_.expr;
+    Arena& arena = ThreadLocalKernelArena();
+    for (size_t base = 0; base < rows.size(); base += kFragmentTile) {
+      const size_t count = std::min(kFragmentTile, rows.size() - base);
+      ScopedArena scope(&arena);
+      ColumnBatch batch(std::span<const Tuple>(rows.data() + base, count),
+                        &arena);
+      uint32_t* sel = arena.AllocateArrayOf<uint32_t>(count);
+      const size_t kept = EvalPredAll(expr, batch, sel);
+      for (size_t i = 0; i < kept; ++i) {
+        out->EmitCopy(instance, rows[base + sel[i]]);
+      }
+    }
+    return;
+  }
+  if (predicate_.expr.has_value()) {
+    // Row path over a lowered predicate: switch-dispatched evaluation, no
+    // std::function call per tuple.
+    const PredExpr& expr = *predicate_.expr;
+    for (const Tuple& t : rows) {
+      if (expr.EvalRow(t)) out->EmitCopy(instance, t);
+    }
+    return;
+  }
+  const TuplePredicate& keep = predicate_.row;
+  for (const Tuple& t : rows) {
+    if (keep(t)) out->EmitCopy(instance, t);
   }
 }
 
@@ -119,12 +210,14 @@ TriggeredJoinLogic::TriggeredJoinLogic(const Relation* outer,
                                        size_t outer_column,
                                        const Relation* inner,
                                        size_t inner_column,
-                                       JoinAlgorithm algorithm)
+                                       JoinAlgorithm algorithm,
+                                       bool vectorize)
     : outer_(outer),
       outer_column_(outer_column),
       inner_(inner),
       inner_column_(inner_column),
-      algorithm_(algorithm) {}
+      algorithm_(algorithm),
+      vectorize_(vectorize) {}
 
 NodeEstimate TriggeredJoinLogic::Estimate(const CostModel& cost_model,
                                           double input_tuples) const {
@@ -187,6 +280,11 @@ void TriggeredJoinLogic::OnTrigger(size_t instance, Emitter* out) {
       // Probe() walks the index's preallocated chains and EmitConcat writes
       // into a recycled output slot, so the match loop allocates nothing.
       const TempIndex index(inner, inner_column_);
+      if (vectorize_ && outer.tuples.size() >= kMinBatchRows) {
+        BatchProbeJoin(index, outer.tuples, outer_column_, inner.tuples,
+                       instance, out);
+        break;
+      }
       for (const Tuple& r : outer.tuples) {
         for (uint32_t i : index.Probe(r.at(outer_column_))) {
           out->EmitConcat(instance, r, inner.tuples[i]);
@@ -202,11 +300,13 @@ void TriggeredJoinLogic::OnTrigger(size_t instance, Emitter* out) {
 PipelinedJoinLogic::PipelinedJoinLogic(const Relation* inner,
                                        size_t inner_column,
                                        size_t probe_column,
-                                       JoinAlgorithm algorithm)
+                                       JoinAlgorithm algorithm,
+                                       bool vectorize)
     : inner_(inner),
       inner_column_(inner_column),
       probe_column_(probe_column),
-      algorithm_(algorithm) {}
+      algorithm_(algorithm),
+      vectorize_(vectorize) {}
 
 NodeEstimate PipelinedJoinLogic::Estimate(const CostModel& cost_model,
                                           double input_tuples) const {
@@ -281,6 +381,12 @@ void PipelinedJoinLogic::OnDataBatch(size_t instance,
     case JoinAlgorithm::kHash:
     case JoinAlgorithm::kTempIndex: {
       const TempIndex* index = IndexFor(instance);
+      if (vectorize_ && tuples.size() >= kMinBatchRows) {
+        BatchProbeJoin(*index,
+                       std::span<const Tuple>(tuples.data(), tuples.size()),
+                       probe_column_, inner.tuples, instance, out);
+        break;
+      }
       for (const Tuple& probe : tuples) {
         for (uint32_t i : index->Probe(probe.at(probe_column_))) {
           out->EmitConcat(instance, probe, inner.tuples[i]);
@@ -335,19 +441,43 @@ void StoreLogic::OnDataBatch(size_t instance, std::span<Tuple> tuples,
 
 // -------------------------------------------------------- PipelinedFilter
 
-PipelinedFilterLogic::PipelinedFilterLogic(TuplePredicate predicate,
-                                           double selectivity)
-    : predicate_(std::move(predicate)), selectivity_(selectivity) {}
+PipelinedFilterLogic::PipelinedFilterLogic(Predicate predicate,
+                                           double selectivity, bool vectorize)
+    : predicate_(std::move(predicate)),
+      selectivity_(selectivity),
+      vectorize_(vectorize) {}
 
 void PipelinedFilterLogic::OnData(size_t instance, Tuple tuple,
                                   Emitter* out) {
-  if (predicate_(tuple)) out->Emit(instance, std::move(tuple));
+  if (predicate_.row(tuple)) out->Emit(instance, std::move(tuple));
 }
 
 void PipelinedFilterLogic::OnDataBatch(size_t instance,
                                        std::span<Tuple> tuples,
                                        Emitter* out) {
-  const TuplePredicate& keep = predicate_;
+  if (predicate_.expr.has_value()) {
+    const PredExpr& expr = *predicate_.expr;
+    if (vectorize_ && tuples.size() >= kMinBatchRows) {
+      // Selection-vector kernel: evaluate the whole chunk column-wise, then
+      // move out the survivors in order (identical to the row loop's output).
+      Arena& arena = ThreadLocalKernelArena();
+      ScopedArena scope(&arena);
+      ColumnBatch batch(std::span<const Tuple>(tuples.data(), tuples.size()),
+                        &arena);
+      uint32_t* sel = arena.AllocateArrayOf<uint32_t>(tuples.size());
+      const size_t kept = EvalPredAll(expr, batch, sel);
+      for (size_t i = 0; i < kept; ++i) {
+        out->Emit(instance, std::move(tuples[sel[i]]));
+      }
+      return;
+    }
+    for (Tuple& t : tuples) {
+      if (expr.EvalRow(t)) out->Emit(instance, std::move(t));
+    }
+    return;
+  }
+  // Custom predicate: hoist the std::function binding out of the loop.
+  const TuplePredicate& keep = predicate_.row;
   for (Tuple& t : tuples) {
     if (keep(t)) out->Emit(instance, std::move(t));
   }
@@ -368,10 +498,15 @@ ProjectLogic::ProjectLogic(std::vector<size_t> columns)
     : columns_(std::move(columns)) {}
 
 void ProjectLogic::OnData(size_t instance, Tuple tuple, Emitter* out) {
-  std::vector<Value> values;
-  values.reserve(columns_.size());
-  for (size_t c : columns_) values.push_back(tuple.at(c));
-  out->Emit(instance, Tuple(std::move(values)));
+  // EmitSelect writes the selected columns straight into a recycled output
+  // slot; no output tuple is materialized here.
+  out->EmitSelect(instance, tuple, columns_);
+}
+
+void ProjectLogic::OnDataBatch(size_t instance, std::span<Tuple> tuples,
+                               Emitter* out) {
+  const std::span<const size_t> columns(columns_);
+  for (const Tuple& t : tuples) out->EmitSelect(instance, t, columns);
 }
 
 NodeEstimate ProjectLogic::Estimate(const CostModel& cost_model,
@@ -387,8 +522,33 @@ NodeEstimate ProjectLogic::Estimate(const CostModel& cost_model,
 
 MapLogic::MapLogic(std::function<Tuple(Tuple)> fn) : fn_(std::move(fn)) {}
 
+MapLogic::MapLogic(std::function<void(const Tuple&, Tuple*)> fn)
+    : in_place_(std::move(fn)) {}
+
 void MapLogic::OnData(size_t instance, Tuple tuple, Emitter* out) {
+  if (in_place_) {
+    // The scratch row keeps its value storage across calls (AssignFrom /
+    // AssignConcat overwrite live slots), and EmitCopy assigns it into a
+    // recycled chunk slot — steady state constructs no tuples.
+    thread_local Tuple scratch;
+    in_place_(tuple, &scratch);
+    out->EmitCopy(instance, scratch);
+    return;
+  }
   out->Emit(instance, fn_(std::move(tuple)));
+}
+
+void MapLogic::OnDataBatch(size_t instance, std::span<Tuple> tuples,
+                           Emitter* out) {
+  if (in_place_) {
+    thread_local Tuple scratch;
+    for (const Tuple& t : tuples) {
+      in_place_(t, &scratch);
+      out->EmitCopy(instance, scratch);
+    }
+    return;
+  }
+  for (Tuple& t : tuples) out->Emit(instance, fn_(std::move(t)));
 }
 
 // -------------------------------------------------------------- Aggregate

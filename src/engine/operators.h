@@ -8,27 +8,57 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/mutex.h"
 #include "engine/operator_logic.h"
+#include "engine/vector/pred.h"
 #include "storage/relation.h"
 #include "storage/temp_index.h"
 
 namespace dbs3 {
 
-/// A predicate over tuples. Wraps an arbitrary function; the factory helpers
-/// build the common column-comparison forms.
+/// A predicate over tuples as an arbitrary function — the engine's fully
+/// general row form.
 using TuplePredicate = std::function<bool(const Tuple&)>;
 
+/// The predicate an operator runs: always the row form, plus — when the
+/// predicate is one of the comparison shapes the vector kernels understand —
+/// its lowered PredExpr. Filter operators run the batch kernels when `expr`
+/// is present and the activation carries enough tuples; the row form remains
+/// the single-tuple / custom-predicate path (chunk_size=1 stays the
+/// paper-faithful per-tuple mode automatically).
+struct Predicate {
+  TuplePredicate row;
+  std::optional<PredExpr> expr;
+
+  Predicate() = default;
+
+  /// An arbitrary row predicate: stays on the per-tuple path.
+  template <typename F,
+            typename = std::enable_if_t<
+                std::is_invocable_r_v<bool, F, const Tuple&> &&
+                !std::is_same_v<std::decay_t<F>, Predicate> &&
+                !std::is_same_v<std::decay_t<F>, PredExpr>>>
+  Predicate(F fn) : row(std::move(fn)) {}  // NOLINT: implicit by design.
+
+  /// A lowered comparison: vectorizable. The row form is derived from the
+  /// expression, so both paths share one definition of truth.
+  Predicate(PredExpr e);  // NOLINT: implicit by design.
+
+  bool vectorizable() const { return expr.has_value(); }
+};
+
 /// Predicate `tuple[column] == value`.
-TuplePredicate ColumnEquals(size_t column, Value value);
+Predicate ColumnEquals(size_t column, Value value);
 
 /// Predicate `lo <= tuple[column] <= hi` (int column).
-TuplePredicate ColumnBetween(size_t column, int64_t lo, int64_t hi);
+Predicate ColumnBetween(size_t column, int64_t lo, int64_t hi);
 
 /// Matches every tuple.
-TuplePredicate MatchAll();
+Predicate MatchAll();
 
 /// Triggered selection: the control activation for instance i scans fragment
 /// i of the input relation and emits every tuple matching the predicate
@@ -37,9 +67,10 @@ class FilterLogic : public OperatorLogic {
  public:
   /// `input` must outlive the execution. `selectivity` is the estimated
   /// fraction of tuples the predicate keeps (compiler statistic, used only
-  /// for scheduling).
-  FilterLogic(const Relation* input, TuplePredicate predicate,
-              double selectivity = 1.0);
+  /// for scheduling). `vectorize` enables the tiled batch kernel when the
+  /// predicate is lowerable (off = always the row loop, for comparisons).
+  FilterLogic(const Relation* input, Predicate predicate,
+              double selectivity = 1.0, bool vectorize = true);
 
   Status Prepare(size_t num_instances) override;
   void OnTrigger(size_t instance, Emitter* out) override;
@@ -49,8 +80,9 @@ class FilterLogic : public OperatorLogic {
 
  private:
   const Relation* input_;
-  TuplePredicate predicate_;
+  Predicate predicate_;
   double selectivity_;
+  bool vectorize_;
 };
 
 /// Triggered redistribution: the control activation for instance i scans
@@ -84,10 +116,11 @@ const char* JoinAlgorithmName(JoinAlgorithm a);
 class TriggeredJoinLogic : public OperatorLogic {
  public:
   /// Joins `outer` and `inner` on outer.column(outer_column) ==
-  /// inner.column(inner_column). Requires equal degrees.
+  /// inner.column(inner_column). Requires equal degrees. `vectorize`
+  /// enables the tiled batch-probe kernel for the indexed algorithms.
   TriggeredJoinLogic(const Relation* outer, size_t outer_column,
                      const Relation* inner, size_t inner_column,
-                     JoinAlgorithm algorithm);
+                     JoinAlgorithm algorithm, bool vectorize = true);
 
   Status Prepare(size_t num_instances) override;
   void OnTrigger(size_t instance, Emitter* out) override;
@@ -101,6 +134,7 @@ class TriggeredJoinLogic : public OperatorLogic {
   const Relation* inner_;
   size_t inner_column_;
   JoinAlgorithm algorithm_;
+  bool vectorize_;
 };
 
 /// Pipelined join (AssocJoin node, Figure 11): the inner operand is bound
@@ -109,14 +143,18 @@ class TriggeredJoinLogic : public OperatorLogic {
 class PipelinedJoinLogic : public OperatorLogic {
  public:
   /// Probes column `probe_column` of incoming tuples against
-  /// inner.column(inner_column) on inner fragment `instance`.
+  /// inner.column(inner_column) on inner fragment `instance`. `vectorize`
+  /// enables the batched prefetching probe when a data activation carries
+  /// enough tuples (single-tuple activations always take the row path).
   PipelinedJoinLogic(const Relation* inner, size_t inner_column,
-                     size_t probe_column, JoinAlgorithm algorithm);
+                     size_t probe_column, JoinAlgorithm algorithm,
+                     bool vectorize = true);
 
   Status Prepare(size_t num_instances) override;
   void OnData(size_t instance, Tuple tuple, Emitter* out) override;
   /// Chunked probe: resolves the inner fragment / temp index once per
-  /// activation instead of once per tuple.
+  /// activation instead of once per tuple, and for large chunks hashes the
+  /// whole probe-key column up front and runs the batched prefetching probe.
   void OnDataBatch(size_t instance, std::span<Tuple> tuples,
                    Emitter* out) override;
   std::string name() const override { return "join"; }
@@ -131,6 +169,7 @@ class PipelinedJoinLogic : public OperatorLogic {
   size_t inner_column_;
   size_t probe_column_;
   JoinAlgorithm algorithm_;
+  bool vectorize_;
   std::vector<std::unique_ptr<std::once_flag>> index_once_;
   std::vector<std::unique_ptr<TempIndex>> indexes_;
 };
@@ -166,12 +205,15 @@ class StoreLogic : public OperatorLogic {
 class PipelinedFilterLogic : public OperatorLogic {
  public:
   /// `selectivity` is the scheduling estimate of the kept fraction.
-  explicit PipelinedFilterLogic(TuplePredicate predicate,
-                                double selectivity = 1.0);
+  /// `vectorize` enables the batch kernel for lowered predicates on large
+  /// chunks (single-tuple activations always take the row path).
+  explicit PipelinedFilterLogic(Predicate predicate, double selectivity = 1.0,
+                                bool vectorize = true);
 
   void OnData(size_t instance, Tuple tuple, Emitter* out) override;
-  /// Chunked filter: binds the predicate once and loops without the
-  /// per-tuple virtual dispatch.
+  /// Chunked filter: hoists the predicate dispatch out of the loop — lowered
+  /// predicates evaluate via PredExpr::EvalRow (no std::function call per
+  /// tuple), large chunks via the selection-vector kernel.
   void OnDataBatch(size_t instance, std::span<Tuple> tuples,
                    Emitter* out) override;
   std::string name() const override { return "filter"; }
@@ -179,17 +221,23 @@ class PipelinedFilterLogic : public OperatorLogic {
                         double input_tuples) const override;
 
  private:
-  TuplePredicate predicate_;
+  Predicate predicate_;
   double selectivity_;
+  bool vectorize_;
 };
 
 /// Pipelined projection: emits the listed columns of each incoming tuple,
-/// in order.
+/// in order. Emission goes through Emitter::EmitSelect, which writes the
+/// selected columns straight into a recycled output slot — no per-row
+/// output tuple is materialized.
 class ProjectLogic : public OperatorLogic {
  public:
   explicit ProjectLogic(std::vector<size_t> columns);
 
   void OnData(size_t instance, Tuple tuple, Emitter* out) override;
+  /// Chunked projection: hoists the column-list span out of the loop.
+  void OnDataBatch(size_t instance, std::span<Tuple> tuples,
+                   Emitter* out) override;
   std::string name() const override { return "project"; }
   NodeEstimate Estimate(const CostModel& cost_model,
                         double input_tuples) const override;
@@ -201,13 +249,24 @@ class ProjectLogic : public OperatorLogic {
 /// Pipelined map: emits f(tuple) for each incoming tuple.
 class MapLogic : public OperatorLogic {
  public:
+  /// Materializing form: emits fn(tuple). Each call constructs the output
+  /// row; prefer the in-place form on hot paths.
   explicit MapLogic(std::function<Tuple(Tuple)> fn);
 
+  /// Allocation-lean form: fn overwrites a recycled per-thread scratch row
+  /// (via Tuple::AssignFrom / AssignConcat) which is then EmitCopy'd into a
+  /// recycled chunk slot — no per-row construction in steady state.
+  explicit MapLogic(std::function<void(const Tuple&, Tuple*)> fn);
+
   void OnData(size_t instance, Tuple tuple, Emitter* out) override;
+  /// Chunked map: hoists the form dispatch out of the loop.
+  void OnDataBatch(size_t instance, std::span<Tuple> tuples,
+                   Emitter* out) override;
   std::string name() const override { return "map"; }
 
  private:
   std::function<Tuple(Tuple)> fn_;
+  std::function<void(const Tuple&, Tuple*)> in_place_;
 };
 
 /// Pipelined aggregate sink: counts tuples and optionally sums one int

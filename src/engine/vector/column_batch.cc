@@ -1,0 +1,10 @@
+#include "engine/vector/column_batch.h"
+
+namespace dbs3 {
+
+Arena& ThreadLocalKernelArena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace dbs3

@@ -1,0 +1,46 @@
+#ifndef DBS3_ENGINE_VECTOR_KERNELS_H_
+#define DBS3_ENGINE_VECTOR_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/arena.h"
+#include "common/hash.h"
+#include "engine/vector/column_batch.h"
+#include "storage/value.h"
+
+namespace dbs3 {
+
+/// Hashes a whole int64 key column in one pass (SplitMix64 finalizer —
+/// identical to Value::Hash on integers, so batch and row paths agree on
+/// every hash-dependent decision: bucket choice, partition routing).
+inline void HashInt64Column(const int64_t* keys, size_t n, uint64_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = HashInt64(static_cast<uint64_t>(keys[i]));
+  }
+}
+
+/// Hash fallback for mixed or string key columns: Value::Hash per row.
+inline void HashValueColumn(const Value* const* keys, size_t n,
+                            uint64_t* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = keys[i]->Hash();
+}
+
+/// Hashes column `col` of `batch` into an arena array: the int64 one-pass
+/// kernel when the column is all-integer, Value::Hash per row otherwise.
+inline const uint64_t* HashColumn(ColumnBatch& batch, size_t col,
+                                  Arena* arena) {
+  const size_t n = batch.num_rows();
+  uint64_t* out = arena->AllocateArrayOf<uint64_t>(n);
+  const int64_t* ints = batch.Ints(col);
+  if (ints != nullptr) {
+    HashInt64Column(ints, n, out);
+  } else {
+    HashValueColumn(batch.Values(col), n, out);
+  }
+  return out;
+}
+
+}  // namespace dbs3
+
+#endif  // DBS3_ENGINE_VECTOR_KERNELS_H_

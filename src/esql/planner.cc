@@ -132,21 +132,87 @@ double SelectivityGuess(Comparison::Op op) {
   }
 }
 
+/// Lowers one comparison to the vector IR when its shape is one the batch
+/// kernels understand AND the column's declared type matches the literal.
+/// The IR's leaves are typed and self-contained; the schema gate is what
+/// keeps them equivalent to PredicateFor's Value-order semantics (Value's
+/// total order ranks every string above every int, so e.g. `c > 3` on a
+/// string value is true under PredicateFor but inexpressible as an int
+/// range — such a comparison is only lowered when the column is declared
+/// kInt64 and thus never holds strings).
+std::optional<PredExpr> LowerComparison(size_t column, Comparison::Op op,
+                                        const Value& literal,
+                                        ValueType column_type) {
+  const uint32_t col = static_cast<uint32_t>(column);
+  if (literal.is_int() && column_type == ValueType::kInt64) {
+    const int64_t v = literal.AsInt();
+    switch (op) {
+      case Comparison::Op::kEq:
+        return PredExpr::IntEquals(col, v);
+      case Comparison::Op::kNe:
+        return PredExpr::IntNotEquals(col, v);
+      case Comparison::Op::kLt:
+        return PredExpr::IntLess(col, v);
+      case Comparison::Op::kLe:
+        return PredExpr::IntLessEq(col, v);
+      case Comparison::Op::kGt:
+        return PredExpr::IntGreater(col, v);
+      case Comparison::Op::kGe:
+        return PredExpr::IntGreaterEq(col, v);
+    }
+    return std::nullopt;
+  }
+  if (!literal.is_int() && column_type == ValueType::kString) {
+    switch (op) {
+      case Comparison::Op::kEq:
+        return PredExpr::StringEquals(col, literal.AsString());
+      case Comparison::Op::kNe:
+        return PredExpr::StringNotEquals(col, literal.AsString());
+      default:
+        break;  // No string range leaves.
+    }
+  }
+  return std::nullopt;
+}
+
 /// AND-combines comparisons resolved against `bindings` into one predicate
-/// (MatchAll when empty) and multiplies their selectivity guesses.
-Result<std::pair<TuplePredicate, double>> CombinePredicates(
-    const std::vector<Binding>& bindings,
+/// (MatchAll when empty) and multiplies their selectivity guesses. When
+/// every conjunct lowers to the vector IR (typed against `schema`), the
+/// result is vectorizable; otherwise the whole conjunction stays on the
+/// generic row path.
+Result<std::pair<Predicate, double>> CombinePredicates(
+    const std::vector<Binding>& bindings, const Schema& schema,
     const std::vector<Comparison>& comparisons) {
   if (comparisons.empty()) {
     return std::make_pair(MatchAll(), 1.0);
   }
-  std::vector<TuplePredicate> preds;
   double selectivity = 1.0;
+  std::vector<size_t> cols;
+  std::vector<PredExpr> lowered;
+  bool lowerable = true;
   for (const Comparison& cmp : comparisons) {
     DBS3_ASSIGN_OR_RETURN(const size_t col,
                           ResolveBinding(bindings, cmp.column));
-    preds.push_back(PredicateFor(col, cmp.op, cmp.literal));
+    cols.push_back(col);
     selectivity *= SelectivityGuess(cmp.op);
+    if (lowerable) {
+      std::optional<PredExpr> expr = LowerComparison(
+          col, cmp.op, cmp.literal, schema.column(col).type);
+      if (expr.has_value()) {
+        lowered.push_back(std::move(*expr));
+      } else {
+        lowerable = false;
+      }
+    }
+  }
+  if (lowerable) {
+    return std::make_pair(Predicate(PredExpr::And(std::move(lowered))),
+                          selectivity);
+  }
+  std::vector<TuplePredicate> preds;
+  for (size_t i = 0; i < comparisons.size(); ++i) {
+    preds.push_back(
+        PredicateFor(cols[i], comparisons[i].op, comparisons[i].literal));
   }
   TuplePredicate combined = [preds = std::move(preds)](const Tuple& t) {
     for (const TuplePredicate& p : preds) {
@@ -154,7 +220,7 @@ Result<std::pair<TuplePredicate, double>> CombinePredicates(
     }
     return true;
   };
-  return std::make_pair(std::move(combined), selectivity);
+  return std::make_pair(Predicate(std::move(combined)), selectivity);
 }
 
 /// Whether the comparison's column belongs to relation `rel` (given the
@@ -169,7 +235,7 @@ bool BelongsTo(const Comparison& cmp, const Relation& rel) {
 /// Materializes a repartition of `rel` on `column`, hash-partitioned with
 /// the same degree — the subquery boundary of the general join case.
 Result<std::unique_ptr<Relation>> MaterializeRepartition(
-    const Relation& rel, size_t column, TuplePredicate predicate,
+    const Relation& rel, size_t column, Predicate predicate,
     double selectivity, const EsqlOptions& options, EsqlExecContext& ctx) {
   auto temp = std::make_unique<Relation>(
       rel.name() + "_repart", rel.schema(), column,
@@ -177,7 +243,8 @@ Result<std::unique_ptr<Relation>> MaterializeRepartition(
   Plan plan;
   const size_t filter = plan.AddNode(
       "repartition-scan", ActivationMode::kTriggered, rel.degree(),
-      std::make_unique<FilterLogic>(&rel, std::move(predicate), selectivity));
+      std::make_unique<FilterLogic>(&rel, std::move(predicate), selectivity,
+                                    options.vectorize));
   const size_t store =
       plan.AddNode("store", ActivationMode::kPipelined, rel.degree(),
                    std::make_unique<StoreLogic>(temp.get()));
@@ -206,14 +273,16 @@ std::string OriginalName(const Relation& rel) {
 
 /// Appends a pipelined filter node for `comparisons` (no-op when empty).
 Status AppendFilter(const std::vector<Comparison>& comparisons,
-                    PipelineState* state) {
+                    const EsqlOptions& options, PipelineState* state) {
   if (comparisons.empty()) return Status::OK();
-  DBS3_ASSIGN_OR_RETURN(auto pred,
-                        CombinePredicates(state->bindings, comparisons));
+  DBS3_ASSIGN_OR_RETURN(
+      auto pred,
+      CombinePredicates(state->bindings, state->schema, comparisons));
   const size_t filter = state->plan.AddNode(
       "post-filter", ActivationMode::kPipelined, state->instances,
       std::make_unique<PipelinedFilterLogic>(std::move(pred.first),
-                                             pred.second));
+                                             pred.second,
+                                             options.vectorize));
   DBS3_RETURN_IF_ERROR(state->plan.ConnectSameInstance(
       static_cast<size_t>(state->tail), filter));
   state->tail = static_cast<int>(filter);
@@ -259,18 +328,20 @@ Status BuildSource(Database& db, const EsqlQuery& query,
   }
 
   if (query.joins.empty()) {
-    DBS3_ASSIGN_OR_RETURN(
-        auto pred, CombinePredicates(BindingsOf(*from_rel), rel_preds[0]));
+    DBS3_ASSIGN_OR_RETURN(auto pred,
+                          CombinePredicates(BindingsOf(*from_rel),
+                                            from_rel->schema(),
+                                            rel_preds[0]));
     state->tail = static_cast<int>(state->plan.AddNode(
         "scan(" + from_rel->name() + ")", ActivationMode::kTriggered,
         from_rel->degree(),
         std::make_unique<FilterLogic>(from_rel, std::move(pred.first),
-                                      pred.second)));
+                                      pred.second, options.vectorize)));
     state->instances = from_rel->degree();
     state->schema = from_rel->schema();
     state->bindings = BindingsOf(*from_rel);
     state->description = "scan(" + from_rel->name() + ")";
-    return AppendFilter(post_preds, state);
+    return AppendFilter(post_preds, options, state);
   }
 
   // Resolve the first join's sides against the two base relations.
@@ -314,8 +385,8 @@ Status BuildSource(Database& db, const EsqlQuery& query,
       state->tail = static_cast<int>(state->plan.AddNode(
           "ideal-join", ActivationMode::kTriggered, rels[0]->degree(),
           std::make_unique<TriggeredJoinLogic>(rels[0], left_col, rels[1],
-                                               right_col,
-                                               options.algorithm)));
+                                               right_col, options.algorithm,
+                                               options.vectorize)));
       state->instances = rels[0]->degree();
       state->schema =
           Schema::Concat(rels[0]->schema(), rels[1]->schema());
@@ -325,7 +396,7 @@ Status BuildSource(Database& db, const EsqlQuery& query,
       }
       state->description = "IdealJoin(" + rels[0]->name() + ", " +
                            rels[1]->name() + ")";
-      return AppendFilter(post_preds, state);
+      return AppendFilter(post_preds, options, state);
     }
 
     // Orient the first join: prefer the side partitioned on its join
@@ -346,12 +417,14 @@ Status BuildSource(Database& db, const EsqlQuery& query,
     Relation* probe = rels[probe_idx];
     DBS3_ASSIGN_OR_RETURN(
         auto probe_pred,
-        CombinePredicates(BindingsOf(*probe), rel_preds[probe_idx]));
+        CombinePredicates(BindingsOf(*probe), probe->schema(),
+                          rel_preds[probe_idx]));
     state->tail = static_cast<int>(state->plan.AddNode(
         "scan(" + probe->name() + ")", ActivationMode::kTriggered,
         probe->degree(),
         std::make_unique<FilterLogic>(probe, std::move(probe_pred.first),
-                                      probe_pred.second)));
+                                      probe_pred.second,
+                                      options.vectorize)));
     state->instances = probe->degree();
     state->schema = probe->schema();
     state->bindings = BindingsOf(*probe);
@@ -422,7 +495,8 @@ Status BuildSource(Database& db, const EsqlQuery& query,
           !rel_preds[rel_index].empty()) {
         DBS3_ASSIGN_OR_RETURN(
             auto inner_pred,
-            CombinePredicates(BindingsOf(*inner), rel_preds[rel_index]));
+            CombinePredicates(BindingsOf(*inner), inner->schema(),
+                              rel_preds[rel_index]));
         DBS3_ASSIGN_OR_RETURN(
             std::unique_ptr<Relation> temp,
             MaterializeRepartition(*inner, this_inner_col,
@@ -439,7 +513,8 @@ Status BuildSource(Database& db, const EsqlQuery& query,
       const size_t join = state->plan.AddNode(
           "pipelined-join", ActivationMode::kPipelined, inner->degree(),
           std::make_unique<PipelinedJoinLogic>(
-              inner, this_inner_col, this_probe_col, options.algorithm));
+              inner, this_inner_col, this_probe_col, options.algorithm,
+              options.vectorize));
       DBS3_RETURN_IF_ERROR(state->plan.ConnectByColumn(
           static_cast<size_t>(state->tail), join, this_probe_col,
           inner->partitioner()));
@@ -487,7 +562,7 @@ Status BuildSource(Database& db, const EsqlQuery& query,
   for (std::vector<Comparison>& preds : rel_preds) {
     remaining.insert(remaining.end(), preds.begin(), preds.end());
   }
-  return AppendFilter(remaining, state);
+  return AppendFilter(remaining, options, state);
 }
 
 /// Appends the aggregation stage (global or grouped).
@@ -532,11 +607,14 @@ Status BuildAggregation(const EsqlQuery& query, PipelineState* state) {
   } else {
     // Global aggregate: prepend a constant grouping key so every tuple
     // lands in the same group (and instance).
+    // In-place map form: the constant key row is built once, and each call
+    // overwrites the recycled scratch row via AssignConcat — no per-tuple
+    // construction.
     const size_t map = state->plan.AddNode(
         "const-key", ActivationMode::kPipelined, state->instances,
-        std::make_unique<MapLogic>([](Tuple t) {
-          Tuple out({Value(int64_t{0})});
-          return out.Concat(t);
+        std::make_unique<MapLogic>([](const Tuple& t, Tuple* out) {
+          static const Tuple kKey({Value(int64_t{0})});
+          out->AssignConcat(kKey, t);
         }));
     DBS3_RETURN_IF_ERROR(state->plan.ConnectSameInstance(
         static_cast<size_t>(state->tail), map));

@@ -23,6 +23,11 @@ struct EsqlOptions {
   ScheduleOptions schedule;
   CostModel cost_model;
   JoinAlgorithm algorithm = JoinAlgorithm::kHash;
+  /// Run the vectorized batch kernels where the planner can lower WHERE
+  /// conjuncts to the typed predicate IR and activations carry enough
+  /// tuples. Off = always the per-row loops; results are identical either
+  /// way (chunk_size=1 executions take the row path automatically).
+  bool vectorize = true;
   std::string result_name = "esql_result";
 
   /// Multi-user knobs, forwarded to the runtime's QuerySpec (see

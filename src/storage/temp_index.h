@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "storage/relation.h"
@@ -96,6 +97,50 @@ class TempIndex {
     return MatchRange(this, &key, hash, FirstMatch(hash, key));
   }
 
+  /// Batched probe: for each key i writes the first matching tuple index
+  /// (or kNone) into `out_first[i]`. Result-equivalent to calling
+  /// ProbeHashed(hashes[i], *keys[i]) per key, but processes the keys in
+  /// fixed-size tiles, software-prefetching the bucket heads and then the
+  /// chains' cached-hash slots a few keys ahead — a random-key probe
+  /// stream's cache misses overlap instead of serializing. Allocation-free;
+  /// matches past the first continue via NextMatchAfter.
+  void ProbeHashed(std::span<const uint64_t> hashes, const Value* const* keys,
+                   uint32_t* out_first) const;
+
+  /// As the batched ProbeHashed, for an int64 probe-key column laid out
+  /// contiguously (a ColumnBatch::Ints gather). Requires int_keyed(): the
+  /// confirm compares the inline key cache against `keys[i]` directly —
+  /// one flat-array load, no tuple dereference, no Value dispatch.
+  void ProbeHashed(std::span<const uint64_t> hashes, const int64_t* keys,
+                   uint32_t* out_first) const;
+
+  /// Batched probe straight off an int64 key column: bucket indexes are
+  /// computed inline (the same SplitMix64 finalizer Value::Hash applies to
+  /// ints) one tile ahead of the resolving tile — no per-key Value
+  /// dispatch and no intermediate hash array at all. Requires
+  /// int_keyed(). Result-equivalent to Probe(Value(keys[i])) per key.
+  void ProbeKeys(std::span<const int64_t> keys, uint32_t* out_first) const;
+
+  /// The match after `pos` in its chain (continues a batched probe past the
+  /// first match); kNone when the chain is exhausted.
+  uint32_t NextMatchAfter(uint32_t pos, uint64_t hash,
+                          const Value& key) const {
+    return NextMatch(next_[pos], hash, key);
+  }
+
+  /// Int fast path of NextMatchAfter; requires int_keyed().
+  uint32_t NextMatchAfter(uint32_t pos, int64_t key) const {
+    uint32_t p = int_nodes_[pos].next;
+    while (p != kNone && int_nodes_[p].key != key) p = int_nodes_[p].next;
+    return p;
+  }
+
+  /// True when every indexed key is an int64. The index then carries the
+  /// keys inline in a flat array sized like the chain arrays, and every
+  /// probe's key confirm is a flat load + compare instead of a dependent
+  /// walk through the fragment tuple's heap-allocated value array.
+  bool int_keyed() const { return int_keyed_; }
+
   /// Indices (into the fragment's tuple vector) of tuples whose key equals
   /// `key`. Empty when there is no match. Materializing convenience over
   /// Probe() for tests and cold paths; the join kernels iterate the range
@@ -112,9 +157,19 @@ class TempIndex {
     return NextMatch(head_[hash & mask_], hash, key);
   }
 
-  /// Scans the chain from `pos` (inclusive) for the next tuple whose cached
-  /// hash and key both match; kNone when the chain is exhausted.
+  /// Scans the chain from `pos` (inclusive) for the next tuple whose key
+  /// matches; kNone when the chain is exhausted. Int-keyed indexes compare
+  /// the inline key cache (exact, so the cached-hash prefilter is skipped);
+  /// a non-int probe key cannot equal any int key, so it matches nothing.
   uint32_t NextMatch(uint32_t pos, uint64_t hash, const Value& key) const {
+    if (int_keyed_) {
+      const int64_t* k = key.TryInt();
+      if (k == nullptr) return kNone;
+      while (pos != kNone && int_nodes_[pos].key != *k) {
+        pos = int_nodes_[pos].next;
+      }
+      return pos;
+    }
     while (pos != kNone) {
       if (hashes_[pos] == hash &&
           fragment_.tuples[pos].at(key_column_) == key) {
@@ -125,6 +180,18 @@ class TempIndex {
     return kNone;
   }
 
+  /// Tile width of the batched probes: per-tile scratch fits in a few
+  /// cache lines, and one tile of work separates a prefetch from its use.
+  static constexpr size_t kProbeTile = 64;
+
+  /// Resolves first matches for one tile of int probe keys (count <=
+  /// kProbeTile) whose chain heads are already loaded into `pos` (the
+  /// caller's pipeline stage); `pos`/`keys`/`out_first` point at the
+  /// tile's first element. `pos` is clobbered. Requires int_keyed() and a
+  /// non-empty index.
+  void IntResolveTile(uint32_t* pos, const int64_t* keys, size_t count,
+                      uint32_t* out_first) const;
+
   const Fragment& fragment_;
   size_t key_column_;
   /// Bucket heads, indexed by hash & mask_; kNone = empty bucket.
@@ -133,8 +200,18 @@ class TempIndex {
   std::vector<uint32_t> next_;
   /// Key hash per tuple, computed once at build time.
   std::vector<uint64_t> hashes_;
+  /// Packed chain node of the int fast path: the inline key and the chain
+  /// link share one 16-byte slot, so a chain step touches a single cache
+  /// line (key-only and link-only layouts cost two random lines per step).
+  /// Populated iff every key is an int64 (int_keyed_).
+  struct IntNode {
+    int64_t key;
+    uint32_t next;
+  };
+  std::vector<IntNode> int_nodes_;
   uint64_t mask_ = 0;
   size_t distinct_keys_ = 0;
+  bool int_keyed_ = false;
 };
 
 }  // namespace dbs3

@@ -2,6 +2,7 @@
 #define DBS3_STORAGE_TUPLE_H_
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -49,6 +50,22 @@ class Tuple {
   /// (join output row), reusing owned storage like AssignFrom.
   void AssignConcat(const Tuple& left, const Tuple& right) {
     OverwriteWith(left.values_, &right.values_);
+  }
+
+  /// Overwrites this tuple with the listed columns of `src` (projection
+  /// output row), reusing owned storage like AssignFrom. `this` must not
+  /// alias `src`.
+  void AssignSelect(const Tuple& src, std::span<const size_t> columns) {
+    const size_t n = columns.size();
+    if (values_.capacity() < n) values_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (i < values_.size()) {
+        values_[i] = src.values_[columns[i]];
+      } else {
+        values_.push_back(src.values_[columns[i]]);
+      }
+    }
+    if (values_.size() > n) values_.resize(n);
   }
 
   bool operator==(const Tuple& other) const { return values_ == other.values_; }

@@ -32,6 +32,10 @@ class Value {
   /// The integer payload. Requires is_int().
   int64_t AsInt() const { return std::get<int64_t>(data_); }
 
+  /// The integer payload, or nullptr for strings. The columnar batch view
+  /// uses this to gather a chunk's column into a contiguous int64 array.
+  const int64_t* TryInt() const { return std::get_if<int64_t>(&data_); }
+
   /// The string payload. Requires !is_int().
   const std::string& AsString() const { return std::get<std::string>(data_); }
 
