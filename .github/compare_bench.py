@@ -5,6 +5,7 @@ Usage:
   compare_bench.py BASELINE.json CANDIDATE.json TOLERANCE
   compare_bench.py --datapath CANDIDATE.json BUDGET [BASELINE.json TOLERANCE]
   compare_bench.py --kernels CANDIDATE.json MIN_SPEEDUP
+  compare_bench.py --spill CANDIDATE.json [SLACK_UNITS]
 
 Default mode matches benchmarks by name on their median aggregate (the
 runs use --benchmark_repetitions with --benchmark_report_aggregates_only)
@@ -24,6 +25,13 @@ sweep and the probe sweep, the best batch speedup over the row-path
 baseline among points with chunk_size >= 16 must reach MIN_SPEEDUP
 (e.g. 2.0), and every vectorized point at any chunk size must report
 zero steady-state heap allocations.
+
+--spill mode gates ext_spilljoin's BENCH_spill.json: every budgeted
+point must produce rows identical to its unbudgeted reference, every
+quota high-water mark must stay within budget + SLACK_UNITS (default 64;
+the slack covers the operators' bounded forced-progress overshoot), and
+at least one point must have actually written spill bytes — otherwise
+the sweep never exercised the budget and the gate is vacuous.
 """
 
 import json
@@ -106,6 +114,48 @@ def check_kernels(argv):
     return 0
 
 
+def check_spill(argv):
+    candidate_path = argv[0]
+    slack = float(argv[1]) if len(argv) >= 2 else 64.0
+    with open(candidate_path) as f:
+        candidate = json.load(f)
+    points = candidate["points"]
+
+    failed = False
+    any_spilled = False
+    for p in points:
+        label = (f"a_rows={p['a_rows']} b_rows={p['b_rows']} "
+                 f"skew={p['skew']} budget={p['budget']}")
+        if not p["match"]:
+            failed = True
+            print(f"MISMATCH {label}: budgeted rows differ from the "
+                  f"unbudgeted reference")
+        else:
+            print(f"OK {label}: rows match reference")
+        high = float(p["high_water_units"])
+        budget = float(p["budget"])
+        if high > budget + slack:
+            failed = True
+            print(f"OVER BUDGET {label}: high_water={high:.0f} exceeds "
+                  f"budget + slack ({budget:.0f} + {slack:.0f})")
+        else:
+            print(f"OK {label}: high_water={high:.0f} within "
+                  f"budget + slack ({budget:.0f} + {slack:.0f})")
+        any_spilled |= int(p["spill_bytes"]) > 0
+
+    if not any_spilled:
+        failed = True
+        print("VACUOUS: no point wrote any spill bytes -- the sweep never "
+              "pressured the budget")
+    else:
+        print("OK at least one point spilled")
+
+    if failed:
+        print("spill gate failed")
+        return 1
+    return 0
+
+
 def medians(path):
     with open(path) as f:
         doc = json.load(f)
@@ -121,6 +171,8 @@ def main():
         return check_datapath(sys.argv[2:])
     if sys.argv[1] == "--kernels":
         return check_kernels(sys.argv[2:])
+    if sys.argv[1] == "--spill":
+        return check_spill(sys.argv[2:])
     baseline_path, candidate_path, tolerance = sys.argv[1:4]
     tolerance = float(tolerance)
     baseline = medians(baseline_path)

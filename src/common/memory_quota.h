@@ -1,0 +1,92 @@
+#ifndef DBS3_COMMON_MEMORY_QUOTA_H_
+#define DBS3_COMMON_MEMORY_QUOTA_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace dbs3 {
+
+/// A per-query memory quota, denominated in tuple units — the same unit the
+/// admission controller budgets in (one unit ~ one retained tuple or group
+/// state). The runtime builds one per admitted query from its declared
+/// `memory_units` and threads it through ExecOptions into the operator
+/// logics, which charge retained state as it accumulates and release it when
+/// the state is dropped or spilled. Unit-denominated (rather than byte-
+/// denominated) accounting keeps enforcement deterministic across platforms
+/// and allocator behavior, which is what lets the differential tests pin
+/// spilled results byte-identical to the in-memory path.
+///
+/// Thread-safe: operators on different worker threads charge concurrently.
+/// A limit of 0 means unlimited (charges are still tracked, so the
+/// high-water mark reports the working set a budget would have needed).
+class MemoryQuota {
+ public:
+  explicit MemoryQuota(uint64_t limit_units = 0) : limit_(limit_units) {}
+
+  MemoryQuota(const MemoryQuota&) = delete;
+  MemoryQuota& operator=(const MemoryQuota&) = delete;
+
+  /// Charges `units` if the quota covers them; false (and nothing charged)
+  /// otherwise. Operators react to a failed charge by spilling or erroring.
+  bool TryCharge(uint64_t units) {
+    uint64_t used = used_.load(std::memory_order_relaxed);
+    do {
+      if (limit_ != 0 && used + units > limit_) return false;
+    } while (!used_.compare_exchange_weak(used, used + units,
+                                          std::memory_order_relaxed));
+    BumpHighWater(used + units);
+    return true;
+  }
+
+  /// Charges past the limit. The spill paths use this to guarantee forward
+  /// progress (a batch must hold at least one tuple; a merge at the
+  /// recursion cap must accept the group) — overshoot is bounded by the
+  /// caller to O(1) units per operator instance.
+  void ForceCharge(uint64_t units) {
+    const uint64_t now =
+        used_.fetch_add(units, std::memory_order_relaxed) + units;
+    BumpHighWater(now);
+  }
+
+  /// Returns `units` to the quota (clamped: releasing more than is charged
+  /// is a caller bug but must not wrap the counter).
+  void Release(uint64_t units) {
+    uint64_t used = used_.load(std::memory_order_relaxed);
+    while (!used_.compare_exchange_weak(used,
+                                        used >= units ? used - units : 0,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Configured limit in units; 0 = unlimited.
+  uint64_t limit() const { return limit_; }
+
+  /// Units currently charged.
+  uint64_t used() const { return used_.load(std::memory_order_relaxed); }
+
+  /// Largest `used()` ever observed — the query's working-set high-water
+  /// mark, reported through QueryRunStats and the runtime metrics.
+  uint64_t high_water() const {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+
+  /// True when a budget is actually enforced.
+  bool bounded() const { return limit_ != 0; }
+
+ private:
+  void BumpHighWater(uint64_t candidate) {
+    uint64_t peak = high_water_.load(std::memory_order_relaxed);
+    while (peak < candidate &&
+           !high_water_.compare_exchange_weak(peak, candidate,
+                                              std::memory_order_relaxed)) {
+    }
+  }
+
+  const uint64_t limit_;
+  std::atomic<uint64_t> used_{0};
+  std::atomic<uint64_t> high_water_{0};
+};
+
+}  // namespace dbs3
+
+#endif  // DBS3_COMMON_MEMORY_QUOTA_H_

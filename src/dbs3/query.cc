@@ -3,6 +3,7 @@
 #include <functional>
 #include <utility>
 
+#include "common/memory_quota.h"
 #include "server/query_runtime.h"
 
 namespace dbs3 {
@@ -67,6 +68,10 @@ Result<QueryResult> FinishDirect(Database& db, PlannedQuery planned,
                                                     options.schedule));
   ExecOptions exec;
   exec.cancel = DirectToken(options);
+  // The legacy path has no QueryEnv, so the quota lives here; it outlives
+  // the execution (and the plan's logics release against it on teardown).
+  MemoryQuota quota(options.memory_units);
+  exec.quota = &quota;
   Executor executor;
   DBS3_ASSIGN_OR_RETURN(out.execution, executor.Run(planned.plan, exec));
   AccumulateEngineMetrics(db.metrics(), out.execution);

@@ -91,6 +91,15 @@ class CancelToken {
     }
   }
 
+  /// The absolute steady_clock deadline in ns since epoch, 0 when none is
+  /// set (or on a None() token). Lets a waiter that skips polling (the
+  /// admission queue's blocked PopNext) size a timed wait to the nearest
+  /// deadline instead of spinning on ShouldStop.
+  int64_t deadline_ns() const {
+    if (state_ == nullptr) return 0;
+    return state_->deadline_ns.load(std::memory_order_relaxed);
+  }
+
   /// False for None() tokens (nothing can ever stop them).
   bool can_cancel() const { return state_ != nullptr; }
 

@@ -36,12 +36,29 @@ Result<ExecutionResult> Executor::Run(Plan& plan,
       options.chunk_pool != nullptr ? options.chunk_pool : &local_pool;
   const ChunkPool::Stats pool_before = chunk_pool->stats();
 
+  // Per-execution metric registry, declared before the operations so the
+  // operator logics may write (spill) counters from any execution callback.
+  // The background sampler (queue depth in tuple units per operation) only
+  // runs when tracing is enabled; counters are aggregated after the run
+  // either way.
+  MetricsRegistry registry;
+
+  // Resources shared by every operator logic this run: the query's memory
+  // quota (nullptr = unaccounted), the registry above, and the cancel
+  // token. Bound before Prepare so per-instance state can be sized with the
+  // budget in view.
+  ExecResources resources;
+  resources.quota = options.quota;
+  resources.metrics = &registry;
+  resources.cancel = options.cancel;
+
   // Instantiate operations consumers-first so producers can hold their
   // consumer's pointer in the output edge.
   std::vector<std::unique_ptr<Operation>> ops(plan.num_nodes());
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const size_t i = *it;
     PlanNode& node = plan.node(i);
+    node.logic->BindExecution(resources);
     DBS3_RETURN_IF_ERROR(node.logic->Prepare(node.instances));
 
     OperationConfig config;
@@ -83,10 +100,6 @@ Result<ExecutionResult> Executor::Run(Plan& plan,
     if (node.mode == ActivationMode::kTriggered) ops[i]->AddProducer();
   }
 
-  // Per-execution metric registry. The background sampler (queue depth in
-  // tuple units per operation) only runs when tracing is enabled; the
-  // counters below are aggregated after the run either way.
-  MetricsRegistry registry;
   MetricsSampler sampler(
       &registry,
       std::chrono::microseconds(std::max<uint32_t>(1,
@@ -147,6 +160,17 @@ Result<ExecutionResult> Executor::Run(Plan& plan,
   // probes) before the operations can go away.
   sampler.Stop();
   registry.ClearProbes();
+
+  // Operator-level failures (spill IO, quota exhaustion without a spill
+  // path) have no return channel in the activation callbacks; surface the
+  // first one as the run's error. A cancelled run skips the check — its
+  // partial state is expected to be inconsistent and `completion` already
+  // reports why.
+  if (!options.cancel.ShouldStop()) {
+    for (size_t i : order) {
+      DBS3_RETURN_IF_ERROR(plan.node(i).logic->error());
+    }
+  }
 
   ExecutionResult result;
   result.seconds = std::chrono::duration<double>(t1 - t0).count();

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/memory_quota.h"
 #include "common/metrics.h"
 #include "common/result.h"
 #include "common/trace.h"
@@ -34,6 +35,13 @@ struct ExecOptions {
   /// call; the result's `chunk_pool` stats then report this execution's
   /// delta (approximate when executions share the pool concurrently).
   ChunkPool* chunk_pool = nullptr;
+  /// When set, memory-aware operators (spilling join, group-by, sort)
+  /// charge their retained tuple/group state here and spill or error when a
+  /// charge fails — the enforcement half of the admission controller's
+  /// declared `memory_units`. Must outlive the plan's logics (their
+  /// destructors release charges a cancelled run leaves behind). nullptr =
+  /// no accounting: every operator stays on its unbounded in-memory path.
+  MemoryQuota* quota = nullptr;
 };
 
 /// Outcome of one plan execution on the real multithreaded engine.

@@ -8,10 +8,31 @@
 #include <vector>
 
 #include "common/status.h"
+#include "engine/cancel.h"
 #include "engine/cost_model.h"
 #include "storage/tuple.h"
 
 namespace dbs3 {
+
+class MemoryQuota;
+class MetricsRegistry;
+
+/// Per-execution resources the executor hands to every operator logic
+/// before Prepare (see OperatorLogic::BindExecution). Pointers stay valid
+/// for the duration of Executor::Run only — logics must touch `metrics`
+/// exclusively from execution callbacks. `quota` is the one exception: when
+/// non-null the caller guarantees it outlives the plan's logics, so
+/// destructors can release charges a cancelled run left behind.
+struct ExecResources {
+  /// The query's memory quota, or nullptr when the execution runs without
+  /// accounting (no budget declared and no caller-provided tracker).
+  MemoryQuota* quota = nullptr;
+  /// The execution's metric registry (spill counters land here).
+  MetricsRegistry* metrics = nullptr;
+  /// The execution's cancel token; long-running OnFinish work (spill
+  /// drains) checks it between partitions.
+  CancelToken cancel = CancelToken::None();
+};
 
 /// Sink for tuples produced while processing one activation. The Operation
 /// implements this by routing the tuple to the consumer operation's instance
@@ -65,6 +86,20 @@ class Emitter {
 class OperatorLogic {
  public:
   virtual ~OperatorLogic() = default;
+
+  /// Called once per execution, before Prepare, with the run's shared
+  /// resources. The default ignores them; memory-aware operators (spilling
+  /// join, group-by, sort) keep the quota/metrics pointers and charge
+  /// retained state against the quota as they buffer it.
+  virtual void BindExecution(const ExecResources& resources) {
+    (void)resources;
+  }
+
+  /// First error the logic hit while processing (spill IO failure, quota
+  /// exhaustion with no spill path). The executor checks every logic after
+  /// the drain and fails the run with the first non-OK status — operator
+  /// callbacks have no return channel of their own.
+  virtual Status error() const { return Status::OK(); }
 
   /// Called once, before any activation, with the operation's instance
   /// count. Allocate per-instance state here.

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/memory_quota.h"
 #include "engine/blocking_operators.h"
+#include "engine/spill_join.h"
 #include "esql/parser.h"
 #include "server/query_runtime.h"
 
@@ -20,6 +22,9 @@ struct EsqlExecContext {
   /// When set, every non-final phase's execution is appended here (becomes
   /// QueryResult::phases).
   std::vector<ExecutionResult>* phase_execs = nullptr;
+  /// Inline-path memory quota (the env path uses the env's own quota). Must
+  /// outlive the phases' plans; may be null for unaccounted execution.
+  MemoryQuota* quota = nullptr;
 };
 
 /// Schedules and runs one plan phase through the context.
@@ -32,6 +37,7 @@ Result<PhaseOutcome> RunEsqlPhase(Plan& plan, const CostModel& cost_model,
                         ScheduleQuery(plan, cost_model, schedule));
   ExecOptions exec;
   exec.cancel = ctx.cancel;
+  exec.quota = ctx.quota;
   Executor executor;
   DBS3_ASSIGN_OR_RETURN(out.execution, executor.Run(plan, exec));
   if (!out.execution.completion.ok()) return out.execution.completion;
@@ -380,8 +386,12 @@ Status BuildSource(Database& db, const EsqlQuery& query,
         rels[0]->partition_column() == left_col &&
         rels[1]->partition_column() == right_col && rel_preds[0].empty() &&
         rel_preds[1].empty();
-    if (copartitioned && query.joins.size() == 1) {
+    if (copartitioned && query.joins.size() == 1 &&
+        options.memory_units == 0) {
       // IdealJoin (Figure 10): one triggered instance per fragment pair.
+      // Skipped for budgeted queries: the triggered join's per-fragment
+      // index is unaccounted, so a declared budget routes through the
+      // quota-charging (and spilling) pipelined join instead.
       state->tail = static_cast<int>(state->plan.AddNode(
           "ideal-join", ActivationMode::kTriggered, rels[0]->degree(),
           std::make_unique<TriggeredJoinLogic>(rels[0], left_col, rels[1],
@@ -510,11 +520,24 @@ Status BuildSource(Database& db, const EsqlQuery& query,
         ++*phases;
       }
 
+      // A declared budget swaps in the spilling hybrid hash join, which
+      // charges its build side against the query's quota and degrades to
+      // partition-wise disk passes instead of overshooting. Output rows
+      // are identical to the in-memory join (same probe-then-inner
+      // concatenation, same per-partition probe order).
+      const bool budgeted = options.memory_units > 0;
+      std::unique_ptr<OperatorLogic> join_logic;
+      if (budgeted) {
+        join_logic = std::make_unique<SpillingHashJoinLogic>(
+            inner, this_inner_col, this_probe_col);
+      } else {
+        join_logic = std::make_unique<PipelinedJoinLogic>(
+            inner, this_inner_col, this_probe_col, options.algorithm,
+            options.vectorize);
+      }
       const size_t join = state->plan.AddNode(
           "pipelined-join", ActivationMode::kPipelined, inner->degree(),
-          std::make_unique<PipelinedJoinLogic>(
-              inner, this_inner_col, this_probe_col, options.algorithm,
-              options.vectorize));
+          std::move(join_logic));
       DBS3_RETURN_IF_ERROR(state->plan.ConnectByColumn(
           static_cast<size_t>(state->tail), join, this_probe_col,
           inner->partitioner()));
@@ -528,7 +551,8 @@ Status BuildSource(Database& db, const EsqlQuery& query,
       const std::string probe_name =
           step == 0 ? rels[probe_idx]->name() : std::string("pipeline");
       state->description += " ; AssocJoin(probe=" + probe_name +
-                            ", inner=" + inner->name() + ")";
+                            ", inner=" + inner->name() +
+                            (budgeted ? ", spill)" : ")");
     }
 
     // A swapped first join produced (right, left) column order; restore the
@@ -777,6 +801,10 @@ Result<EsqlResult> ExecuteEsql(Database& db, const EsqlQuery& query,
   if (!options.use_shared_runtime) {
     EsqlExecContext ctx;
     ctx.cancel = InlineToken(options);
+    // Declared outside the core call so it outlives the phases' plans
+    // (operator destructors release their remaining charges into it).
+    MemoryQuota quota(options.memory_units);
+    ctx.quota = &quota;
     return ExecuteEsqlCore(db, query, options, ctx);
   }
   QueryHandle handle = SubmitEsql(db, query, options);

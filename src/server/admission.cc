@@ -11,8 +11,16 @@ AdmissionController::AdmissionController(AdmissionConfig config)
     : config_(config) {}
 
 Status AdmissionController::TryEnqueue(PendingQuery q) {
-  if (config_.memory_budget_units > 0) {
-    q.memory_units = std::min(q.memory_units, config_.memory_budget_units);
+  if (config_.memory_budget_units > 0 &&
+      q.memory_units > config_.memory_budget_units) {
+    // A declaration the whole budget cannot cover would wait forever (and
+    // the old clamp admitted it with less memory than it declared it
+    // needs — exactly the lie the per-query quota now enforces against).
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        "declared memory_units (" + std::to_string(q.memory_units) +
+        ") exceeds the admission budget (" +
+        std::to_string(config_.memory_budget_units) + ")");
   }
   {
     MutexLock lock(&mu_);
@@ -74,10 +82,32 @@ bool AdmissionController::PopNext(PendingQuery* out) {
       return true;
     }
     if (shutdown_ && waiting_.empty()) return false;
-    // Bounded wait rather than pure Wait: a waiter blocked on the memory
-    // budget must notice when its entry's cancel token fires (nobody
-    // signals this cv on Cancel).
-    cv_.WaitFor(&mu_, std::chrono::milliseconds(2));
+    // Explicit cancellations signal this cv (NotifyCancelled, called by
+    // the runtime's cancel path), so the wait needs no poll interval —
+    // only a timeout at the nearest waiting deadline, which fires without
+    // any signal. No deadlines pending = a plain unbounded wait (this was
+    // a 2 ms poll loop; idle drivers burned wakeups and a cancelled
+    // queued query waited up to a full period for handout).
+    int64_t nearest_deadline_ns = 0;
+    for (const PendingQuery& w : waiting_) {
+      const int64_t d = w.cancel.deadline_ns();
+      if (d > 0 && (nearest_deadline_ns == 0 || d < nearest_deadline_ns)) {
+        nearest_deadline_ns = d;
+      }
+    }
+    if (nearest_deadline_ns == 0) {
+      cv_.Wait(&mu_);
+    } else {
+      const int64_t now_ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count();
+      if (nearest_deadline_ns > now_ns) {
+        cv_.WaitFor(&mu_,
+                    std::chrono::nanoseconds(nearest_deadline_ns - now_ns));
+      }
+      // Deadline already passed: loop; the re-scan sees ShouldStop latch.
+    }
   }
 }
 
@@ -87,6 +117,14 @@ void AdmissionController::ReleaseMemory(uint64_t units) {
     MutexLock lock(&mu_);
     memory_in_use_ -= std::min(memory_in_use_, units);
   }
+  cv_.SignalAll();
+}
+
+void AdmissionController::NotifyCancelled() {
+  // Empty critical section: a waiter between its predicate re-scan and its
+  // cv wait holds mu_, so passing through the lock orders this signal
+  // after that scan — the classic missed-wakeup fence.
+  { MutexLock lock(&mu_); }
   cv_.SignalAll();
 }
 

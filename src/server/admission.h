@@ -35,8 +35,11 @@ struct PendingQuery {
   uint64_t id = 0;
   /// Higher runs sooner; ties dequeue FIFO.
   int priority = 0;
-  /// Declared working-set size, clamped to the configured budget at
-  /// enqueue (a query larger than the whole budget would never admit).
+  /// Declared working-set size in tuple units. A declaration larger than
+  /// the controller's whole budget is shed at enqueue with
+  /// kResourceExhausted — it could never admit, and silently clamping it
+  /// (the old behavior) admitted the query with a reservation smaller than
+  /// what it declared it needs.
   uint64_t memory_units = 0;
   CancelToken cancel;
   std::chrono::steady_clock::time_point enqueued_at;
@@ -68,6 +71,12 @@ class AdmissionController {
 
   /// Returns a popped query's reservation to the budget.
   void ReleaseMemory(uint64_t units) EXCLUDES(mu_);
+
+  /// Wakes blocked PopNext callers so they re-scan for cancelled entries.
+  /// The runtime calls this from the cancellation path; without it a
+  /// waiter blocked on the memory budget would only notice a fired token
+  /// at its next deadline-sized (or indefinite) wait.
+  void NotifyCancelled() EXCLUDES(mu_);
 
   /// Wakes every blocked PopNext; they drain the queue then return false.
   void Shutdown() EXCLUDES(mu_);

@@ -10,7 +10,13 @@ uint64_t QueryHandle::id() const {
 }
 
 void QueryHandle::Cancel() const {
-  if (state_ != nullptr) state_->cancel.Cancel();
+  if (state_ == nullptr) return;
+  state_->cancel.Cancel();
+  // Holding mu while invoking orders the hook against Complete's clear:
+  // either the query is still live (hook set, runtime alive for its
+  // duration) or Complete already ran and there is nothing to wake.
+  MutexLock lock(&state_->mu);
+  if (state_->cancel_notify) state_->cancel_notify();
 }
 
 const CancelToken& QueryHandle::cancel_token() const {

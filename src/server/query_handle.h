@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -54,6 +55,9 @@ struct QueryRunStats {
   /// True when at least one phase ran on the shared worker pool (false =
   /// every phase fell back to private threads).
   bool used_shared_pool = false;
+  /// Peak tuple units charged against the query's memory quota across all
+  /// phases (0 when the query declared no budget or retained no state).
+  uint64_t quota_high_water_units = 0;
 };
 
 /// Future-like handle to a submitted query: wait for the outcome, cancel
@@ -100,6 +104,11 @@ class QueryHandle {
     std::optional<Result<QueryResult>> outcome GUARDED_BY(mu);
     QueryRunStats stats GUARDED_BY(mu);
     CancelToken cancel;
+    /// Invoked (under mu) by Cancel after firing the token; the runtime
+    /// installs a hook that pokes the admission queue and slot waiters so a
+    /// cancelled queued query is handed out promptly. Cleared by the
+    /// runtime's Complete, so the hook never outlives the runtime.
+    std::function<void()> cancel_notify GUARDED_BY(mu);
     uint64_t id = 0;
   };
 

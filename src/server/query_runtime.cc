@@ -41,6 +41,7 @@ Result<PhaseOutcome> QueryEnv::Run(Plan& plan, const CostModel& cost_model,
   ExecOptions exec;
   exec.cancel = cancel_;
   exec.chunk_pool = &runtime_->chunk_pool_;
+  exec.quota = &quota_;
   bool reserved = false;
   if (total_threads <= runtime_->pool_.num_threads()) {
     reserved = runtime_->ReserveWorkers(total_threads, cancel_);
@@ -67,6 +68,17 @@ Result<PhaseOutcome> QueryEnv::Run(Plan& plan, const CostModel& cost_model,
     for (uint64_t c : op.per_instance_processed) stats_.units_processed += c;
   }
   if (reserved) stats_.used_shared_pool = true;
+  stats_.quota_high_water_units =
+      std::max(stats_.quota_high_water_units, quota_.high_water());
+  // Roll the phase's spill activity up into the runtime-wide registry, so
+  // operators observe spill.bytes_written etc. across all queries.
+  if (runtime_->options_.metrics != nullptr) {
+    for (const auto& [name, value] : out.execution.metrics.counters) {
+      if (name.rfind("spill.", 0) == 0 && value > 0) {
+        runtime_->options_.metrics->counter(name)->Add(value);
+      }
+    }
+  }
   if (publish_) publish_(stats_);
 
   if (!out.execution.completion.ok()) return out.execution.completion;
@@ -105,6 +117,21 @@ QueryHandle QueryRuntime::Submit(QuerySpec spec) {
   if (spec.deadline.has_value()) state->cancel.set_deadline(*spec.deadline);
   QueryHandle handle(state);
 
+  // Cancellation wake-up path: a fired token must promptly wake (a) drivers
+  // blocked in PopNext holding this query back on the memory budget and
+  // (b) ReserveWorkers waits. Installed before enqueue so no cancel can
+  // slip between; Complete clears it under the same mutex, and since
+  // Complete runs before the runtime's teardown finishes draining, the
+  // captured `this` is live whenever the hook can run.
+  {
+    MutexLock lock(&state->mu);
+    state->cancel_notify = [this] {
+      admission_.NotifyCancelled();
+      { MutexLock slots(&slots_mu_); }
+      slots_cv_.SignalAll();
+    };
+  }
+
   if (options_.metrics != nullptr) {
     options_.metrics->counter("runtime.queries_submitted")->Add(1);
   }
@@ -115,8 +142,8 @@ QueryHandle QueryRuntime::Submit(QuerySpec spec) {
   pending.memory_units = spec.memory_units;
   pending.cancel = state->cancel;
   pending.enqueued_at = std::chrono::steady_clock::now();
-  pending.run = [this, state, body = std::move(spec.body)](
-                    double wait_seconds) mutable {
+  pending.run = [this, state, memory_units = spec.memory_units,
+                 body = std::move(spec.body)](double wait_seconds) mutable {
     QueryRunStats stats;
     stats.admission_wait_seconds = wait_seconds;
     {
@@ -135,12 +162,14 @@ QueryHandle QueryRuntime::Submit(QuerySpec spec) {
       return;
     }
     live_.fetch_add(1);
-    QueryEnv env(this, state->cancel, [this, state](const QueryRunStats& s) {
-      QueryRunStats merged = s;
-      MutexLock lock(&state->mu);
-      merged.admission_wait_seconds = state->stats.admission_wait_seconds;
-      state->stats = merged;
-    });
+    QueryEnv env(this, state->cancel, memory_units,
+                 [this, state](const QueryRunStats& s) {
+                   QueryRunStats merged = s;
+                   MutexLock lock(&state->mu);
+                   merged.admission_wait_seconds =
+                       state->stats.admission_wait_seconds;
+                   state->stats = merged;
+                 });
     env.stats_.admission_wait_seconds = wait_seconds;
     Result<QueryResult> outcome = body(env);
     live_.fetch_sub(1);
@@ -196,12 +225,18 @@ void QueryRuntime::Complete(const std::shared_ptr<QueryHandle::State>& state,
     m.summary("runtime.execution_wall_us")
         ->Record(Micros(stats.execution_seconds));
     m.summary("runtime.busy_us")->Record(Micros(stats.busy_seconds));
+    m.summary("runtime.quota_high_water_units")
+        ->Record(static_cast<int64_t>(stats.quota_high_water_units));
   }
   {
     MutexLock lock(&state->mu);
     state->stats = stats;
     state->outcome.emplace(std::move(outcome));
     state->done = true;
+    // Drop the wake-up hook: after completion nothing waits on this query,
+    // and clearing under mu means no Cancel can invoke it against a
+    // runtime that has moved on to teardown.
+    state->cancel_notify = nullptr;
   }
   state->cv.SignalAll();
 }
@@ -212,7 +247,9 @@ bool QueryRuntime::ReserveWorkers(size_t slots, const CancelToken& cancel) {
   MutexLock lock(&slots_mu_);
   while (free_slots_ < slots) {
     if (cancel.ShouldStop()) return false;
-    // Bounded wait: nobody signals this cv when a cancel token fires.
+    // Bounded wait: handle-initiated cancels signal this cv (the
+    // cancel_notify hook), but deadline expiry and direct external-token
+    // cancels do not, so a short poll backstops them.
     slots_cv_.WaitFor(&slots_mu_, std::chrono::milliseconds(2));
   }
   free_slots_ -= slots;

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/memory_quota.h"
 #include "common/metrics.h"
 #include "common/mutex.h"
 #include "common/result.h"
@@ -85,17 +86,27 @@ class QueryEnv {
   /// Convenience for bodies doing non-engine work between phases.
   Status CheckCancelled() const { return cancel_.ToStatus(); }
 
+  /// The query's memory quota, sized from QuerySpec::memory_units (0 =
+  /// unlimited, tracking only). Every phase run through this env charges
+  /// retained operator state here; bodies may consult used()/high_water().
+  MemoryQuota& quota() { return quota_; }
+
  private:
   friend class QueryRuntime;
 
-  QueryEnv(QueryRuntime* runtime, CancelToken cancel,
+  QueryEnv(QueryRuntime* runtime, CancelToken cancel, uint64_t memory_units,
            std::function<void(const QueryRunStats&)> publish)
       : runtime_(runtime),
         cancel_(std::move(cancel)),
+        quota_(memory_units),
         publish_(std::move(publish)) {}
 
   QueryRuntime* runtime_;
   CancelToken cancel_;
+  /// Outlives every phase's plan (phases are built, run and destroyed
+  /// inside the body, which borrows this env) — the ExecOptions::quota
+  /// lifetime contract.
+  MemoryQuota quota_;
   /// Pushes the running stats into the query's handle after every phase.
   std::function<void(const QueryRunStats&)> publish_;
   QueryRunStats stats_;

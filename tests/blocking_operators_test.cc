@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/memory_quota.h"
 #include "dbs3/database.h"
 #include "dbs3/query.h"
 #include "engine/executor.h"
@@ -79,6 +80,61 @@ TEST(GroupByLogicTest, FinishTwiceEmitsNothingSecondTime) {
   EXPECT_EQ(out.take().size(), 1u);
   group.OnFinish(0, &out);
   EXPECT_TRUE(out.take().empty());
+}
+
+TEST(GroupByLogicTest, MinMaxOverStringOnlyColumnEmitsSentinelNotZero) {
+  // Group 1's aggregate column never holds an int: min/max must emit the
+  // empty-string sentinel (ranked above every int in Value's total order),
+  // not a fabricated 0. Sum stays 0 — an empty sum is genuinely zero.
+  GroupByLogic group(
+      0, {{AggKind::kMin, 1}, {AggKind::kMax, 1}, {AggKind::kSum, 1}});
+  ASSERT_TRUE(group.Prepare(1).ok());
+  group.OnData(0, Tuple({Value(int64_t{1}), Value(std::string("x"))}),
+               nullptr);
+  group.OnData(0, Tuple({Value(int64_t{1}), Value(std::string("y"))}),
+               nullptr);
+  CapturingEmitter out;
+  group.OnFinish(0, &out);
+  auto rows = out.take();
+  ASSERT_EQ(rows.size(), 1u);
+  const Tuple& g = rows[0].second;
+  EXPECT_EQ(g.at(1).AsString(), "");  // min sentinel
+  EXPECT_EQ(g.at(2).AsString(), "");  // max sentinel
+  EXPECT_EQ(g.at(3).AsInt(), 0);      // sum of no ints
+}
+
+TEST(GroupByLogicTest, MinMaxIgnoreStringCellsWhenIntsExist) {
+  // Mixed column: the strings are skipped, the extrema come from the ints
+  // alone (previously a leading string cell left min/max pinned at 0).
+  GroupByLogic group(0, {{AggKind::kMin, 1}, {AggKind::kMax, 1}});
+  ASSERT_TRUE(group.Prepare(1).ok());
+  group.OnData(0, Tuple({Value(int64_t{1}), Value(std::string("noise"))}),
+               nullptr);
+  group.OnData(0, Tuple({Value(int64_t{1}), Value(int64_t{42})}), nullptr);
+  group.OnData(0, Tuple({Value(int64_t{1}), Value(int64_t{17})}), nullptr);
+  CapturingEmitter out;
+  group.OnFinish(0, &out);
+  auto rows = out.take();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].second.at(1).AsInt(), 17);
+  EXPECT_EQ(rows[0].second.at(2).AsInt(), 42);
+}
+
+TEST(SortLogicTest, OverBudgetFailsWithResourceExhausted) {
+  MemoryQuota quota(2);
+  SortLogic sort(0, SortOrder::kAscending);
+  ExecResources resources;
+  resources.quota = &quota;
+  sort.BindExecution(resources);
+  ASSERT_TRUE(sort.Prepare(1).ok());
+  sort.OnData(0, Row(3, 0), nullptr);
+  sort.OnData(0, Row(1, 1), nullptr);
+  sort.OnData(0, Row(2, 2), nullptr);  // Third row: over budget.
+  EXPECT_EQ(sort.error().code(), StatusCode::kResourceExhausted);
+  CapturingEmitter out;
+  sort.OnFinish(0, &out);
+  EXPECT_TRUE(out.take().empty());  // A failed sort emits nothing.
+  EXPECT_EQ(quota.used(), 0u);      // Buffered rows were released.
 }
 
 TEST(GroupByLogicTest, StringGroupKeys) {

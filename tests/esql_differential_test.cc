@@ -238,6 +238,27 @@ TEST_P(EsqlDifferentialTest, Projection) {
   EXPECT_EQ(RunEngine(query), expected.rows) << query;
 }
 
+TEST_P(EsqlDifferentialTest, BudgetedExecutionMatchesUnbudgeted) {
+  // The declared memory budget routes joins through the spilling hybrid
+  // hash join and flips group-by into its two-phase spill mode; results
+  // must be identical to the unconstrained in-memory plan at any budget.
+  const std::vector<std::string> queries = {
+      "SELECT w, COUNT(*), SUM(x), MIN(v), MAX(v) FROM r JOIN s "
+      "ON r.k = s.k GROUP BY w",
+      "SELECT * FROM r JOIN s ON r.k = s.k",
+  };
+  for (const std::string& query : queries) {
+    options_.memory_units = 0;
+    const std::vector<Tuple> unbudgeted = RunEngine(query);
+    for (uint64_t budget : {uint64_t{4}, uint64_t{32}, uint64_t{100'000}}) {
+      options_.memory_units = budget;
+      EXPECT_EQ(RunEngine(query), unbudgeted)
+          << query << " budget=" << budget;
+    }
+    options_.memory_units = 0;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, EsqlDifferentialTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 

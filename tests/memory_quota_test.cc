@@ -1,0 +1,88 @@
+// Tests of the per-query memory quota: charge/release semantics, the
+// forced-progress overshoot, and the high-water reporting the runtime
+// surfaces through QueryRunStats.
+
+#include "common/memory_quota.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dbs3 {
+namespace {
+
+TEST(MemoryQuotaTest, UnlimitedChargesAlwaysSucceedButAreTracked) {
+  MemoryQuota quota(0);
+  EXPECT_FALSE(quota.bounded());
+  EXPECT_TRUE(quota.TryCharge(1'000'000));
+  EXPECT_EQ(quota.used(), 1'000'000u);
+  EXPECT_EQ(quota.high_water(), 1'000'000u);
+  quota.Release(1'000'000);
+  EXPECT_EQ(quota.used(), 0u);
+  // High water is sticky: it reports what a budget would have needed.
+  EXPECT_EQ(quota.high_water(), 1'000'000u);
+}
+
+TEST(MemoryQuotaTest, TryChargeEnforcesTheLimit) {
+  MemoryQuota quota(10);
+  EXPECT_TRUE(quota.bounded());
+  EXPECT_EQ(quota.limit(), 10u);
+  EXPECT_TRUE(quota.TryCharge(7));
+  EXPECT_TRUE(quota.TryCharge(3));
+  EXPECT_FALSE(quota.TryCharge(1));  // Full: nothing charged.
+  EXPECT_EQ(quota.used(), 10u);
+  quota.Release(5);
+  EXPECT_TRUE(quota.TryCharge(5));
+  EXPECT_FALSE(quota.TryCharge(1));
+}
+
+TEST(MemoryQuotaTest, FailedChargeChargesNothing) {
+  MemoryQuota quota(4);
+  EXPECT_FALSE(quota.TryCharge(5));
+  EXPECT_EQ(quota.used(), 0u);
+  EXPECT_EQ(quota.high_water(), 0u);
+}
+
+TEST(MemoryQuotaTest, ForceChargeOvershootsForProgress) {
+  MemoryQuota quota(2);
+  EXPECT_TRUE(quota.TryCharge(2));
+  quota.ForceCharge(1);  // The spill paths' at-least-one-unit guarantee.
+  EXPECT_EQ(quota.used(), 3u);
+  EXPECT_EQ(quota.high_water(), 3u);
+  EXPECT_FALSE(quota.TryCharge(1));  // Still over; normal charges fail.
+  quota.Release(3);
+  EXPECT_EQ(quota.used(), 0u);
+}
+
+TEST(MemoryQuotaTest, ReleaseClampsInsteadOfWrapping) {
+  MemoryQuota quota(10);
+  EXPECT_TRUE(quota.TryCharge(3));
+  quota.Release(100);  // Caller bug, but must not wrap the counter.
+  EXPECT_EQ(quota.used(), 0u);
+  EXPECT_TRUE(quota.TryCharge(10));
+}
+
+TEST(MemoryQuotaTest, ConcurrentChargesNeverExceedTheLimit) {
+  constexpr uint64_t kLimit = 64;
+  MemoryQuota quota(kLimit);
+  std::atomic<uint64_t> granted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10'000; ++i) {
+        if (quota.TryCharge(1)) {
+          granted.fetch_add(1);
+          quota.Release(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_GT(granted.load(), 0u);
+  EXPECT_EQ(quota.used(), 0u);
+  EXPECT_LE(quota.high_water(), kLimit);
+}
+
+}  // namespace
+}  // namespace dbs3

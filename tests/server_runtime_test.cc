@@ -244,14 +244,71 @@ TEST(QueryRuntimeTest, MemoryBudgetGatesAdmissionUntilRelease) {
   ASSERT_TRUE(big_handle.Take().ok());
   ASSERT_TRUE(small_handle.Take().ok());
 
-  // A declaration larger than the whole budget is clamped at enqueue so
-  // the query can still run (it just owns the budget exclusively).
+  // A declaration larger than the whole budget can never be satisfied:
+  // it is shed at enqueue with ResourceExhausted instead of being
+  // silently clamped (clamping let the query run unconstrained past the
+  // budget it over-declared against).
+  std::atomic<bool> huge_body_ran{false};
   QuerySpec huge;
   huge.memory_units = 100;
-  huge.body = [](QueryEnv&) -> Result<QueryResult> {
+  huge.body = [&huge_body_ran](QueryEnv&) -> Result<QueryResult> {
+    huge_body_ran.store(true);
     return QueryResult{};
   };
-  EXPECT_TRUE(runtime.Submit(std::move(huge)).Take().ok());
+  auto huge_result = runtime.Submit(std::move(huge)).Take();
+  ASSERT_FALSE(huge_result.ok());
+  EXPECT_EQ(huge_result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_FALSE(huge_body_ran.load());
+  EXPECT_NE(huge_result.status().message().find("memory_units"),
+            std::string::npos)
+      << huge_result.status().ToString();
+
+  // A declaration exactly at the budget still runs.
+  QuerySpec exact;
+  exact.memory_units = 10;
+  exact.body = [](QueryEnv&) -> Result<QueryResult> {
+    return QueryResult{};
+  };
+  EXPECT_TRUE(runtime.Submit(std::move(exact)).Take().ok());
+}
+
+TEST(QueryRuntimeTest, CancellingABudgetBlockedQueryHandsItOutPromptly) {
+  QueryRuntimeOptions options;
+  options.max_concurrent_queries = 2;
+  options.memory_budget_units = 10;
+  QueryRuntime runtime(options);
+
+  Latch started, release;
+  QuerySpec big;
+  big.memory_units = 10;  // Takes the whole budget and parks.
+  big.body = Blocker(&started, &release);
+  QueryHandle big_handle = runtime.Submit(std::move(big));
+  started.Await();
+
+  // Blocked in PopNext on the exhausted budget; a free driver is parked
+  // on the admission cv with no deadline to poll for.
+  std::atomic<bool> body_ran{false};
+  QuerySpec gated;
+  gated.memory_units = 5;
+  gated.body = [&body_ran](QueryEnv&) -> Result<QueryResult> {
+    body_ran.store(true);
+    return QueryResult{};
+  };
+  QueryHandle gated_handle = runtime.Submit(std::move(gated));
+  EXPECT_FALSE(gated_handle.WaitFor(milliseconds(20)));
+
+  // Cancel must wake the parked driver (the cancel_notify hook), which
+  // hands the query out and completes it with Cancelled without running
+  // the body — promptly, not after some poll interval.
+  gated_handle.Cancel();
+  EXPECT_TRUE(gated_handle.WaitFor(std::chrono::seconds(5)));
+  auto taken = gated_handle.Take();
+  ASSERT_FALSE(taken.ok());
+  EXPECT_EQ(taken.status().code(), StatusCode::kCancelled);
+  EXPECT_FALSE(body_ran.load());
+
+  release.Set();
+  EXPECT_TRUE(big_handle.Take().ok());
 }
 
 TEST(QueryRuntimeTest, RuntimeMetricsCountOutcomes) {
