@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <utility>
 
 namespace dbs3 {
 
@@ -28,7 +29,10 @@ class MemoryQuota {
 
   /// Charges `units` if the quota covers them; false (and nothing charged)
   /// otherwise. Operators react to a failed charge by spilling or erroring.
-  bool TryCharge(uint64_t units) {
+  /// [[nodiscard]]: ignoring the result means either leaking a charge (it
+  /// succeeded and nobody will release it) or assuming memory that was
+  /// never granted. Scoped charges should use ChargeGuard instead.
+  [[nodiscard]] bool TryCharge(uint64_t units) {
     uint64_t used = used_.load(std::memory_order_relaxed);
     do {
       if (limit_ != 0 && used + units > limit_) return false;
@@ -85,6 +89,106 @@ class MemoryQuota {
   const uint64_t limit_;
   std::atomic<uint64_t> used_{0};
   std::atomic<uint64_t> high_water_{0};
+};
+
+/// RAII holder for a quota charge — the blessed pairing idiom, and what the
+/// dbs3-quota-pairing static check (tools/dbs3-tidy) points violators at:
+/// the constructor charges, the destructor releases whatever the guard
+/// still holds, so no exit path can leak units. Charges whose lifetime
+/// outlives the scope transfer responsibility to a long-lived ledger with
+/// Disarm().
+///
+/// A null quota means "no accounting": the guard is vacuously ok() and
+/// holds nothing, matching the operators' `quota == nullptr` convention.
+class ChargeGuard {
+ public:
+  /// An empty guard holding no charge.
+  ChargeGuard() = default;
+
+  /// An empty guard bound to `quota` (may be null): charge incrementally
+  /// with TryAdd/ForceAdd — the loop-accumulation form of the idiom.
+  explicit ChargeGuard(MemoryQuota* quota) : quota_(quota) {}
+
+  /// Tries to charge `units`; ok() reports whether the charge fit (always
+  /// true when `quota` is null). On failure nothing is held.
+  ChargeGuard(MemoryQuota* quota, uint64_t units) : quota_(quota) {
+    ok_ = quota_ == nullptr || quota_->TryCharge(units);
+    if (ok_ && quota_ != nullptr) held_ = units;
+  }
+
+  /// Charges `units` past the limit (MemoryQuota::ForceCharge): always
+  /// ok(), always held — for the bounded-overshoot progress guarantees.
+  static ChargeGuard Forced(MemoryQuota* quota, uint64_t units) {
+    ChargeGuard g;
+    g.quota_ = quota;
+    g.ok_ = true;
+    if (quota != nullptr) {
+      quota->ForceCharge(units);
+      g.held_ = units;
+    }
+    return g;
+  }
+
+  ChargeGuard(ChargeGuard&& other) noexcept { *this = std::move(other); }
+  ChargeGuard& operator=(ChargeGuard&& other) noexcept {
+    if (this != &other) {
+      ReleaseNow();
+      quota_ = other.quota_;
+      held_ = other.held_;
+      ok_ = other.ok_;
+      other.quota_ = nullptr;
+      other.held_ = 0;
+      other.ok_ = false;
+    }
+    return *this;
+  }
+  ChargeGuard(const ChargeGuard&) = delete;
+  ChargeGuard& operator=(const ChargeGuard&) = delete;
+
+  ~ChargeGuard() { ReleaseNow(); }
+
+  /// Whether the construction-time charge succeeded.
+  bool ok() const { return ok_; }
+
+  /// Units this guard currently holds responsibility for.
+  uint64_t held() const { return held_; }
+
+  /// Tries to grow the held charge by `units`; false (nothing charged) if
+  /// the quota will not cover them.
+  [[nodiscard]] bool TryAdd(uint64_t units) {
+    if (quota_ == nullptr) return true;
+    if (!quota_->TryCharge(units)) return false;
+    held_ += units;
+    return true;
+  }
+
+  /// Grows the held charge past the limit (MemoryQuota::ForceCharge) — the
+  /// bounded-overshoot progress path; callers keep the overshoot O(1).
+  void ForceAdd(uint64_t units) {
+    if (quota_ == nullptr) return;
+    quota_->ForceCharge(units);
+    held_ += units;
+  }
+
+  /// Releases the held charge now (idempotent).
+  void ReleaseNow() {
+    if (quota_ != nullptr && held_ != 0) quota_->Release(held_);
+    held_ = 0;
+  }
+
+  /// Forgets the held charge without releasing it, returning the unit
+  /// count: the caller is transferring responsibility to a longer-lived
+  /// ledger (e.g. an operator's per-partition `charged` counter).
+  [[nodiscard]] uint64_t Disarm() {
+    const uint64_t units = held_;
+    held_ = 0;
+    return units;
+  }
+
+ private:
+  MemoryQuota* quota_ = nullptr;
+  uint64_t held_ = 0;
+  bool ok_ = true;
 };
 
 }  // namespace dbs3

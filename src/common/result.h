@@ -16,8 +16,11 @@ namespace dbs3 {
 ///   Result<Relation> r = catalog.Get("A");
 ///   if (!r.ok()) return r.status();
 ///   UseRelation(r.value());
+///
+/// [[nodiscard]] for the same reason Status is: dropping a Result loses
+/// both the value and the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value: `return MakeThing();`.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

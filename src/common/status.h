@@ -31,7 +31,11 @@ std::string_view StatusCodeName(StatusCode code);
 /// The OK status carries no allocation; error statuses carry a code and a
 /// message describing what went wrong (including offending values, so the
 /// caller can report actionable errors).
-class Status {
+///
+/// [[nodiscard]]: a dropped Status is a swallowed error. Call sites that
+/// genuinely cannot act on a failure must say so with an explicit
+/// `(void)` cast and a comment.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

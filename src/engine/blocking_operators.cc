@@ -248,28 +248,42 @@ void GroupByLogic::AccumulateLocked(InstanceState& state,
 
 void GroupByLogic::OnFinish(size_t instance, Emitter* out) {
   InstanceState& state = *instances_[instance];
-  MutexLock lock(&state.mu);
-  bool spilled = false;
-  for (const auto& file : state.spill_files) {
-    if (file != nullptr) spilled = true;
-  }
-  if (!spilled) {
-    // Pure in-memory fast path: emit straight out of the table.
-    for (const auto& [key, group] : state.groups) {
-      EmitGroup(instance, key, group, out);
+  // Take ownership of the instance's table / partition files under the
+  // lock, then emit without it: Emit can block on downstream back-pressure
+  // and holding an instance mutex there is the engine's canonical deadlock
+  // shape (dbs3-no-lock-across-emit). OnFinish runs sequentially
+  // post-drain, but the invariant is enforced uniformly.
+  std::map<Value, GroupState> groups;
+  std::vector<std::unique_ptr<SpillFile>> files;
+  uint64_t charged = 0;
+  Status status;
+  {
+    MutexLock lock(&state.mu);
+    bool spilled = false;
+    for (const auto& file : state.spill_files) {
+      if (file != nullptr) spilled = true;
+    }
+    if (spilled) {
+      // Flush the residual table so each partition file holds *all*
+      // partial rows of its keys; the unlocked merge below re-aggregates
+      // partition by partition (global phase of two-phase aggregation).
+      // SpillGroupsLocked releases the flushed table's units itself.
+      status = SpillGroupsLocked(state);
+      files.swap(state.spill_files);
+    } else {
+      // Pure in-memory fast path: emit straight out of the (moved) table.
+      groups.swap(state.groups);
+      charged = state.charged;
+      state.charged = 0;
     }
     state.groups.clear();
-    if (resources_.quota != nullptr) resources_.quota->Release(state.charged);
-    state.charged = 0;
-    PublishMetrics();
-    return;
+    state.spill_files.clear();
   }
-  // Flush the residual table so each partition file holds *all* partial
-  // rows of its keys, then re-aggregate partition by partition (global
-  // phase of the two-phase aggregation).
-  Status status = SpillGroupsLocked(state);
   if (status.ok()) {
-    for (auto& file : state.spill_files) {
+    for (const auto& [key, group] : groups) {
+      EmitGroup(instance, key, group, out);
+    }
+    for (auto& file : files) {
       if (file == nullptr) continue;
       if (resources_.cancel.ShouldStop()) break;
       status = MergeSpilledFile(instance, file.get(), 1, out);
@@ -277,11 +291,12 @@ void GroupByLogic::OnFinish(size_t instance, Emitter* out) {
       if (!status.ok()) break;
     }
   }
-  if (!status.ok() && state.error.ok()) state.error = status;
-  state.spill_files.clear();
-  state.groups.clear();
-  if (resources_.quota != nullptr) resources_.quota->Release(state.charged);
-  state.charged = 0;
+  groups.clear();
+  if (resources_.quota != nullptr) resources_.quota->Release(charged);
+  if (!status.ok()) {
+    MutexLock lock(&state.mu);
+    if (state.error.ok()) state.error = status;
+  }
   PublishMetrics();
 }
 
@@ -290,7 +305,10 @@ Status GroupByLogic::MergeSpilledFile(size_t instance, SpillFile* file,
   MemoryQuota* quota = resources_.quota;
   DBS3_RETURN_IF_ERROR(file->Rewind());
   std::map<Value, GroupState> merged;
-  uint64_t charged = 0;
+  // The guard owns the merged table's units; every error return in the
+  // chunk loop below releases them on unwind (the previous hand-rolled
+  // ledger leaked the charge across those exits — dbs3-quota-pairing).
+  ChargeGuard charge(quota);
   bool overflow = false;
   std::vector<std::unique_ptr<SpillFile>> subs;
 
@@ -318,12 +336,12 @@ Status GroupByLogic::MergeSpilledFile(size_t instance, SpillFile* file,
       }
       auto it = merged.find(row.at(0));
       if (it == merged.end()) {
-        bool fits = quota == nullptr || quota->TryCharge(1);
+        bool fits = charge.TryAdd(1);
         if (!fits && level >= kMaxMergeLevels) {
           // Merging a partition only ever shrinks it, so by this depth a
           // still-overflowing partition is a quota starved by the rest of
           // the plan; force the residual so the merge terminates.
-          quota->ForceCharge(1);
+          charge.ForceAdd(1);
           fits = true;
         }
         if (!fits) {
@@ -336,12 +354,10 @@ Status GroupByLogic::MergeSpilledFile(size_t instance, SpillFile* file,
             DBS3_RETURN_IF_ERROR(route_to_sub(EncodePartial(key, group)));
           }
           merged.clear();
-          if (quota != nullptr) quota->Release(charged);
-          charged = 0;
+          charge.ReleaseNow();
           DBS3_RETURN_IF_ERROR(route_to_sub(row));
           continue;
         }
-        ++charged;
         it = merged.emplace(row.at(0), GroupState{}).first;
       }
       MergePartial(row, &it->second);
@@ -352,7 +368,9 @@ Status GroupByLogic::MergeSpilledFile(size_t instance, SpillFile* file,
       EmitGroup(instance, key, group, out);
     }
   }
-  if (quota != nullptr) quota->Release(charged);
+  // Return the budget before recursing into sub-partitions (which merge
+  // under the same quota).
+  charge.ReleaseNow();
   if (cancelled || !overflow) return Status::OK();
   for (const auto& sub : subs) {
     if (sub == nullptr) continue;
@@ -448,24 +466,36 @@ void SortLogic::OnData(size_t instance, Tuple tuple, Emitter* out) {
     return;
   }
   ++state.charged;
+  // NOLINTNEXTLINE(dbs3-no-alloc-in-hot-path) // sort is a blocking operator: it materializes its input by design, and the unit charged above is the budget gate for this growth
   state.rows.push_back(std::move(tuple));
 }
 
 void SortLogic::OnFinish(size_t instance, Emitter* out) {
   InstanceState& state = *instances_[instance];
-  MutexLock lock(&state.mu);
-  if (!state.error.ok()) return;  // Executor surfaces the error after drain.
-  std::stable_sort(state.rows.begin(), state.rows.end(),
+  // Move the buffered rows out under the lock and emit without it: Emit
+  // can block on downstream back-pressure, and blocking while holding an
+  // instance mutex is the engine's canonical deadlock shape
+  // (dbs3-no-lock-across-emit). OnFinish runs sequentially post-drain, but
+  // the invariant is enforced uniformly so the static check stays clean.
+  std::vector<Tuple> rows;
+  uint64_t charged = 0;
+  {
+    MutexLock lock(&state.mu);
+    if (!state.error.ok()) return;  // Executor surfaces the error after drain.
+    rows.swap(state.rows);
+    charged = state.charged;
+    state.charged = 0;
+  }
+  std::stable_sort(rows.begin(), rows.end(),
                    [&](const Tuple& a, const Tuple& b) {
                      if (order_ == SortOrder::kAscending) {
                        return a.at(column_) < b.at(column_);
                      }
                      return b.at(column_) < a.at(column_);
                    });
-  for (Tuple& t : state.rows) out->Emit(instance, std::move(t));
-  state.rows.clear();
-  if (resources_.quota != nullptr) resources_.quota->Release(state.charged);
-  state.charged = 0;
+  for (Tuple& t : rows) out->Emit(instance, std::move(t));
+  rows.clear();
+  if (resources_.quota != nullptr) resources_.quota->Release(charged);
 }
 
 NodeEstimate SortLogic::Estimate(const CostModel& cost_model,

@@ -509,6 +509,7 @@ size_t Operation::ScanQueuesLiveLpt(size_t start,
   for (size_t q = 0; q < n; ++q) live[q] = queues_[q]->ApproxUnits();
   const std::vector<uint32_t> order =
       LiveLptOrder(live, config_.cost_estimates, start);
+  // NOLINTNEXTLINE(dbs3-cancel-check-in-consume-loop) // bounded single sweep (one PopBatch attempt per queue); WorkerLoop consults the token between batches
   for (uint32_t q : order) {
     // The snapshot is advisory: a queue seen non-empty may have been drained
     // by a peer, so keep scanning past stale entries (empty queues sort
@@ -526,6 +527,7 @@ size_t Operation::ScanQueues(size_t start, size_t thread_id, bool main_only,
                              std::vector<Activation>* batch,
                              size_t* instance) {
   const size_t n = queues_.size();
+  // NOLINTNEXTLINE(dbs3-cancel-check-in-consume-loop) // bounded single sweep (one PopBatch attempt per queue); WorkerLoop consults the token between batches
   for (size_t k = 0; k < n; ++k) {
     const uint32_t q = visit_order_[(start + k) % n];
     // Queues are distributed to threads round-robin: queue q is the main

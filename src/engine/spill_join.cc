@@ -209,6 +209,10 @@ Status SpillingHashJoinLogic::StreamProbeFile(size_t instance,
   DBS3_RETURN_IF_ERROR(probe_file->Rewind());
   std::vector<Tuple> chunk;
   while (true) {
+    // Per-chunk, not per-pass: a deferred probe file can hold most of the
+    // relation, and cancellation latency must not scale with spill size
+    // (dbs3-cancel-check-in-consume-loop).
+    if (resources_.cancel.ShouldStop()) return Status::OK();
     DBS3_ASSIGN_OR_RETURN(const bool more, probe_file->ReadChunk(&chunk));
     if (!more) return Status::OK();
     for (const Tuple& probe : chunk) {
@@ -235,18 +239,22 @@ Status SpillingHashJoinLogic::ProcessSpilledPair(size_t instance,
   // build often fits now (the hybrid part).
   DBS3_RETURN_IF_ERROR(build_file->Rewind());
   Fragment build;
-  uint64_t charged = 0;
+  // The guard owns the reload's units: the previous hand-rolled ledger
+  // leaked them when a ReadChunk error returned out of the loop before the
+  // manual Release (found by dbs3-quota-pairing).
+  ChargeGuard reload(quota);
   bool fits = true;
   std::vector<Tuple> chunk;
   while (fits) {
+    // The guard returns the partial reload's units on this early exit.
+    if (resources_.cancel.ShouldStop()) return Status::OK();
     DBS3_ASSIGN_OR_RETURN(const bool more, build_file->ReadChunk(&chunk));
     if (!more) break;
     for (Tuple& t : chunk) {
-      if (quota != nullptr && !quota->TryCharge(1)) {
+      if (!reload.TryAdd(1)) {
         fits = false;
         break;
       }
-      ++charged;
       build.tuples.push_back(std::move(t));
     }
   }
@@ -255,7 +263,9 @@ Status SpillingHashJoinLogic::ProcessSpilledPair(size_t instance,
     TempIndex index(build, inner_column_);
     result = StreamProbeFile(instance, probe_file, build, index, out);
   }
-  if (quota != nullptr) quota->Release(charged);
+  // Return the budget before recursing: the repartition/nested-loop passes
+  // below need the units this optimistic reload was holding.
+  reload.ReleaseNow();
   if (fits || !result.ok()) return result;
 
   build.tuples.clear();
@@ -278,6 +288,9 @@ Status SpillingHashJoinLogic::Repartition(size_t instance,
     DBS3_RETURN_IF_ERROR(src->Rewind());
     std::vector<Tuple> chunk;
     while (true) {
+      // A split pass rereads a whole overflow partition; stay cancellable
+      // per chunk rather than per level.
+      if (resources_.cancel.ShouldStop()) return Status::OK();
       DBS3_ASSIGN_OR_RETURN(const bool more, src->ReadChunk(&chunk));
       if (!more) return Status::OK();
       for (const Tuple& t : chunk) {
@@ -323,8 +336,15 @@ Status SpillingHashJoinLogic::BlockNestedLoop(size_t instance,
     // least one row guarantees the pass terminates (bounded overshoot:
     // one unit per instance at a time).
     Fragment batch;
-    uint64_t charged = 0;
+    // The guard owns the batch's units and releases them at the end of
+    // each pass — including the ReadChunk error return inside the fill
+    // loop, which the previous hand-rolled ledger leaked across
+    // (found by dbs3-quota-pairing).
+    ChargeGuard charge(quota);
     while (true) {
+      // The outer pass loop also checks, but one batch spans many chunks
+      // when the budget is generous; the guard releases the partial batch.
+      if (resources_.cancel.ShouldStop()) return Status::OK();
       if (pending_pos >= pending.size()) {
         pending.clear();
         pending_pos = 0;
@@ -335,22 +355,19 @@ Status SpillingHashJoinLogic::BlockNestedLoop(size_t instance,
           break;
         }
       }
-      if (quota != nullptr && !quota->TryCharge(1)) {
+      if (!charge.TryAdd(1)) {
         if (batch.tuples.empty()) {
-          quota->ForceCharge(1);
+          charge.ForceAdd(1);
         } else {
           break;
         }
       }
-      ++charged;
       batch.tuples.push_back(std::move(pending[pending_pos++]));
     }
     if (batch.tuples.empty()) break;
     TempIndex index(batch, inner_column_);
-    const Status streamed =
-        StreamProbeFile(instance, probe_file, batch, index, out);
-    if (quota != nullptr) quota->Release(charged);
-    DBS3_RETURN_IF_ERROR(streamed);
+    DBS3_RETURN_IF_ERROR(
+        StreamProbeFile(instance, probe_file, batch, index, out));
   }
   return Status::OK();
 }

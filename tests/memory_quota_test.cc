@@ -84,5 +84,82 @@ TEST(MemoryQuotaTest, ConcurrentChargesNeverExceedTheLimit) {
   EXPECT_LE(quota.high_water(), kLimit);
 }
 
+TEST(ChargeGuardTest, ReleasesOnScopeExit) {
+  MemoryQuota quota(10);
+  {
+    ChargeGuard guard(&quota, 4);
+    EXPECT_TRUE(guard.ok());
+    EXPECT_EQ(guard.held(), 4u);
+    EXPECT_EQ(quota.used(), 4u);
+  }
+  EXPECT_EQ(quota.used(), 0u);
+}
+
+TEST(ChargeGuardTest, FailedChargeHoldsNothing) {
+  MemoryQuota quota(3);
+  ChargeGuard guard(&quota, 5);
+  EXPECT_FALSE(guard.ok());
+  EXPECT_EQ(guard.held(), 0u);
+  EXPECT_EQ(quota.used(), 0u);
+}
+
+TEST(ChargeGuardTest, NullQuotaIsVacuouslyOk) {
+  ChargeGuard guard(nullptr, 100);
+  EXPECT_TRUE(guard.ok());
+  EXPECT_EQ(guard.held(), 0u);
+  EXPECT_TRUE(guard.TryAdd(7));
+}
+
+TEST(ChargeGuardTest, IncrementalTryAddStopsAtTheLimit) {
+  MemoryQuota quota(3);
+  ChargeGuard guard(&quota);
+  int granted = 0;
+  while (guard.TryAdd(1)) ++granted;
+  EXPECT_EQ(granted, 3);
+  EXPECT_EQ(quota.used(), 3u);
+  guard.ReleaseNow();
+  EXPECT_EQ(quota.used(), 0u);
+  // ReleaseNow is idempotent; the destructor must not double-release.
+  guard.ReleaseNow();
+  EXPECT_EQ(quota.used(), 0u);
+}
+
+TEST(ChargeGuardTest, ForcedChargeOvershootsButIsStillOwned) {
+  MemoryQuota quota(2);
+  {
+    auto guard = ChargeGuard::Forced(&quota, 5);
+    EXPECT_TRUE(guard.ok());
+    EXPECT_EQ(quota.used(), 5u);  // Past the limit: the progress guarantee.
+  }
+  EXPECT_EQ(quota.used(), 0u);
+}
+
+TEST(ChargeGuardTest, DisarmTransfersResponsibilityToTheCaller) {
+  MemoryQuota quota(10);
+  uint64_t ledger = 0;
+  {
+    ChargeGuard guard(&quota, 6);
+    ASSERT_TRUE(guard.ok());
+    ledger = guard.Disarm();
+  }
+  // The guard forgot its charge: still held, now owned by `ledger`.
+  EXPECT_EQ(quota.used(), 6u);
+  quota.Release(ledger);
+  EXPECT_EQ(quota.used(), 0u);
+}
+
+TEST(ChargeGuardTest, MoveTransfersTheHeldCharge) {
+  MemoryQuota quota(10);
+  ChargeGuard outer;
+  {
+    ChargeGuard inner(&quota, 3);
+    ASSERT_TRUE(inner.ok());
+    outer = std::move(inner);
+  }  // `inner` destructs empty; the charge survives in `outer`.
+  EXPECT_EQ(quota.used(), 3u);
+  outer.ReleaseNow();
+  EXPECT_EQ(quota.used(), 0u);
+}
+
 }  // namespace
 }  // namespace dbs3

@@ -1,0 +1,35 @@
+// Fixture: dbs3-cancel-check-in-consume-loop must fire on every seeded
+// line. The diagnostic anchors to the loop keyword, not the popping call.
+
+#include "dbs3_stubs.h"
+
+namespace dbs3 {
+
+// Unbounded drain with no way out: cancellation waits for the queue to
+// empty on its own.
+void DrainForever(ActivationQueue* queue) {
+  std::vector<Activation> batch;
+  while (true) {  // DBS3-TIDY: dbs3-cancel-check-in-consume-loop
+    if (queue->PopBatch(64, &batch) == 0) break;
+  }
+}
+
+// Spill streaming without a cancel check: latency scales with file size.
+Status StreamWholeFile(SpillFile* file) {
+  std::vector<Tuple> chunk;
+  while (file->ReadChunk(&chunk)) {  // DBS3-TIDY: dbs3-cancel-check-in-consume-loop
+    chunk.clear();
+  }
+  return Status::OK();
+}
+
+// The cancel check outside the loop does not help the iterations inside.
+void CheckedOnlyBeforeTheLoop(ActivationQueue* queue, CancelToken* cancel) {
+  if (cancel->ShouldStop()) return;
+  std::vector<Activation> batch;
+  for (int pass = 0; pass < 1000; ++pass) {  // DBS3-TIDY: dbs3-cancel-check-in-consume-loop
+    queue->PopBatch(64, &batch);
+  }
+}
+
+}  // namespace dbs3

@@ -1,0 +1,36 @@
+// Fixture: dbs3-guarded-member-init must fire on every seeded line.
+// -Wthread-safety covers locked access, not construction: a scalar left
+// uninitialized reads garbage until the first locked write.
+
+#include "dbs3_stubs.h"
+
+namespace dbs3 {
+
+// No constructor at all: the members are never written before first use.
+class NoConstructorAtAll {
+ private:
+  Mutex mu_;
+  size_t pending_ GUARDED_BY(mu_);  // DBS3-TIDY: dbs3-guarded-member-init
+  bool draining_ GUARDED_BY(mu_);  // DBS3-TIDY: dbs3-guarded-member-init
+};
+
+// A constructor exists but skips one member.
+class ConstructorSkipsOne {
+ public:
+  ConstructorSkipsOne() : pending_(0) {}
+
+ private:
+  Mutex mu_;
+  size_t pending_ GUARDED_BY(mu_);
+  int64_t high_water_ GUARDED_BY(mu_);  // DBS3-TIDY: dbs3-guarded-member-init
+};
+
+// Raw pointers are scalars too: an indeterminate pointer is worse than an
+// indeterminate counter.
+class UninitializedGuardedPointer {
+ private:
+  Mutex mu_;
+  Tuple* head_ GUARDED_BY(mu_);  // DBS3-TIDY: dbs3-guarded-member-init
+};
+
+}  // namespace dbs3

@@ -1,0 +1,60 @@
+// Fixture: the conforming twin of no_alloc_in_hot_path_violation.cc —
+// kernel surfaces that stay allocation-free or route growth through the
+// blessed Arena / ChunkPool receivers. Zero findings expected.
+
+#include "dbs3_stubs.h"
+
+namespace dbs3 {
+
+class ArenaBackedOnData {
+ public:
+  void OnData(size_t instance, Tuple tuple, Emitter* out) {
+    // Growth through the arena is the sanctioned path: its chunks are
+    // recycled, so the kernel stays free of per-tuple heap traffic.
+    arena_->scratch()->push_back(tuple);
+    out->Emit(instance, tuple);
+  }
+
+ private:
+  Arena* arena_ = nullptr;
+};
+
+class PoolReceiverOnDataBatch {
+ public:
+  void OnDataBatch(size_t n, Tuple* tuples, Emitter* out) {
+    for (size_t i = 0; i < n; ++i) chunk_pool_.push_back(tuples[i]);
+    out->Emit(0, tuples[0]);
+  }
+
+ private:
+  std::vector<Tuple> chunk_pool_;
+};
+
+class AllocationFreeProbe {
+ public:
+  size_t ProbeKeys(const int64_t* keys, size_t n, uint32_t* matches) {
+    size_t found = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (keys[i] == 0) matches[found++] = static_cast<uint32_t>(i);
+    }
+    return found;
+  }
+};
+
+class SetupOutsideTheKernel {
+ public:
+  // Non-hot-path setup may allocate freely; the check keys on the kernel
+  // surface names only.
+  void Prepare(size_t n) { hits_.reserve(n); }
+
+  size_t EvalPredAll(const int64_t* column, size_t n) {
+    size_t count = 0;
+    for (size_t i = 0; i < n; ++i) count += column[i] > 0 ? 1 : 0;
+    return count;
+  }
+
+ private:
+  std::vector<uint32_t> hits_;
+};
+
+}  // namespace dbs3

@@ -1,0 +1,53 @@
+// Fixture: dbs3-no-alloc-in-hot-path must fire on every seeded line.
+
+#include "dbs3_stubs.h"
+
+#include <cstdlib>
+
+namespace dbs3 {
+
+class GrowingScratchInOnData {
+ public:
+  void OnData(size_t instance, Tuple tuple, Emitter* out) {
+    scratch_.push_back(tuple);  // DBS3-TIDY: dbs3-no-alloc-in-hot-path
+    out->Emit(instance, tuple);
+  }
+
+ private:
+  std::vector<Tuple> scratch_;
+};
+
+class HeapNewInBatchKernel {
+ public:
+  void OnDataBatch(size_t n, Tuple* tuples, Emitter* out) {
+    int* counters = new int[n];  // DBS3-TIDY: dbs3-no-alloc-in-hot-path
+    for (size_t i = 0; i < n; ++i) counters[i] = 0;
+    out->Emit(0, tuples[0]);
+    delete[] counters;
+  }
+};
+
+class MallocInProbe {
+ public:
+  size_t ProbeKeys(const int64_t* keys, size_t n, uint32_t* matches) {
+    void* tmp = std::malloc(n);  // DBS3-TIDY: dbs3-no-alloc-in-hot-path
+    std::free(tmp);
+    (void)keys;
+    (void)matches;
+    return 0;
+  }
+};
+
+class ReserveInPredicateKernel {
+ public:
+  size_t EvalPredAll(const int64_t* column, size_t n) {
+    hits_.reserve(n);  // DBS3-TIDY: dbs3-no-alloc-in-hot-path
+    (void)column;
+    return hits_.size();
+  }
+
+ private:
+  std::vector<uint32_t> hits_;
+};
+
+}  // namespace dbs3

@@ -1,0 +1,57 @@
+// Fixture: the conforming twin of no_lock_across_emit_violation.cc — the
+// same flush shapes restructured to release the lock before emitting. The
+// harness requires zero findings here.
+
+#include "dbs3_stubs.h"
+
+#include <utility>
+
+namespace dbs3 {
+
+class FlushAfterMoveOut {
+ public:
+  void OnFinish(size_t instance, Emitter* out) {
+    std::vector<Tuple> rows;
+    {
+      MutexLock lock(&mu_);
+      rows.swap(rows_);
+    }
+    for (const Tuple& t : rows) out->EmitCopy(instance, t);
+  }
+
+ private:
+  Mutex mu_;
+  std::vector<Tuple> rows_;
+};
+
+class PushAfterManualUnlock {
+ public:
+  void Forward(size_t instance, Operation* downstream) {
+    mu_.Lock();
+    const bool ready = ready_;
+    mu_.Unlock();
+    if (ready) downstream->PushTrigger(instance);
+  }
+
+ private:
+  Mutex mu_;
+  bool ready_ = false;
+};
+
+class LockScopeEndsBeforeEmit {
+ public:
+  void Drain(size_t instance, Emitter* out) {
+    Tuple snapshot;
+    if (instance > 0) {
+      MutexLock lock(&mu_);
+      snapshot = pending_;
+    }
+    out->Emit(instance, snapshot);
+  }
+
+ private:
+  Mutex mu_;
+  Tuple pending_;
+};
+
+}  // namespace dbs3

@@ -1,0 +1,63 @@
+// Fixture: dbs3-no-lock-across-emit must fire on every seeded line.
+// Each expected finding is annotated in place with the DBS3-TIDY marker;
+// the harness compares the analyzer's (line, check) set against them.
+
+#include "dbs3_stubs.h"
+
+namespace dbs3 {
+
+class FlushUnderRaiiLock {
+ public:
+  void OnFinish(size_t instance, Emitter* out) {
+    MutexLock lock(&mu_);
+    for (const Tuple& t : rows_) {
+      out->EmitCopy(instance, t);  // DBS3-TIDY: dbs3-no-lock-across-emit
+    }
+  }
+
+ private:
+  Mutex mu_;
+  std::vector<Tuple> rows_;
+};
+
+class FlushUnderCountingLock {
+ public:
+  void Drain(size_t instance, Emitter* out) {
+    CountingMutexLock lock(&mu_);
+    out->Emit(instance, Tuple{});  // DBS3-TIDY: dbs3-no-lock-across-emit
+  }
+
+ private:
+  Mutex mu_;
+};
+
+class PushUnderManualLock {
+ public:
+  void Forward(size_t instance, Operation* downstream) {
+    mu_.Lock();
+    downstream->PushTrigger(instance);  // DBS3-TIDY: dbs3-no-lock-across-emit
+    mu_.Unlock();
+  }
+
+ private:
+  Mutex mu_;
+};
+
+class EmitInNestedScopeUnderLock {
+ public:
+  void OnFinish(size_t instance, Emitter* out) {
+    MutexLock lock(&mu_);
+    if (!rows_.empty()) {
+      while (instance > 0) {
+        out->EmitConcat(instance, rows_[0], rows_[1]);  // DBS3-TIDY: dbs3-no-lock-across-emit
+        --instance;
+      }
+    }
+  }
+
+ private:
+  Mutex mu_;
+  std::vector<Tuple> rows_;
+};
+
+}  // namespace dbs3

@@ -1,0 +1,55 @@
+// Fixture: the conforming twin of quota_pairing_violation.cc — every
+// charge is owned by a ChargeGuard, paired with an explicit Release, or
+// recorded in a charge ledger. Zero findings expected.
+
+#include "dbs3_stubs.h"
+
+namespace dbs3 {
+
+// RAII ownership: the guard returns the units on every exit path.
+bool GuardOwnedCharge(MemoryQuota* quota, bool input_ok) {
+  ChargeGuard guard(quota, 8);
+  if (!guard.ok()) return false;
+  if (!input_ok) return false;  // Guard releases here too.
+  return true;
+}
+
+// Explicit pairing: the charge is released on both the error path and the
+// success path.
+bool ExplicitlyPairedCharge(MemoryQuota* quota, bool input_ok) {
+  if (!quota->TryCharge(1)) return false;
+  if (!input_ok) {
+    quota->Release(1);
+    return false;
+  }
+  quota->Release(1);
+  return true;
+}
+
+// A recorded ledger: the member counter tracks what is owed, and another
+// phase (flush/teardown) releases `charged_` in bulk — the engine's
+// accumulate-then-release idiom.
+class LedgerRecordedCharge {
+ public:
+  bool Accumulate(Tuple tuple) {
+    if (!quota_->TryCharge(1)) return false;
+    ++charged_;
+    rows_.push_back(tuple);
+    return true;
+  }
+
+ private:
+  MemoryQuota* quota_ = nullptr;
+  uint64_t charged_ = 0;
+  std::vector<Tuple> rows_;
+};
+
+// Incremental guard growth: TryAdd records each unit inside the guard.
+size_t IncrementalGuardGrowth(MemoryQuota* quota, size_t want) {
+  ChargeGuard guard(quota);
+  size_t granted = 0;
+  while (granted < want && guard.TryAdd(1)) ++granted;
+  return granted;
+}
+
+}  // namespace dbs3

@@ -1,0 +1,29 @@
+// Fixture: dbs3-quota-pairing must fire on every seeded line.
+
+#include "dbs3_stubs.h"
+
+namespace dbs3 {
+
+// The result of the charge is dropped on the floor: either it succeeded
+// and nobody owns the units, or the caller proceeds with memory it was
+// never granted.
+void DroppedChargeResult(MemoryQuota* quota) {
+  quota->TryCharge(8);  // DBS3-TIDY: dbs3-quota-pairing
+}
+
+// The charge is tested, but no Release / guard / ledger exists anywhere in
+// the function: the early error return leaks the units forever.
+bool ChargeWithoutAnyRelease(MemoryQuota* quota, bool input_ok) {
+  if (!quota->TryCharge(1)) {  // DBS3-TIDY: dbs3-quota-pairing
+    return false;
+  }
+  if (!input_ok) return false;
+  return true;
+}
+
+// Forced charges owe the quota exactly like successful TryCharges do.
+void ForcedChargeWithoutRelease(MemoryQuota* quota) {
+  quota->ForceCharge(2);  // DBS3-TIDY: dbs3-quota-pairing
+}
+
+}  // namespace dbs3

@@ -1,0 +1,78 @@
+#include "CancelCheckInConsumeLoopCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang;
+using namespace clang::ast_matchers;
+
+namespace dbs3_tidy {
+
+namespace {
+
+/// Innermost while/for/do/range-for ancestor of `S`, or null.
+const Stmt* InnermostLoop(ASTContext& Ctx, const Stmt* S) {
+  DynTypedNodeList Parents = Ctx.getParents(*S);
+  while (!Parents.empty()) {
+    const DynTypedNode& Node = Parents[0];
+    if (const auto* Loop = Node.get<Stmt>()) {
+      if (isa<WhileStmt>(Loop) || isa<ForStmt>(Loop) || isa<DoStmt>(Loop) ||
+          isa<CXXForRangeStmt>(Loop)) {
+        return Loop;
+      }
+    }
+    if (Node.get<FunctionDecl>() != nullptr ||
+        Node.get<LambdaExpr>() != nullptr) {
+      return nullptr;
+    }
+    Parents = Ctx.getParents(Node);
+  }
+  return nullptr;
+}
+
+/// True when the loop (condition + body) contains a ShouldStop() or
+/// cancelled() call anywhere.
+bool LoopConsultsCancelToken(const Stmt* Loop) {
+  struct Visitor : RecursiveASTVisitor<Visitor> {
+    bool Found = false;
+    bool VisitCXXMemberCallExpr(CXXMemberCallExpr* Call) {
+      const auto* Method = Call->getMethodDecl();
+      if (Method != nullptr &&
+          (Method->getName() == "ShouldStop" ||
+           Method->getName() == "cancelled")) {
+        Found = true;
+      }
+      return !Found;
+    }
+  } V;
+  V.TraverseStmt(const_cast<Stmt*>(Loop));
+  return V.Found;
+}
+
+}  // namespace
+
+void CancelCheckInConsumeLoopCheck::registerMatchers(MatchFinder* Finder) {
+  Finder->addMatcher(
+      cxxMemberCallExpr(
+          callee(cxxMethodDecl(hasAnyName("PopBatch", "ReadChunk"))))
+          .bind("consume"),
+      this);
+}
+
+void CancelCheckInConsumeLoopCheck::check(
+    const MatchFinder::MatchResult& Result) {
+  const auto* Call = Result.Nodes.getNodeAs<CXXMemberCallExpr>("consume");
+  if (Call == nullptr) return;
+  const Stmt* Loop = InnermostLoop(*Result.Context, Call);
+  if (Loop == nullptr) return;
+  if (LoopConsultsCancelToken(Loop)) return;
+  if (!Reported_.insert(Loop).second) return;
+  diag(Loop->getBeginLoc(),
+       "loop consumes work (%0) but never consults a CancelToken; check "
+       "ShouldStop()/cancelled() each iteration so cancellation latency "
+       "stays bounded")
+      << Call->getMethodDecl()->getName();
+}
+
+}  // namespace dbs3_tidy

@@ -1,0 +1,32 @@
+#ifndef DBS3_TOOLS_TIDY_PLUGIN_CANCELCHECKINCONSUMELOOPCHECK_H_
+#define DBS3_TOOLS_TIDY_PLUGIN_CANCELCHECKINCONSUMELOOPCHECK_H_
+
+#include <set>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace dbs3_tidy {
+
+/// dbs3-cancel-check-in-consume-loop: a loop that pops activations
+/// (ActivationQueue::PopBatch) or streams spill chunks
+/// (SpillFile::ReadChunk) must consult a CancelToken (ShouldStop() or
+/// cancelled()) every iteration — otherwise cancellation latency scales
+/// with queue depth or spill-file size. The check binds to the innermost
+/// enclosing loop; an outer loop's check does not cover an inner drain.
+class CancelCheckInConsumeLoopCheck : public clang::tidy::ClangTidyCheck {
+ public:
+  CancelCheckInConsumeLoopCheck(llvm::StringRef Name,
+                                clang::tidy::ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerMatchers(clang::ast_matchers::MatchFinder* Finder) override;
+  void check(
+      const clang::ast_matchers::MatchFinder::MatchResult& Result) override;
+
+ private:
+  /// Loops already reported, to collapse multi-consume loops to one diag.
+  std::set<const clang::Stmt*> Reported_;
+};
+
+}  // namespace dbs3_tidy
+
+#endif  // DBS3_TOOLS_TIDY_PLUGIN_CANCELCHECKINCONSUMELOOPCHECK_H_

@@ -1,0 +1,46 @@
+// The dbs3-tidy clang-tidy module: registers the five DBS3 invariant
+// checks under the `dbs3-` prefix. Built as an out-of-tree plugin and
+// loaded with `clang-tidy -load libdbs3-tidy.so -checks='dbs3-*'`.
+//
+// The portable engine (../portable/) implements the same checks without
+// clang; the fixtures under ../fixtures/ pin the shared contract. Keep the
+// two engines' semantics in lockstep when editing either.
+
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+#include "CancelCheckInConsumeLoopCheck.h"
+#include "GuardedMemberInitCheck.h"
+#include "NoAllocInHotPathCheck.h"
+#include "NoLockAcrossEmitCheck.h"
+#include "QuotaPairingCheck.h"
+
+namespace dbs3_tidy {
+
+class DbS3TidyModule : public clang::tidy::ClangTidyModule {
+ public:
+  void addCheckFactories(
+      clang::tidy::ClangTidyCheckFactories& CheckFactories) override {
+    CheckFactories.registerCheck<NoLockAcrossEmitCheck>(
+        "dbs3-no-lock-across-emit");
+    CheckFactories.registerCheck<NoAllocInHotPathCheck>(
+        "dbs3-no-alloc-in-hot-path");
+    CheckFactories.registerCheck<QuotaPairingCheck>("dbs3-quota-pairing");
+    CheckFactories.registerCheck<CancelCheckInConsumeLoopCheck>(
+        "dbs3-cancel-check-in-consume-loop");
+    CheckFactories.registerCheck<GuardedMemberInitCheck>(
+        "dbs3-guarded-member-init");
+  }
+};
+
+}  // namespace dbs3_tidy
+
+namespace clang::tidy {
+
+static ClangTidyModuleRegistry::Add<dbs3_tidy::DbS3TidyModule> X(
+    "dbs3-tidy-module", "Adds the DBS3 engine-invariant checks.");
+
+// Anchor so `-load` keeps the registry entry alive.
+volatile int DbS3TidyModuleAnchorSource = 0;
+
+}  // namespace clang::tidy

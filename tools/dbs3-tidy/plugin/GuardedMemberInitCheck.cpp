@@ -1,0 +1,68 @@
+#include "GuardedMemberInitCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang;
+using namespace clang::ast_matchers;
+
+namespace dbs3_tidy {
+
+namespace {
+
+bool IsScalar(QualType T) {
+  const QualType Canonical = T.getCanonicalType();
+  return Canonical->isIntegerType() || Canonical->isBooleanType() ||
+         Canonical->isEnumeralType() || Canonical->isPointerType() ||
+         Canonical->isFloatingType();
+}
+
+}  // namespace
+
+void GuardedMemberInitCheck::registerMatchers(MatchFinder* Finder) {
+  Finder->addMatcher(fieldDecl().bind("field"), this);
+  Finder->addMatcher(cxxConstructorDecl(isDefinition()).bind("ctor"), this);
+}
+
+void GuardedMemberInitCheck::check(const MatchFinder::MatchResult& Result) {
+  if (const auto* Field = Result.Nodes.getNodeAs<FieldDecl>("field")) {
+    if (!Field->hasAttr<GuardedByAttr>()) return;
+    if (Field->hasInClassInitializer()) return;
+    if (!IsScalar(Field->getType())) return;
+    Candidates_.push_back(Field);
+    return;
+  }
+  if (const auto* Ctor =
+          Result.Nodes.getNodeAs<CXXConstructorDecl>("ctor")) {
+    const CXXRecordDecl* Class = Ctor->getParent();
+    for (const CXXCtorInitializer* Init : Ctor->inits()) {
+      if (Init->isMemberInitializer() && Init->getMember() != nullptr) {
+        CtorInits_[Class->getCanonicalDecl()->getDefinition()].insert(
+            Init->getMember()->getCanonicalDecl());
+      }
+    }
+  }
+}
+
+void GuardedMemberInitCheck::onEndOfTranslationUnit() {
+  for (const FieldDecl* Field : Candidates_) {
+    const auto* Class = dyn_cast<CXXRecordDecl>(Field->getParent());
+    if (Class == nullptr) continue;
+    const auto It = CtorInits_.find(Class->getCanonicalDecl()->getDefinition());
+    if (It != CtorInits_.end() &&
+        It->second.count(Field->getCanonicalDecl()) > 0) {
+      continue;
+    }
+    diag(Field->getLocation(),
+         "GUARDED_BY member %0 has no in-class initializer and no "
+         "constructor initializes it; -Wthread-safety does not cover "
+         "construction, so this reads garbage until first locked write — "
+         "initialize it at the declaration")
+        << Field;
+  }
+  Candidates_.clear();
+  CtorInits_.clear();
+}
+
+}  // namespace dbs3_tidy

@@ -1,0 +1,39 @@
+#ifndef DBS3_TOOLS_TIDY_PLUGIN_GUARDEDMEMBERINITCHECK_H_
+#define DBS3_TOOLS_TIDY_PLUGIN_GUARDEDMEMBERINITCHECK_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace dbs3_tidy {
+
+/// dbs3-guarded-member-init: a GUARDED_BY member of scalar type (integer,
+/// bool, enum, pointer) must have an in-class initializer or be
+/// initialized in every constructor's init list. -Wthread-safety verifies
+/// locked *access*, not construction — an uninitialized guarded scalar
+/// reads garbage until the first locked write, and no analysis will
+/// notice. Resolution is deferred to end of translation unit so
+/// out-of-line constructor definitions (QueryRuntime::free_slots_ shape)
+/// are seen.
+class GuardedMemberInitCheck : public clang::tidy::ClangTidyCheck {
+ public:
+  GuardedMemberInitCheck(llvm::StringRef Name,
+                         clang::tidy::ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerMatchers(clang::ast_matchers::MatchFinder* Finder) override;
+  void check(
+      const clang::ast_matchers::MatchFinder::MatchResult& Result) override;
+  void onEndOfTranslationUnit() override;
+
+ private:
+  std::vector<const clang::FieldDecl*> Candidates_;
+  /// Class -> members covered by some constructor init list.
+  std::map<const clang::CXXRecordDecl*, std::set<const clang::FieldDecl*>>
+      CtorInits_;
+};
+
+}  // namespace dbs3_tidy
+
+#endif  // DBS3_TOOLS_TIDY_PLUGIN_GUARDEDMEMBERINITCHECK_H_

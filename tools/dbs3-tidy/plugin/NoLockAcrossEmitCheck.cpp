@@ -1,0 +1,110 @@
+#include "NoLockAcrossEmitCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang;
+using namespace clang::ast_matchers;
+
+namespace dbs3_tidy {
+
+namespace {
+
+constexpr const char* kEmitCall = "emit_call";
+
+/// True when `S` (a statement inside `Body`) executes after a local
+/// MutexLock/CountingMutexLock declaration in the same or an enclosing
+/// compound statement — i.e. the RAII guard is still alive at `S`.
+bool LockInScopeBefore(ASTContext& Ctx, const Stmt* S) {
+  const SourceManager& SM = Ctx.getSourceManager();
+  const SourceLocation CallLoc = S->getBeginLoc();
+  DynTypedNodeList Parents = Ctx.getParents(*S);
+  while (!Parents.empty()) {
+    const DynTypedNode& Node = Parents[0];
+    if (const auto* Compound = Node.get<CompoundStmt>()) {
+      for (const Stmt* Child : Compound->body()) {
+        if (!SM.isBeforeInTranslationUnit(Child->getBeginLoc(), CallLoc))
+          break;
+        const auto* Decls = dyn_cast<DeclStmt>(Child);
+        if (Decls == nullptr) continue;
+        for (const Decl* D : Decls->decls()) {
+          const auto* Var = dyn_cast<VarDecl>(D);
+          if (Var == nullptr) continue;
+          const std::string Type =
+              Var->getType().getCanonicalType().getAsString();
+          if (Type.find("MutexLock") != std::string::npos) return true;
+        }
+      }
+    }
+    if (Node.get<FunctionDecl>() != nullptr ||
+        Node.get<LambdaExpr>() != nullptr) {
+      return false;  // Reached the enclosing callable: no guard found.
+    }
+    Parents = Ctx.getParents(Node);
+  }
+  return false;
+}
+
+/// True when a manual `mu.Lock()` precedes `S` in the enclosing function
+/// with no `mu.Unlock()` in between (textual approximation, same contract
+/// as the portable engine).
+bool ManualLockHeldBefore(ASTContext& Ctx, const Stmt* S,
+                          const FunctionDecl* Func) {
+  if (Func == nullptr || !Func->hasBody()) return false;
+  const SourceManager& SM = Ctx.getSourceManager();
+  const SourceLocation CallLoc = S->getBeginLoc();
+  bool Held = false;
+  // Walk every member call in the body in source order.
+  struct Visitor : RecursiveASTVisitor<Visitor> {
+    const SourceManager* SM = nullptr;
+    SourceLocation Limit;
+    bool* Held = nullptr;
+    bool VisitCXXMemberCallExpr(CXXMemberCallExpr* Call) {
+      if (!SM->isBeforeInTranslationUnit(Call->getBeginLoc(), Limit))
+        return true;
+      const auto* Method = Call->getMethodDecl();
+      if (Method == nullptr) return true;
+      const StringRef Name = Method->getName();
+      if (Name == "Lock") *Held = true;
+      if (Name == "Unlock") *Held = false;
+      return true;
+    }
+  } V;
+  V.SM = &SM;
+  V.Limit = CallLoc;
+  V.Held = &Held;
+  V.TraverseStmt(Func->getBody());
+  return Held;
+}
+
+}  // namespace
+
+void NoLockAcrossEmitCheck::registerMatchers(MatchFinder* Finder) {
+  Finder->addMatcher(
+      cxxMemberCallExpr(
+          callee(cxxMethodDecl(hasAnyName("Emit", "EmitCopy", "EmitConcat",
+                                          "EmitSelect", "PushData",
+                                          "PushDataChunk", "PushTrigger"))),
+          hasAncestor(functionDecl().bind("func")))
+          .bind(kEmitCall),
+      this);
+}
+
+void NoLockAcrossEmitCheck::check(const MatchFinder::MatchResult& Result) {
+  const auto* Call = Result.Nodes.getNodeAs<CXXMemberCallExpr>(kEmitCall);
+  const auto* Func = Result.Nodes.getNodeAs<FunctionDecl>("func");
+  if (Call == nullptr) return;
+  ASTContext& Ctx = *Result.Context;
+  if (!LockInScopeBefore(Ctx, Call) &&
+      !ManualLockHeldBefore(Ctx, Call, Func)) {
+    return;
+  }
+  diag(Call->getBeginLoc(),
+       "%0 called while a mutex is held; emitting can block on a bounded "
+       "ActivationQueue under back-pressure — release the lock (move state "
+       "out) before emitting")
+      << Call->getMethodDecl()->getName();
+}
+
+}  // namespace dbs3_tidy

@@ -1,0 +1,26 @@
+#ifndef DBS3_TOOLS_TIDY_PLUGIN_NOLOCKACROSSEMITCHECK_H_
+#define DBS3_TOOLS_TIDY_PLUGIN_NOLOCKACROSSEMITCHECK_H_
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace dbs3_tidy {
+
+/// dbs3-no-lock-across-emit: flags Emit/EmitCopy/EmitConcat/EmitSelect/
+/// PushData/PushDataChunk/PushTrigger calls made while a dbs3::MutexLock /
+/// CountingMutexLock RAII guard (or a manual Mutex::Lock) is in scope.
+/// Emitting can block on a bounded ActivationQueue under back-pressure;
+/// blocking while holding an instance mutex is the engine's canonical
+/// deadlock shape.
+class NoLockAcrossEmitCheck : public clang::tidy::ClangTidyCheck {
+ public:
+  NoLockAcrossEmitCheck(llvm::StringRef Name,
+                        clang::tidy::ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerMatchers(clang::ast_matchers::MatchFinder* Finder) override;
+  void check(
+      const clang::ast_matchers::MatchFinder::MatchResult& Result) override;
+};
+
+}  // namespace dbs3_tidy
+
+#endif  // DBS3_TOOLS_TIDY_PLUGIN_NOLOCKACROSSEMITCHECK_H_

@@ -1,0 +1,116 @@
+#include "QuotaPairingCheck.h"
+
+#include <string>
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang;
+using namespace clang::ast_matchers;
+
+namespace dbs3_tidy {
+
+namespace {
+
+/// The ledger idiom: a mutation of a variable/field whose name contains
+/// "charged" or "held" records units some later phase releases in bulk.
+bool NameIsLedger(StringRef Name) {
+  const std::string Lower = Name.lower();
+  return Lower.find("charged") != std::string::npos ||
+         Lower.find("held") != std::string::npos;
+}
+
+}  // namespace
+
+void QuotaPairingCheck::registerMatchers(MatchFinder* Finder) {
+  const auto InFunc = hasAncestor(functionDecl().bind("func"));
+  Finder->addMatcher(
+      cxxMemberCallExpr(
+          callee(cxxMethodDecl(hasAnyName("TryCharge", "ForceCharge"))),
+          InFunc)
+          .bind("charge"),
+      this);
+  Finder->addMatcher(
+      cxxMemberCallExpr(callee(cxxMethodDecl(hasAnyName(
+                            "Release", "ReleaseNow", "Disarm"))),
+                        InFunc),
+      this);
+  Finder->addMatcher(
+      varDecl(hasType(cxxRecordDecl(hasName("ChargeGuard"))), InFunc), this);
+  // Ledger mutations: `++x.charged`, `charged_ += n`, `state.held = units`.
+  Finder->addMatcher(
+      binaryOperator(isAssignmentOperator(),
+                     hasLHS(anyOf(memberExpr().bind("lhs_member"),
+                                  declRefExpr().bind("lhs_ref"))),
+                     InFunc),
+      this);
+  Finder->addMatcher(
+      unaryOperator(hasAnyOperatorName("++", "--"),
+                    hasUnaryOperand(anyOf(memberExpr().bind("lhs_member"),
+                                          declRefExpr().bind("lhs_ref"))),
+                    InFunc),
+      this);
+}
+
+void QuotaPairingCheck::check(const MatchFinder::MatchResult& Result) {
+  const auto* Func = Result.Nodes.getNodeAs<FunctionDecl>("func");
+  if (Func == nullptr) return;
+
+  if (const auto* Call =
+          Result.Nodes.getNodeAs<CXXMemberCallExpr>("charge")) {
+    Charge C;
+    C.Loc = Call->getBeginLoc();
+    const auto* Method = Call->getMethodDecl();
+    if (Method != nullptr && Method->getName() == "TryCharge") {
+      // Result dropped when the call's parent is a statement context.
+      const auto Parents = Result.Context->getParents(*Call);
+      for (const auto& P : Parents) {
+        if (P.get<CompoundStmt>() != nullptr) C.ResultDropped = true;
+        if (const auto* Cleanups = P.get<ExprWithCleanups>()) {
+          const auto GP = Result.Context->getParents(*Cleanups);
+          for (const auto& G : GP) {
+            if (G.get<CompoundStmt>() != nullptr) C.ResultDropped = true;
+          }
+        }
+      }
+    }
+    Charges_[Func].push_back(C);
+    return;
+  }
+
+  // Any other match marks the function as having a pairing mechanism.
+  if (const auto* Member = Result.Nodes.getNodeAs<MemberExpr>("lhs_member")) {
+    if (!NameIsLedger(Member->getMemberDecl()->getName())) return;
+  } else if (const auto* Ref =
+                 Result.Nodes.getNodeAs<DeclRefExpr>("lhs_ref")) {
+    if (!NameIsLedger(Ref->getDecl()->getName())) return;
+  }
+  HasPairing_[Func] = true;
+}
+
+void QuotaPairingCheck::onEndOfTranslationUnit() {
+  for (const auto& [Func, Charges] : Charges_) {
+    const bool Paired =
+        HasPairing_.count(Func) > 0 && HasPairing_.at(Func);
+    for (const Charge& C : Charges) {
+      if (C.ResultDropped) {
+        diag(C.Loc,
+             "TryCharge result is dropped: the charge either leaked or "
+             "never happened; hold it in a ChargeGuard or branch on the "
+             "result");
+        continue;
+      }
+      if (!Paired) {
+        diag(C.Loc,
+             "quota charge has no matching Release, ChargeGuard, or "
+             "recorded charge ledger in this function; every exit path "
+             "must return these units (use ChargeGuard — see "
+             "common/memory_quota.h)");
+      }
+    }
+  }
+  Charges_.clear();
+  HasPairing_.clear();
+}
+
+}  // namespace dbs3_tidy

@@ -1,0 +1,40 @@
+#ifndef DBS3_TOOLS_TIDY_PLUGIN_QUOTAPAIRINGCHECK_H_
+#define DBS3_TOOLS_TIDY_PLUGIN_QUOTAPAIRINGCHECK_H_
+
+#include <map>
+#include <vector>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace dbs3_tidy {
+
+/// dbs3-quota-pairing: every MemoryQuota::TryCharge / ForceCharge must pair
+/// with a Release on every exit path, be held by a ChargeGuard, or feed a
+/// recorded charge ledger (a `charged`/`held` counter another phase
+/// releases in bulk). A TryCharge whose result is discarded is always
+/// wrong: the charge either leaked or never happened.
+///
+/// Pairing is judged per enclosing callable, accumulated across matches
+/// and reported at end of translation unit.
+class QuotaPairingCheck : public clang::tidy::ClangTidyCheck {
+ public:
+  QuotaPairingCheck(llvm::StringRef Name,
+                    clang::tidy::ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerMatchers(clang::ast_matchers::MatchFinder* Finder) override;
+  void check(
+      const clang::ast_matchers::MatchFinder::MatchResult& Result) override;
+  void onEndOfTranslationUnit() override;
+
+ private:
+  struct Charge {
+    clang::SourceLocation Loc;
+    bool ResultDropped = false;
+  };
+  std::map<const clang::FunctionDecl*, std::vector<Charge>> Charges_;
+  std::map<const clang::FunctionDecl*, bool> HasPairing_;
+};
+
+}  // namespace dbs3_tidy
+
+#endif  // DBS3_TOOLS_TIDY_PLUGIN_QUOTAPAIRINGCHECK_H_

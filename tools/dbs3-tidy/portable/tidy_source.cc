@@ -1,0 +1,231 @@
+#include "tidy_source.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace dbs3_tidy {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+TidySource::TidySource(std::string path, const std::string& content)
+    : path_(std::move(path)) {
+  Tokenize(content);
+  MatchBrackets();
+}
+
+void TidySource::RecordNolint(const std::string& comment, int line) {
+  // Accepts NOLINT, NOLINT(a, b), NOLINTNEXTLINE, NOLINTNEXTLINE(a, b).
+  size_t pos = 0;
+  while ((pos = comment.find("NOLINT", pos)) != std::string::npos) {
+    size_t after = pos + 6;
+    int target = line;
+    if (comment.compare(after, 8, "NEXTLINE") == 0) {
+      after += 8;
+      target = line + 1;
+    }
+    std::set<std::string>& checks = nolint_[target];
+    if (after < comment.size() && comment[after] == '(') {
+      const size_t close = comment.find(')', after);
+      std::string list = comment.substr(
+          after + 1, close == std::string::npos ? std::string::npos
+                                                : close - after - 1);
+      std::string name;
+      std::istringstream names(list);
+      while (std::getline(names, name, ',')) {
+        const size_t b = name.find_first_not_of(" \t");
+        const size_t e = name.find_last_not_of(" \t");
+        if (b != std::string::npos) checks.insert(name.substr(b, e - b + 1));
+      }
+    } else {
+      checks.insert("");  // Bare NOLINT: everything.
+    }
+    pos = after;
+  }
+}
+
+void TidySource::Tokenize(const std::string& content) {
+  int line = 1;
+  size_t i = 0;
+  const size_t n = content.size();
+  while (i < n) {
+    const char c = content[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: skip to end of line, honoring backslash
+    // continuations, so macro bodies never confuse the scope heuristics.
+    if (c == '#') {
+      while (i < n && content[i] != '\n') {
+        if (content[i] == '\\' && i + 1 < n && content[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        ++i;
+      }
+      continue;
+    }
+    // Line comment (NOLINT lives here).
+    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      const size_t eol = content.find('\n', i);
+      const std::string comment =
+          content.substr(i, eol == std::string::npos ? std::string::npos
+                                                     : eol - i);
+      RecordNolint(comment, line);
+      i = eol == std::string::npos ? n : eol;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+      const size_t end = content.find("*/", i + 2);
+      const size_t stop = end == std::string::npos ? n : end + 2;
+      const std::string comment = content.substr(i, stop - i);
+      RecordNolint(comment, line);
+      for (size_t k = i; k < stop; ++k) {
+        if (content[k] == '\n') ++line;
+      }
+      i = stop;
+      continue;
+    }
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && content[i + 1] == '"') {
+      size_t open = content.find('(', i + 2);
+      if (open == std::string::npos) {
+        ++i;
+        continue;
+      }
+      const std::string delim =
+          ")" + content.substr(i + 2, open - (i + 2)) + "\"";
+      const size_t end = content.find(delim, open + 1);
+      const size_t stop =
+          end == std::string::npos ? n : end + delim.size();
+      tokens_.push_back({Token::Kind::kString, "\"\"", line});
+      for (size_t k = i; k < stop; ++k) {
+        if (content[k] == '\n') ++line;
+      }
+      i = stop;
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      size_t k = i + 1;
+      while (k < n && content[k] != quote) {
+        if (content[k] == '\\') ++k;
+        if (content[k] == '\n') ++line;
+        ++k;
+      }
+      tokens_.push_back({quote == '"' ? Token::Kind::kString
+                                      : Token::Kind::kChar,
+                         std::string(1, quote) + std::string(1, quote),
+                         line});
+      i = k + 1;
+      continue;
+    }
+    // Identifier / keyword.
+    if (IsIdentStart(c)) {
+      size_t k = i + 1;
+      while (k < n && IsIdentChar(content[k])) ++k;
+      tokens_.push_back({Token::Kind::kIdent, content.substr(i, k - i),
+                         line});
+      i = k;
+      continue;
+    }
+    // Number (loose: good enough for token counting, incl. 0x1f, 1'000).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t k = i + 1;
+      while (k < n && (IsIdentChar(content[k]) || content[k] == '\'' ||
+                       content[k] == '.')) {
+        ++k;
+      }
+      tokens_.push_back({Token::Kind::kNumber, content.substr(i, k - i),
+                         line});
+      i = k;
+      continue;
+    }
+    // Multi-char punctuators the checks care about; everything else is a
+    // single char.
+    static const char* kTwo[] = {"::", "->", "++", "--", "+=", "-=", "&&",
+                                 "||", "==", "!=", "<=", ">=", "<<", ">>"};
+    std::string punct(1, c);
+    if (i + 1 < n) {
+      const std::string two = content.substr(i, 2);
+      for (const char* t : kTwo) {
+        if (two == t) {
+          punct = two;
+          break;
+        }
+      }
+    }
+    tokens_.push_back({Token::Kind::kPunct, punct, line});
+    i += punct.size();
+  }
+}
+
+void TidySource::MatchBrackets() {
+  match_.assign(tokens_.size(), npos);
+  std::vector<size_t> parens;
+  std::vector<size_t> braces;
+  std::vector<size_t> squares;
+  for (size_t i = 0; i < tokens_.size(); ++i) {
+    if (tokens_[i].kind != Token::Kind::kPunct) continue;
+    const std::string& t = tokens_[i].text;
+    if (t == "(") parens.push_back(i);
+    if (t == "{") braces.push_back(i);
+    if (t == "[") squares.push_back(i);
+    if (t == ")" && !parens.empty()) {
+      match_[i] = parens.back();
+      match_[parens.back()] = i;
+      parens.pop_back();
+    }
+    if (t == "}" && !braces.empty()) {
+      match_[i] = braces.back();
+      match_[braces.back()] = i;
+      braces.pop_back();
+    }
+    if (t == "]" && !squares.empty()) {
+      match_[i] = squares.back();
+      match_[squares.back()] = i;
+      squares.pop_back();
+    }
+  }
+}
+
+size_t TidySource::MatchingBracket(size_t i) const {
+  return i < match_.size() ? match_[i] : npos;
+}
+
+bool TidySource::IsSuppressed(int line, const std::string& check) const {
+  const auto it = nolint_.find(line);
+  if (it == nolint_.end()) return false;
+  return it->second.count("") > 0 || it->second.count(check) > 0;
+}
+
+TidySource LoadSource(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return TidySource(path, "");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return TidySource(path, buffer.str());
+}
+
+}  // namespace dbs3_tidy
