@@ -6,6 +6,7 @@ Usage:
   compare_bench.py --datapath CANDIDATE.json BUDGET [BASELINE.json TOLERANCE]
   compare_bench.py --kernels CANDIDATE.json MIN_SPEEDUP
   compare_bench.py --spill CANDIDATE.json [SLACK_UNITS]
+  compare_bench.py --sharedscan CANDIDATE.json
 
 Default mode matches benchmarks by name on their median aggregate (the
 runs use --benchmark_repetitions with --benchmark_report_aggregates_only)
@@ -32,6 +33,15 @@ quota high-water mark must stay within budget + SLACK_UNITS (default 64;
 the slack covers the operators' bounded forced-progress overshoot), and
 at least one point must have actually written spill bytes — otherwise
 the sweep never exercised the budget and the gate is vacuous.
+
+--sharedscan mode gates ext_sharedscan's BENCH_sharedscan.json: every
+concurrency point's per-query results must be byte-identical between
+the shared and solo modes (correctness is not retryable), shared-scan
+batches must actually have formed at every point (else the window never
+folded anything and the sweep is vacuous), and at the gate concurrency
+the shared mode's QPS must strictly beat the solo mode's. QPS on shared
+runners is noisy, so callers wrap the QPS part in a retry loop — a
+correctness mismatch fails immediately regardless.
 """
 
 import json
@@ -156,6 +166,46 @@ def check_spill(argv):
     return 0
 
 
+def check_sharedscan(argv):
+    candidate_path = argv[0]
+    with open(candidate_path) as f:
+        candidate = json.load(f)
+
+    failed = False
+    for p in candidate["points"]:
+        label = f"concurrency={p['concurrency']}"
+        if not p["results_match"]:
+            failed = True
+            print(f"MISMATCH {label}: shared/solo results differ from the "
+                  f"base-relation reference")
+        else:
+            print(f"OK {label}: every query's rows match the reference")
+        batches = int(p["shared_batches"])
+        if batches == 0:
+            failed = True
+            print(f"VACUOUS {label}: no shared batch formed -- the window "
+                  f"never folded compatible queries")
+        else:
+            print(f"OK {label}: {batches} shared batches, "
+                  f"{float(p['mean_queries_per_batch']):.1f} queries/batch")
+
+    gate_n = int(candidate["gate_concurrency"])
+    solo = float(candidate["gate_solo_qps"])
+    shared = float(candidate["gate_shared_qps"])
+    if shared > solo:
+        print(f"OK gate: shared {shared:.1f} q/s > solo {solo:.1f} q/s "
+              f"at {gate_n} concurrent queries")
+    else:
+        failed = True
+        print(f"TOO SLOW gate: shared {shared:.1f} q/s <= solo {solo:.1f} "
+              f"q/s at {gate_n} concurrent queries")
+
+    if failed:
+        print("sharedscan gate failed")
+        return 1
+    return 0
+
+
 def medians(path):
     with open(path) as f:
         doc = json.load(f)
@@ -173,6 +223,8 @@ def main():
         return check_kernels(sys.argv[2:])
     if sys.argv[1] == "--spill":
         return check_spill(sys.argv[2:])
+    if sys.argv[1] == "--sharedscan":
+        return check_sharedscan(sys.argv[2:])
     baseline_path, candidate_path, tolerance = sys.argv[1:4]
     tolerance = float(tolerance)
     baseline = medians(baseline_path)

@@ -80,20 +80,30 @@ inline void PrintThreadLoad(const ExecutionResult& execution) {
 }
 
 /// Prints the query runtime's per-query latency summaries (admission wait,
-/// execution wall, busy seconds) from a registry snapshot — the multi-user
-/// companion of PrintThreadLoad. Quiet when no query ran through the
-/// runtime.
+/// execution wall, busy seconds — plus the shared-batch distributions when
+/// shared-work execution kicked in) from a registry snapshot — the
+/// multi-user companion of PrintThreadLoad. Quiet when no query ran
+/// through the runtime. Tail percentiles come from each summary's sliding
+/// reservoir (see MetricSummary::kReservoirSize).
 inline void PrintQueryLatencies(const MetricsSnapshot& snapshot) {
   static constexpr const char* kSeries[] = {
       "runtime.admission_wait_us", "runtime.execution_wall_us",
-      "runtime.busy_us"};
+      "runtime.busy_us", "shared.queries_per_batch",
+      "shared.batch_window_wait_us"};
   for (const char* name : kSeries) {
     auto it = snapshot.series.find(name);
     if (it == snapshot.series.end() || it->second.samples == 0) continue;
     const SeriesStats& s = it->second;
-    std::printf("  %-26s n=%llu mean=%.0fus min=%lldus max=%lldus\n", name,
+    std::printf("  %-26s n=%llu mean=%.0f min=%lld", name,
                 static_cast<unsigned long long>(s.samples), s.mean(),
-                static_cast<long long>(s.min), static_cast<long long>(s.max));
+                static_cast<long long>(s.min));
+    if (s.has_percentiles) {
+      std::printf(" p50=%lld p95=%lld p99=%lld",
+                  static_cast<long long>(s.p50),
+                  static_cast<long long>(s.p95),
+                  static_cast<long long>(s.p99));
+    }
+    std::printf(" max=%lld\n", static_cast<long long>(s.max));
   }
 }
 

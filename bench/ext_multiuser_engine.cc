@@ -53,6 +53,10 @@ struct ModeResult {
   double p95() const {
     return latencies_s[(latencies_s.size() * 95) / 100];
   }
+  double p99() const {
+    return latencies_s[(latencies_s.size() * 99) / 100];
+  }
+  double max() const { return latencies_s.back(); }
   double qps() const {
     return wall_s > 0 ? static_cast<double>(sessions) / wall_s : 0.0;
   }
@@ -167,17 +171,19 @@ void Run() {
     points.push_back(point);
   }
 
-  std::printf("%9s %14s %12s %12s %12s %12s\n", "sessions", "mode",
-              "wall(s)", "q/s", "p50(s)", "p95(s)");
+  std::printf("%9s %14s %12s %12s %12s %12s %12s %12s\n", "sessions", "mode",
+              "wall(s)", "q/s", "p50(s)", "p95(s)", "p99(s)", "max(s)");
   for (const SweepPoint& point : points) {
-    std::printf("%9zu %14s %12.4f %12.2f %12.4f %12.4f\n",
+    std::printf("%9zu %14s %12.4f %12.2f %12.4f %12.4f %12.4f %12.4f\n",
                 point.sequential.sessions, "sequential",
                 point.sequential.wall_s, point.sequential.qps(),
-                point.sequential.p50(), point.sequential.p95());
-    std::printf("%9s %14s %12.4f %12.2f %12.4f %12.4f\n", "",
+                point.sequential.p50(), point.sequential.p95(),
+                point.sequential.p99(), point.sequential.max());
+    std::printf("%9s %14s %12.4f %12.2f %12.4f %12.4f %12.4f %12.4f\n", "",
                 "shared-pool", point.concurrent.wall_s,
                 point.concurrent.qps(), point.concurrent.p50(),
-                point.concurrent.p95());
+                point.concurrent.p95(), point.concurrent.p99(),
+                point.concurrent.max());
   }
 
   const SweepPoint& gate = points.back();
@@ -207,16 +213,22 @@ void Run() {
                  " \"sequential_qps\": %.4f,"
                  " \"sequential_p50_s\": %.6f,"
                  " \"sequential_p95_s\": %.6f,"
+                 " \"sequential_p99_s\": %.6f,"
+                 " \"sequential_max_s\": %.6f,"
                  " \"concurrent_wall_s\": %.6f,"
                  " \"concurrent_qps\": %.4f,"
                  " \"concurrent_p50_s\": %.6f,"
                  " \"concurrent_p95_s\": %.6f,"
+                 " \"concurrent_p99_s\": %.6f,"
+                 " \"concurrent_max_s\": %.6f,"
                  " \"speedup\": %.4f}%s\n",
                  p.sequential.sessions, p.sequential.wall_s,
                  p.sequential.qps(), p.sequential.p50(),
-                 p.sequential.p95(), p.concurrent.wall_s,
+                 p.sequential.p95(), p.sequential.p99(),
+                 p.sequential.max(), p.concurrent.wall_s,
                  p.concurrent.qps(), p.concurrent.p50(),
-                 p.concurrent.p95(), p.speedup(),
+                 p.concurrent.p95(), p.concurrent.p99(),
+                 p.concurrent.max(), p.speedup(),
                  i + 1 < points.size() ? "," : "");
   }
   std::fprintf(json,

@@ -1,8 +1,10 @@
 #ifndef DBS3_COMMON_METRICS_H_
 #define DBS3_COMMON_METRICS_H_
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <limits>
@@ -10,6 +12,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
@@ -48,6 +51,13 @@ struct SeriesStats {
   int64_t max = 0;
   int64_t last = 0;
   double sum = 0.0;
+  /// Nearest-rank percentiles over the summary's sliding reservoir (the
+  /// most recent MetricSummary::kReservoirSize values). Valid only when
+  /// has_percentiles — sampled probes fold without a reservoir.
+  int64_t p50 = 0;
+  int64_t p95 = 0;
+  int64_t p99 = 0;
+  bool has_percentiles = false;
 
   double mean() const {
     return samples > 0 ? sum / static_cast<double>(samples) : 0.0;
@@ -63,8 +73,15 @@ struct SeriesStats {
 /// units for work).
 class MetricSummary {
  public:
+  /// Sliding reservoir behind the percentile estimates: the last
+  /// kReservoirSize recorded values, in a fixed ring — Record stays
+  /// wait-free (the ring slot is derived from the same count fetch_add
+  /// the summary already pays) and value() sorts a bounded copy.
+  static constexpr size_t kReservoirSize = 512;
+
   void Record(int64_t v) {
-    count_.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t seq = count_.fetch_add(1, std::memory_order_relaxed);
+    ring_[seq % kReservoirSize].store(v, std::memory_order_relaxed);
     sum_.fetch_add(v, std::memory_order_relaxed);
     last_.store(v, std::memory_order_relaxed);
     int64_t seen = min_.load(std::memory_order_relaxed);
@@ -78,7 +95,9 @@ class MetricSummary {
   }
 
   /// Folded view; exact once writers are quiescent (same contract as the
-  /// counters).
+  /// counters). Percentiles are nearest-rank over the reservoir — exact
+  /// for distributions of up to kReservoirSize samples, a most-recent
+  /// window beyond that.
   SeriesStats value() const {
     SeriesStats s;
     s.samples = count_.load(std::memory_order_relaxed);
@@ -87,6 +106,21 @@ class MetricSummary {
     s.max = max_.load(std::memory_order_relaxed);
     s.last = last_.load(std::memory_order_relaxed);
     s.sum = static_cast<double>(sum_.load(std::memory_order_relaxed));
+    const size_t n =
+        static_cast<size_t>(std::min<uint64_t>(s.samples, kReservoirSize));
+    std::vector<int64_t> window(n);
+    for (size_t i = 0; i < n; ++i) {
+      window[i] = ring_[i].load(std::memory_order_relaxed);
+    }
+    std::sort(window.begin(), window.end());
+    const auto rank = [&](double q) {
+      size_t r = static_cast<size_t>(q * static_cast<double>(n));
+      return window[std::min(r, n - 1)];
+    };
+    s.p50 = rank(0.50);
+    s.p95 = rank(0.95);
+    s.p99 = rank(0.99);
+    s.has_percentiles = true;
     return s;
   }
 
@@ -96,6 +130,9 @@ class MetricSummary {
   std::atomic<int64_t> min_{std::numeric_limits<int64_t>::max()};
   std::atomic<int64_t> max_{std::numeric_limits<int64_t>::min()};
   std::atomic<int64_t> last_{0};
+  /// Last kReservoirSize values, slot = record sequence mod size. Default
+  /// atomic init zeroes every slot.
+  std::atomic<int64_t> ring_[kReservoirSize] = {};
 };
 
 /// Point-in-time copy of a registry, safe to keep after the registry (and

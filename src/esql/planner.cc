@@ -8,6 +8,7 @@
 #include "engine/spill_join.h"
 #include "esql/parser.h"
 #include "server/query_runtime.h"
+#include "server/shared/shared_query.h"
 
 namespace dbs3 {
 
@@ -774,6 +775,65 @@ QueryResult ToQueryResult(EsqlResult esql,
   return out;
 }
 
+/// Whether the query's shape may ride a shared scan at all (cheap
+/// pre-check before MakeSharedSpec does name resolution): scan-only — no
+/// joins, aggregates, grouping or ordering — and no declared memory.
+bool ShareableShape(const EsqlQuery& query, const EsqlOptions& options) {
+  if (!options.share_work || !options.use_shared_runtime) return false;
+  if (options.memory_units != 0) return false;
+  if (!query.joins.empty()) return false;
+  if (query.group_by.has_value() || query.order_by.has_value()) return false;
+  for (const SelectItem& item : query.items) {
+    if (item.kind == SelectItem::Kind::kAggregate) return false;
+  }
+  return !query.items.empty();
+}
+
+/// Builds the shared-scan payload for a shareable shape, mirroring the
+/// solo plan exactly: CombinePredicates for the WHERE conjunction and
+/// BuildProjection's naming for the result schema. Any resolution error
+/// means "not shareable" — the caller falls back to the solo body, which
+/// re-reports real errors through the normal path.
+Result<std::shared_ptr<const SharedScanSpec>> MakeSharedSpec(
+    Database& db, const EsqlQuery& query, const EsqlOptions& options) {
+  DBS3_ASSIGN_OR_RETURN(Relation * rel, db.relation(query.from));
+  auto spec = std::make_shared<SharedScanSpec>();
+  spec->relation = rel;
+
+  if (query.items.size() == 1 &&
+      query.items[0].kind == SelectItem::Kind::kStar) {
+    spec->result_schema = rel->schema();  // Empty projection = whole row.
+  } else {
+    const std::vector<Binding> bindings = BindingsOf(*rel);
+    std::vector<Column> out_columns;
+    for (const SelectItem& item : query.items) {
+      if (item.kind != SelectItem::Kind::kColumn) {
+        return Status::InvalidArgument("not a shareable select list");
+      }
+      DBS3_ASSIGN_OR_RETURN(const size_t col,
+                            ResolveBinding(bindings, item.column));
+      spec->projection.push_back(col);
+      const std::string name =
+          !item.alias.empty() ? item.alias : item.column.column;
+      out_columns.push_back({name, rel->schema().column(col).type});
+    }
+    spec->result_schema = Schema(std::move(out_columns));
+  }
+
+  DBS3_ASSIGN_OR_RETURN(
+      auto pred,
+      CombinePredicates(BindingsOf(*rel), rel->schema(), query.where));
+  spec->predicate = std::move(pred.first);
+  spec->selectivity = pred.second;
+  spec->result_name = options.result_name;
+  spec->vectorize = options.vectorize;
+  spec->schedule = options.schedule;
+  spec->cost_model = options.cost_model;
+  spec->share_class =
+      ComputeShareClass(*rel, spec->projection, options.vectorize);
+  return std::shared_ptr<const SharedScanSpec>(std::move(spec));
+}
+
 QueryHandle SubmitParsed(Database& db, EsqlQuery query,
                          const EsqlOptions& options) {
   QuerySpec spec;
@@ -781,6 +841,11 @@ QueryHandle SubmitParsed(Database& db, EsqlQuery query,
   spec.memory_units = options.memory_units;
   spec.deadline = options.deadline;
   spec.cancel = options.cancel;
+  if (ShareableShape(query, options)) {
+    Result<std::shared_ptr<const SharedScanSpec>> shared =
+        MakeSharedSpec(db, query, options);
+    if (shared.ok()) spec.shared = std::move(shared).value();
+  }
   spec.body = [&db, query = std::move(query),
                options](QueryEnv& env) -> Result<QueryResult> {
     std::vector<ExecutionResult> phase_execs;
@@ -831,23 +896,20 @@ QueryHandle SubmitEsql(Database& db, const EsqlQuery& query,
 
 QueryHandle SubmitEsql(Database& db, const std::string& query,
                        const EsqlOptions& options) {
-  // Parse inside the body so syntax errors surface through the handle
-  // like every other query failure.
+  // Parse eagerly so shareable queries get their shared-scan payload
+  // attached; a syntax error still surfaces through the handle like every
+  // other query failure.
+  Result<EsqlQuery> parsed = ParseEsql(query);
+  if (parsed.ok()) {
+    return SubmitParsed(db, std::move(parsed).value(), options);
+  }
   QuerySpec spec;
   spec.priority = options.priority;
   spec.memory_units = options.memory_units;
   spec.deadline = options.deadline;
   spec.cancel = options.cancel;
-  spec.body = [&db, query,
-               options](QueryEnv& env) -> Result<QueryResult> {
-    DBS3_ASSIGN_OR_RETURN(EsqlQuery parsed, ParseEsql(query));
-    std::vector<ExecutionResult> phase_execs;
-    EsqlExecContext ctx;
-    ctx.env = &env;
-    ctx.phase_execs = &phase_execs;
-    DBS3_ASSIGN_OR_RETURN(EsqlResult esql,
-                          ExecuteEsqlCore(db, parsed, options, ctx));
-    return ToQueryResult(std::move(esql), std::move(phase_execs));
+  spec.body = [error = parsed.status()](QueryEnv&) -> Result<QueryResult> {
+    return error;
   };
   return db.Submit(std::move(spec));
 }

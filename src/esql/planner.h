@@ -40,6 +40,14 @@ struct EsqlOptions {
   /// pipeline) through the database's shared QueryRuntime. false = legacy
   /// inline execution with private per-operation threads.
   bool use_shared_runtime = true;
+  /// Allow the runtime to fold this query into a multi-query shared scan
+  /// with compatible queries (same relation, same projection shape,
+  /// scan-only, no declared memory). One relation pass then serves the
+  /// whole batch; per-query results are identical to solo execution. The
+  /// batch forms only when compatible queries are simultaneously queued
+  /// (see QueryRuntimeOptions::shared_batch_window_us to also wait for
+  /// stragglers). Only meaningful with use_shared_runtime.
+  bool share_work = true;
 };
 
 /// Outcome of one ESQL query.

@@ -45,40 +45,109 @@ Status AdmissionController::TryEnqueue(PendingQuery q) {
   return Status::OK();
 }
 
+size_t AdmissionController::BestAdmissibleLocked() const {
+  // Best admissible entry: highest priority, FIFO within a priority,
+  // skipping entries whose memory reservation does not fit — except
+  // cancelled ones, which are handed out unconditionally so their
+  // handles complete without waiting on budget they will never use.
+  size_t best = waiting_.size();
+  for (size_t i = 0; i < waiting_.size(); ++i) {
+    const bool fits = config_.memory_budget_units == 0 ||
+                      waiting_[i].memory_units + memory_in_use_ <=
+                          config_.memory_budget_units ||
+                      waiting_[i].cancel.ShouldStop();
+    if (!fits) continue;
+    if (best == waiting_.size() ||
+        waiting_[i].priority > waiting_[best].priority ||
+        (waiting_[i].priority == waiting_[best].priority &&
+         seq_[i] < seq_[best])) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+void AdmissionController::TakeLocked(size_t index, PendingQuery* out) {
+  *out = std::move(waiting_[index]);
+  waiting_.erase(waiting_.begin() + static_cast<ptrdiff_t>(index));
+  seq_.erase(seq_.begin() + static_cast<ptrdiff_t>(index));
+  if (out->cancel.ShouldStop()) {
+    // Nothing charged; zero the reservation so the caller's paired
+    // ReleaseMemory is a no-op.
+    out->memory_units = 0;
+  } else {
+    memory_in_use_ += out->memory_units;
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void AdmissionController::CollectShareClassLocked(
+    uint64_t share_class, size_t max_followers,
+    std::vector<PendingQuery>* followers) {
+  for (size_t i = 0; i < waiting_.size() && followers->size() < max_followers;) {
+    if (waiting_[i].share_class != share_class) {
+      ++i;
+      continue;
+    }
+    const bool fits = config_.memory_budget_units == 0 ||
+                      waiting_[i].memory_units + memory_in_use_ <=
+                          config_.memory_budget_units ||
+                      waiting_[i].cancel.ShouldStop();
+    if (!fits) {
+      // Stays queued for a later batch rather than stalling this one.
+      ++i;
+      continue;
+    }
+    PendingQuery taken;
+    TakeLocked(i, &taken);
+    followers->push_back(std::move(taken));
+    // No ++i: TakeLocked's erase shifted the next candidate down to i.
+  }
+}
+
 bool AdmissionController::PopNext(PendingQuery* out) {
+  std::vector<PendingQuery> followers;
+  // max_queries = 1 disables grouping; this is exactly the old PopNext.
+  return PopNextBatch(out, &followers, BatchWindow{}, nullptr);
+}
+
+bool AdmissionController::PopNextBatch(PendingQuery* lead,
+                                       std::vector<PendingQuery>* followers,
+                                       const BatchWindow& window,
+                                       double* window_wait_seconds) {
+  followers->clear();
+  if (window_wait_seconds != nullptr) *window_wait_seconds = 0.0;
   MutexLock lock(&mu_);
   while (true) {
-    // Best admissible entry: highest priority, FIFO within a priority,
-    // skipping entries whose memory reservation does not fit — except
-    // cancelled ones, which are handed out unconditionally so their
-    // handles complete without waiting on budget they will never use.
-    size_t best = waiting_.size();
-    for (size_t i = 0; i < waiting_.size(); ++i) {
-      const bool fits =
-          config_.memory_budget_units == 0 ||
-          waiting_[i].memory_units + memory_in_use_ <=
-              config_.memory_budget_units ||
-          waiting_[i].cancel.ShouldStop();
-      if (!fits) continue;
-      if (best == waiting_.size() ||
-          waiting_[i].priority > waiting_[best].priority ||
-          (waiting_[i].priority == waiting_[best].priority &&
-           seq_[i] < seq_[best])) {
-        best = i;
-      }
-    }
+    const size_t best = BestAdmissibleLocked();
     if (best < waiting_.size()) {
-      *out = std::move(waiting_[best]);
-      waiting_.erase(waiting_.begin() + static_cast<ptrdiff_t>(best));
-      seq_.erase(seq_.begin() + static_cast<ptrdiff_t>(best));
-      if (out->cancel.ShouldStop()) {
-        // Nothing charged; zero the reservation so the caller's paired
-        // ReleaseMemory is a no-op.
-        out->memory_units = 0;
-      } else {
-        memory_in_use_ += out->memory_units;
+      TakeLocked(best, lead);
+      if (lead->share_class != 0 && window.max_queries > 1 &&
+          !lead->cancel.ShouldStop()) {
+        const auto window_start = std::chrono::steady_clock::now();
+        CollectShareClassLocked(lead->share_class, window.max_queries - 1,
+                                followers);
+        if (window.window.count() > 0) {
+          // Hold the batch open for stragglers. Signals on cv_ (enqueues,
+          // cancels, releases) re-collect; shutdown and the lead's own
+          // token abort the wait — a dying lead must not hold followers.
+          const auto close_at = window_start + window.window;
+          while (followers->size() + 1 < window.max_queries && !shutdown_ &&
+                 !lead->cancel.ShouldStop()) {
+            const auto now = std::chrono::steady_clock::now();
+            if (now >= close_at) break;
+            cv_.WaitFor(&mu_, close_at - now);
+            CollectShareClassLocked(lead->share_class,
+                                    window.max_queries - 1, followers);
+          }
+        }
+        if (window_wait_seconds != nullptr) {
+          *window_wait_seconds =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            window_start)
+                  .count();
+        }
       }
-      admitted_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
     if (shutdown_ && waiting_.empty()) return false;

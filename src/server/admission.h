@@ -6,14 +6,19 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/mutex.h"
+#include "common/result.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "engine/cancel.h"
+#include "server/query_handle.h"
 
 namespace dbs3 {
+
+struct SharedScanSpec;  // server/shared/shared_query.h
 
 /// Load-shedding and budget limits for the admission queue.
 struct AdmissionConfig {
@@ -45,6 +50,26 @@ struct PendingQuery {
   std::chrono::steady_clock::time_point enqueued_at;
   /// Runs the query; receives the measured admission wait in seconds.
   std::function<void(double)> run;
+  /// Shared-work grouping key (0 = not shareable). The controller groups
+  /// waiting queries by this opaque value only — compatibility semantics
+  /// live with whoever computed it (the ESQL planner).
+  uint64_t share_class = 0;
+  /// The shared-scan payload when shareable; what the runtime's batch path
+  /// builds the multi-query plan from. Opaque to the controller.
+  std::shared_ptr<const SharedScanSpec> shared;
+  /// Completes the query's handle without running `run` — the batch path's
+  /// per-member completion channel (stats/outcome per member).
+  std::function<void(Result<QueryResult>, const QueryRunStats&)> finish;
+};
+
+/// How long a driver popping a shareable query holds it open for
+/// compatible followers, and the largest batch it folds.
+struct BatchWindow {
+  /// Extra wait for stragglers once a shareable lead popped. 0 = group
+  /// only queries already waiting (no added latency).
+  std::chrono::microseconds window{0};
+  /// Queries per batch, lead included. 1 = batching off.
+  size_t max_queries = 1;
 };
 
 /// The admission queue between Submit and the driver threads: bounded
@@ -69,6 +94,19 @@ class AdmissionController {
   /// completes without executing, so it must not wait for memory).
   bool PopNext(PendingQuery* out) EXCLUDES(mu_);
 
+  /// PopNext plus shared-work grouping: after taking an admissible lead,
+  /// if it is shareable (share_class != 0) and `window.max_queries` > 1,
+  /// pulls same-class waiters into `*followers` (FIFO, charged like any
+  /// admission) and — when `window.window` > 0 — keeps the batch open for
+  /// stragglers until it fills or the window closes. The wait aborts early
+  /// on shutdown or when the lead's own token fires (a dying lead must not
+  /// hold followers hostage). `*window_wait_seconds` (optional) reports how
+  /// long the lead was held after its pop. A non-shareable lead returns
+  /// immediately with no followers, identical to PopNext.
+  bool PopNextBatch(PendingQuery* lead, std::vector<PendingQuery>* followers,
+                    const BatchWindow& window, double* window_wait_seconds)
+      EXCLUDES(mu_);
+
   /// Returns a popped query's reservation to the budget.
   void ReleaseMemory(uint64_t units) EXCLUDES(mu_);
 
@@ -88,6 +126,20 @@ class AdmissionController {
   size_t queued_now() const EXCLUDES(mu_);
 
  private:
+  /// Index of the best admissible waiter (priority, then FIFO, cancelled
+  /// entries always admissible), or waiting_.size() when none fits.
+  size_t BestAdmissibleLocked() const REQUIRES(mu_);
+  /// Removes waiting_[index] into `*out`, charging its reservation (zeroed
+  /// instead when its token already fired) and counting the admission.
+  void TakeLocked(size_t index, PendingQuery* out) REQUIRES(mu_);
+  /// Moves up to `max_followers` waiters with `share_class` into
+  /// `*followers` (FIFO order), skipping any whose reservation does not
+  /// currently fit the budget — those stay queued for a later batch rather
+  /// than stalling this one.
+  void CollectShareClassLocked(uint64_t share_class, size_t max_followers,
+                               std::vector<PendingQuery>* followers)
+      REQUIRES(mu_);
+
   AdmissionConfig config_;
   mutable Mutex mu_{"AdmissionController::mu"};
   CondVar cv_;

@@ -58,6 +58,12 @@ struct QueryRunStats {
   /// Peak tuple units charged against the query's memory quota across all
   /// phases (0 when the query declared no budget or retained no state).
   uint64_t quota_high_water_units = 0;
+  /// Queries that rode the same shared-scan batch as this one, including
+  /// this one. 0 = the query ran solo (no shared-work path involved).
+  size_t shared_batch_queries = 0;
+  /// Seconds the batch's lead driver held the admission window open before
+  /// execution started (0 for solo queries and zero-window batches).
+  double batch_window_wait_seconds = 0.0;
 };
 
 /// Future-like handle to a submitted query: wait for the outcome, cancel

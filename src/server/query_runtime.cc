@@ -4,6 +4,9 @@
 #include <numeric>
 #include <utility>
 
+#include "server/shared/shared_batch.h"
+#include "server/shared/shared_query.h"
+
 namespace dbs3 {
 
 namespace {
@@ -142,6 +145,13 @@ QueryHandle QueryRuntime::Submit(QuerySpec spec) {
   pending.memory_units = spec.memory_units;
   pending.cancel = state->cancel;
   pending.enqueued_at = std::chrono::steady_clock::now();
+  pending.share_class =
+      spec.shared != nullptr ? spec.shared->share_class : 0;
+  pending.shared = spec.shared;
+  pending.finish = [this, state](Result<QueryResult> outcome,
+                                 const QueryRunStats& stats) {
+    Complete(state, std::move(outcome), stats);
+  };
   pending.run = [this, state, memory_units = spec.memory_units,
                  body = std::move(spec.body)](double wait_seconds) mutable {
     QueryRunStats stats;
@@ -190,16 +200,187 @@ QueryHandle QueryRuntime::Submit(QuerySpec spec) {
 }
 
 void QueryRuntime::DriverLoop() {
+  const BatchWindow window{
+      std::chrono::microseconds(options_.shared_batch_window_us),
+      std::max<size_t>(1, options_.shared_batch_max_queries)};
   PendingQuery q;
-  while (admission_.PopNext(&q)) {
-    const double wait_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      q.enqueued_at)
-            .count();
-    q.run(wait_seconds);
-    admission_.ReleaseMemory(q.memory_units);
+  std::vector<PendingQuery> followers;
+  double window_wait_seconds = 0.0;
+  while (admission_.PopNextBatch(&q, &followers, window,
+                                 &window_wait_seconds)) {
+    if (followers.empty()) {
+      const double wait_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        q.enqueued_at)
+              .count();
+      q.run(wait_seconds);
+      admission_.ReleaseMemory(q.memory_units);
+    } else {
+      uint64_t batch_units = q.memory_units;
+      for (const PendingQuery& f : followers) batch_units += f.memory_units;
+      RunSharedBatch(&q, &followers, window_wait_seconds);
+      admission_.ReleaseMemory(batch_units);
+    }
     q = PendingQuery{};
+    followers.clear();
   }
+}
+
+void QueryRuntime::RunSharedBatch(PendingQuery* lead,
+                                  std::vector<PendingQuery>* followers,
+                                  double window_wait_seconds) {
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<PendingQuery*> members;
+  members.reserve(1 + followers->size());
+  members.push_back(lead);
+  for (PendingQuery& f : *followers) members.push_back(&f);
+
+  // Shed members that died while queued — a deadline expiring inside the
+  // batching window sheds the query here instead of riding the batch.
+  std::vector<PendingQuery*> live;
+  live.reserve(members.size());
+  for (PendingQuery* m : members) {
+    QueryRunStats stats;
+    stats.admission_wait_seconds =
+        std::chrono::duration<double>(now - m->enqueued_at).count();
+    if (shutdown_.load()) {
+      m->finish(Status::Cancelled("query runtime shutting down"), stats);
+    } else if (m->cancel.ShouldStop()) {
+      m->finish(m->cancel.ToStatus(), stats);
+    } else if (m->shared == nullptr) {
+      m->finish(Status::Internal("shareable query without a shared spec"),
+                stats);
+    } else {
+      live.push_back(m);
+    }
+  }
+  if (live.empty()) return;
+  if (live.size() == 1) {
+    // Everyone else shed: the member's own solo body is the identical (and
+    // cheaper) path — no tagging, no router.
+    PendingQuery* solo = live[0];
+    solo->run(std::chrono::duration<double>(now - solo->enqueued_at).count());
+    return;
+  }
+
+  // One batch presents as one running query to the scheduler's
+  // multiprogramming feedback — that is the point of sharing the pass.
+  live_.fetch_add(1);
+
+  std::vector<const SharedScanSpec*> specs;
+  std::vector<CancelToken> cancels;
+  specs.reserve(live.size());
+  cancels.reserve(live.size());
+  for (PendingQuery* m : live) {
+    specs.push_back(m->shared.get());
+    cancels.push_back(m->cancel);
+  }
+
+  const auto fail_all = [&](const Status& error) {
+    for (PendingQuery* m : live) {
+      QueryRunStats stats;
+      stats.admission_wait_seconds =
+          std::chrono::duration<double>(now - m->enqueued_at).count();
+      stats.shared_batch_queries = live.size();
+      stats.batch_window_wait_seconds = window_wait_seconds;
+      m->finish(error, stats);
+    }
+  };
+
+  Result<SharedBatchPlan> built = BuildSharedBatchPlan(specs, cancels);
+  if (!built.ok()) {
+    fail_all(built.status());
+    live_.fetch_sub(1);
+    return;
+  }
+  SharedBatchPlan batch = std::move(built).value();
+
+  const SharedScanSpec& lead_spec = *live[0]->shared;
+  const ScheduleOptions adjusted = ApplyUtilization(
+      lead_spec.schedule, MultiUserUtilization(live_queries()));
+  Result<ScheduleReport> scheduled =
+      ScheduleQuery(batch.plan, lead_spec.cost_model, adjusted);
+  if (!scheduled.ok()) {
+    fail_all(scheduled.status());
+    live_.fetch_sub(1);
+    return;
+  }
+  const ScheduleReport& report = scheduled.value();
+  const size_t total_threads = std::accumulate(
+      report.threads.begin(), report.threads.end(), size_t{0});
+
+  // Same worker-pool contract as QueryEnv::Run: whole-plan all-or-nothing
+  // reservation, private threads when the plan outsizes the pool. The
+  // engine-level token stays unfired — member cancellation is per-tuple
+  // drain inside the shared operators, not an execution abort.
+  ExecOptions exec;
+  exec.chunk_pool = &chunk_pool_;
+  MemoryQuota quota(0);
+  exec.quota = &quota;
+  bool reserved = false;
+  if (total_threads <= pool_.num_threads()) {
+    reserved = ReserveWorkers(total_threads, live[0]->cancel);
+    if (reserved) exec.workers = &pool_;
+  }
+  Executor executor;
+  Result<ExecutionResult> run = executor.Run(batch.plan, exec);
+  if (reserved) ReleaseWorkers(total_threads);
+  if (!run.ok()) {
+    fail_all(run.status());
+    live_.fetch_sub(1);
+    return;
+  }
+  const ExecutionResult execution = std::move(run).value();
+
+  // The per-query conservation audit is only meaningful after a clean
+  // drain (an aborted execution legitimately strands in-flight chunks).
+  const Status audit =
+      execution.completion.ok() ? batch.ledger->Audit() : Status::OK();
+
+  double total_busy = 0.0;
+  for (const OperationStats& op : execution.op_stats) {
+    total_busy += op.busy_seconds;
+  }
+
+  if (options_.metrics != nullptr) {
+    options_.metrics->counter("runtime.shared_batches")->Add(1);
+    options_.metrics->summary("shared.queries_per_batch")
+        ->Record(static_cast<int64_t>(live.size()));
+    options_.metrics->summary("shared.batch_window_wait_us")
+        ->Record(Micros(window_wait_seconds));
+  }
+
+  for (size_t i = 0; i < live.size(); ++i) {
+    PendingQuery* m = live[i];
+    QueryRunStats stats;
+    stats.admission_wait_seconds =
+        std::chrono::duration<double>(now - m->enqueued_at).count();
+    stats.shared_batch_queries = live.size();
+    stats.batch_window_wait_seconds = window_wait_seconds;
+    stats.execution_seconds = execution.seconds;
+    stats.phases = 1;
+    stats.used_shared_pool = reserved;
+    stats.units_processed = batch.ledger->routed(i);
+    stats.units_cancelled = batch.ledger->dropped_cancelled(i);
+    // The pass was shared; attribute an even share of the busy time.
+    stats.busy_seconds = total_busy / static_cast<double>(live.size());
+
+    if (!audit.ok()) {
+      m->finish(audit, stats);
+    } else if (m->cancel.ShouldStop()) {
+      m->finish(m->cancel.ToStatus(), stats);
+    } else if (!execution.completion.ok()) {
+      m->finish(execution.completion, stats);
+    } else {
+      QueryResult result;
+      result.result = std::move(batch.sinks[i]);
+      result.execution = execution;
+      result.schedule = report;
+      result.detail = batch.detail;
+      m->finish(std::move(result), stats);
+    }
+  }
+  live_.fetch_sub(1);
 }
 
 void QueryRuntime::Complete(const std::shared_ptr<QueryHandle::State>& state,

@@ -57,6 +57,15 @@ struct QueryRuntimeOptions {
   /// tuple in flight). Shrink it to trade steady-state allocations for
   /// memory.
   size_t chunk_pool_buffers = 64 * 1024;
+  /// Largest shared-scan batch a driver folds (lead included). 1 turns the
+  /// shared-work path off entirely; the default groups compatible queries
+  /// whenever they are simultaneously queued.
+  size_t shared_batch_max_queries = 8;
+  /// Extra microseconds a driver holds a shareable lead open for
+  /// compatible stragglers before executing. 0 (default) adds no latency:
+  /// only queries already waiting are grouped. The paper-era sweet spot
+  /// for lookup floods is 500–2000 us.
+  uint64_t shared_batch_window_us = 0;
 };
 
 /// The outcome of one scheduled-and-executed plan phase.
@@ -131,6 +140,12 @@ struct QuerySpec {
   /// External cancel token to share; default = a fresh token (cancel via
   /// the returned handle).
   std::optional<CancelToken> cancel;
+  /// Shared-work payload: when set, the admission controller may fold this
+  /// query into a multi-query shared-scan batch with other queries of the
+  /// same share_class; `body` is then bypassed for the batch path (it still
+  /// runs when the query executes solo). Set by the ESQL planner for
+  /// shareable scan-only queries.
+  std::shared_ptr<const SharedScanSpec> shared;
 };
 
 /// The concurrent query runtime: one engine-wide WorkerPool all queries
@@ -171,6 +186,14 @@ class QueryRuntime {
   void DriverLoop();
   void Complete(const std::shared_ptr<QueryHandle::State>& state,
                 Result<QueryResult> outcome, const QueryRunStats& stats);
+
+  /// Executes one shared-scan batch (lead + followers popped together):
+  /// sheds members whose token/deadline fired while queued, degenerates to
+  /// the member's own solo body when only one survives, and otherwise runs
+  /// the single multi-query plan and completes every member's handle from
+  /// its routed sink. The caller releases each member's admission memory.
+  void RunSharedBatch(PendingQuery* lead, std::vector<PendingQuery>* followers,
+                      double window_wait_seconds);
 
   /// Blocks until `slots` worker threads are free on the shared pool and
   /// charges them. False when `cancel` fires first or `slots` exceeds the

@@ -1,0 +1,64 @@
+#ifndef DBS3_SERVER_SHARED_SHARED_QUERY_H_
+#define DBS3_SERVER_SHARED_SHARED_QUERY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/cost_model.h"
+#include "engine/operators.h"
+#include "sched/scheduler.h"
+#include "storage/relation.h"
+#include "storage/schema.h"
+
+namespace dbs3 {
+
+/// Everything the runtime needs to fold one submitted query into a
+/// multi-query shared-scan plan (SharedDB-style shared work): the relation
+/// it scans, its own predicate, and how its slice of the shared pass is
+/// projected and materialized. The ESQL planner builds one of these at
+/// Submit time for every shareable query (single-relation selection, no
+/// aggregates/ordering, no declared memory budget); queries whose spec
+/// carries the same nonzero `share_class` may execute as one plan.
+///
+/// Compatibility contract: two specs with equal share_class scan the same
+/// Relation object with the same projection shape and the same vectorize
+/// setting. Predicates, result names, deadlines and cancel tokens are
+/// per-member — differing predicates are the point of sharing the pass.
+struct SharedScanSpec {
+  /// The relation the shared pass scans. Must outlive execution (catalog
+  /// relations do; the planner only marks catalog scans shareable).
+  const Relation* relation = nullptr;
+  /// This member's WHERE conjunction (lowered PredExpr when possible).
+  Predicate predicate;
+  /// Scheduling estimate of the kept fraction.
+  double selectivity = 1.0;
+  /// Base-relation columns of the member's SELECT list, in output order.
+  /// Empty = SELECT * (every column, schema order).
+  std::vector<size_t> projection;
+  /// Schema of the member's result relation (projected when `projection`
+  /// is non-empty, otherwise the base schema).
+  Schema result_schema;
+  /// Name of the member's materialized result.
+  std::string result_name = "esql_result";
+  /// Run the batched predicate kernels over each ColumnBatch tile.
+  bool vectorize = true;
+  /// Scheduling knobs of the member; the batch runs under the lead
+  /// member's schedule and cost model.
+  ScheduleOptions schedule;
+  CostModel cost_model;
+  /// Grouping key: equal nonzero classes are batchable. 0 = never shared.
+  uint64_t share_class = 0;
+};
+
+/// The grouping key for `relation` scans with this projection/vectorize
+/// shape. Stable within a process (hashes the relation's identity), always
+/// nonzero.
+uint64_t ComputeShareClass(const Relation& relation,
+                           const std::vector<size_t>& projection,
+                           bool vectorize);
+
+}  // namespace dbs3
+
+#endif  // DBS3_SERVER_SHARED_SHARED_QUERY_H_

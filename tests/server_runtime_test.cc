@@ -4,6 +4,7 @@
 
 #include "server/query_runtime.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <mutex>
@@ -15,6 +16,7 @@
 #include "dbs3/database.h"
 #include "dbs3/query.h"
 #include "esql/planner.h"
+#include "server/shared/shared_query.h"
 #include "server/worker_pool.h"
 
 namespace dbs3 {
@@ -532,6 +534,191 @@ TEST(DatabaseTest, DatabaseIsNeitherCopyableNorMovable) {
   static_assert(!std::is_copy_assignable_v<Database>);
   static_assert(!std::is_move_constructible_v<Database>);
   static_assert(!std::is_move_assignable_v<Database>);
+}
+
+// ---------------------------------------------------------------------
+// Shared-work execution: multi-query shared scans.
+
+std::vector<Tuple> SortedRows(const Relation& rel) {
+  std::vector<Tuple> rows = rel.Scan();
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+TEST(SharedScanTest, DeadlineExpiringInTheWindowShedsNotRides) {
+  Database db(2);
+  WisconsinOptions opt;
+  opt.cardinality = 2'000;
+  opt.degree = 2;
+  ASSERT_TRUE(db.CreateWisconsin("w", opt).ok());
+  QueryRuntimeOptions ropt;
+  ropt.max_concurrent_queries = 1;  // One driver => one batch window.
+  ropt.shared_batch_max_queries = 8;
+  ropt.shared_batch_window_us = 150'000;  // Far beyond q2's deadline.
+  ASSERT_TRUE(db.StartRuntime(ropt).ok());
+
+  // Park the driver so both queries are queued before the window opens.
+  Latch started, release;
+  QuerySpec blocker;
+  blocker.body = Blocker(&started, &release);
+  QueryHandle blocking = db.Submit(std::move(blocker));
+  started.Await();
+
+  EsqlOptions options;
+  QueryHandle q1 = SubmitEsql(db, "SELECT * FROM w WHERE unique1 < 100",
+                              options);
+  EsqlOptions with_deadline = options;
+  with_deadline.deadline = steady_clock::now() + milliseconds(40);
+  QueryHandle q2 = SubmitEsql(db, "SELECT * FROM w WHERE unique1 < 500",
+                              with_deadline);
+  release.Set();
+  ASSERT_TRUE(blocking.Take().ok());
+
+  // q2's deadline fires ~40ms into the 150ms window: it must be shed with
+  // DeadlineExceeded, not ride the batch to a late result.
+  auto q2_taken = q2.Take();
+  ASSERT_FALSE(q2_taken.ok());
+  EXPECT_EQ(q2_taken.status().code(), StatusCode::kDeadlineExceeded);
+
+  // q1, the sole survivor, degenerates to its solo body — correct rows,
+  // no shared batch recorded anywhere.
+  auto q1_taken = q1.Take();
+  ASSERT_TRUE(q1_taken.ok()) << q1_taken.status().ToString();
+  Relation* rel = db.relation("w").value();
+  std::vector<Tuple> expected;
+  for (const Tuple& t : rel->Scan()) {
+    if (t.at(0).AsInt() < 100) expected.push_back(t);
+  }
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(SortedRows(*q1_taken.value().result), expected);
+  EXPECT_EQ(q1.stats().shared_batch_queries, 0u);
+  MetricsSnapshot snap = db.metrics().Snapshot();
+  EXPECT_EQ(snap.counters["runtime.shared_batches"], 0u);
+}
+
+TEST(SharedScanTest, CancellingOneMemberMidBatchLeavesTheOthersIntact) {
+  Database db(2);
+  WisconsinOptions opt;
+  opt.cardinality = 800;
+  opt.degree = 2;
+  ASSERT_TRUE(db.CreateWisconsin("w", opt).ok());
+  QueryRuntimeOptions ropt;
+  ropt.max_concurrent_queries = 1;
+  ropt.shared_batch_max_queries = 8;
+  ASSERT_TRUE(db.StartRuntime(ropt).ok());
+  Relation* rel = db.relation("w").value();
+
+  // q1's predicate parks the scan workers mid-pass so the main thread can
+  // cancel q2 while the batch is running.
+  Latch started, release;
+  TuplePredicate parked = [&started, &release](const Tuple&) {
+    started.Set();
+    release.Await();
+    return true;
+  };
+  const auto make_spec = [&](Predicate predicate) {
+    auto shared = std::make_shared<SharedScanSpec>();
+    shared->relation = rel;
+    shared->predicate = std::move(predicate);
+    shared->result_schema = rel->schema();
+    shared->vectorize = false;
+    shared->share_class = 42;  // Hand-assigned: the two are compatible.
+    QuerySpec spec;
+    spec.shared = std::move(shared);
+    spec.body = [](QueryEnv&) -> Result<QueryResult> {
+      return Status::Internal("expected the batch path, got a solo run");
+    };
+    return spec;
+  };
+
+  // Park the driver so both members are queued when the batch forms.
+  Latch b_started, b_release;
+  QuerySpec blocker;
+  blocker.body = Blocker(&b_started, &b_release);
+  QueryHandle blocking = db.Submit(std::move(blocker));
+  b_started.Await();
+  QueryHandle q1 = db.Submit(make_spec(Predicate(parked)));
+  QueryHandle q2 = db.Submit(make_spec(MatchAll()));
+  b_release.Set();
+  ASSERT_TRUE(blocking.Take().ok());
+
+  started.Await();  // The shared pass is underway (parked on q1's pred).
+  q2.Cancel();
+  release.Set();
+
+  // q2 is gone, q1 is whole: one member's cancel drops only its tagged
+  // tuples. q1's OK outcome implies the per-query conservation ledger
+  // audited clean (an unbalanced ledger fails every member).
+  auto q2_taken = q2.Take();
+  ASSERT_FALSE(q2_taken.ok());
+  EXPECT_EQ(q2_taken.status().code(), StatusCode::kCancelled);
+  auto q1_taken = q1.Take();
+  ASSERT_TRUE(q1_taken.ok()) << q1_taken.status().ToString();
+  EXPECT_EQ(SortedRows(*q1_taken.value().result), SortedRows(*rel));
+  EXPECT_EQ(q1.stats().shared_batch_queries, 2u);
+  EXPECT_EQ(q2.stats().shared_batch_queries, 2u);
+  MetricsSnapshot snap = db.metrics().Snapshot();
+  EXPECT_EQ(snap.counters["runtime.shared_batches"], 1u);
+}
+
+TEST(SharedScanTest, IncompatibleQueryIsNeverFoldedIntoABatch) {
+  Database db(2);
+  WisconsinOptions opt;
+  opt.cardinality = 2'000;
+  opt.degree = 2;
+  ASSERT_TRUE(db.CreateWisconsin("w", opt).ok());
+  QueryRuntimeOptions ropt;
+  ropt.max_concurrent_queries = 1;
+  ropt.shared_batch_max_queries = 8;
+  ASSERT_TRUE(db.StartRuntime(ropt).ok());
+
+  Latch started, release;
+  QuerySpec blocker;
+  blocker.body = Blocker(&started, &release);
+  QueryHandle blocking = db.Submit(std::move(blocker));
+  started.Await();
+
+  // qa and qb share a class (same relation, star projection); qc projects
+  // two columns — a different shape, so a different class.
+  EsqlOptions options;
+  QueryHandle qa = SubmitEsql(db, "SELECT * FROM w WHERE unique1 < 50",
+                              options);
+  QueryHandle qb = SubmitEsql(db, "SELECT * FROM w WHERE unique1 < 150",
+                              options);
+  QueryHandle qc = SubmitEsql(
+      db, "SELECT unique1, unique2 FROM w WHERE unique1 < 150", options);
+  release.Set();
+  ASSERT_TRUE(blocking.Take().ok());
+
+  auto qa_taken = qa.Take();
+  auto qb_taken = qb.Take();
+  auto qc_taken = qc.Take();
+  ASSERT_TRUE(qa_taken.ok()) << qa_taken.status().ToString();
+  ASSERT_TRUE(qb_taken.ok()) << qb_taken.status().ToString();
+  ASSERT_TRUE(qc_taken.ok()) << qc_taken.status().ToString();
+
+  // qa/qb rode one batch; qc ran solo and is row-identical to the solo
+  // reference computed straight off the base relation.
+  EXPECT_EQ(qa.stats().shared_batch_queries, 2u);
+  EXPECT_EQ(qb.stats().shared_batch_queries, 2u);
+  EXPECT_EQ(qc.stats().shared_batch_queries, 0u);
+  MetricsSnapshot snap = db.metrics().Snapshot();
+  EXPECT_EQ(snap.counters["runtime.shared_batches"], 1u);
+  EXPECT_EQ(snap.series["shared.queries_per_batch"].samples, 1u);
+  EXPECT_EQ(snap.series["shared.queries_per_batch"].last, 2);
+
+  Relation* rel = db.relation("w").value();
+  std::vector<Tuple> qb_expected;
+  std::vector<Tuple> qc_expected;
+  for (const Tuple& t : rel->Scan()) {
+    if (t.at(0).AsInt() >= 150) continue;
+    qb_expected.push_back(t);
+    qc_expected.push_back(Tuple(std::vector<Value>{t.at(0), t.at(1)}));
+  }
+  std::sort(qb_expected.begin(), qb_expected.end());
+  std::sort(qc_expected.begin(), qc_expected.end());
+  EXPECT_EQ(SortedRows(*qb_taken.value().result), qb_expected);
+  EXPECT_EQ(SortedRows(*qc_taken.value().result), qc_expected);
 }
 
 }  // namespace

@@ -40,4 +40,32 @@ size_t NonConsumingLoop(size_t n) {
   return sum;
 }
 
+// The shared result router's drain shape done right: the batch-level token
+// is consulted every chunk, so a batch cancel stops routing promptly even
+// with tagged tuples still queued.
+void RouteTaggedChunksUntilStopped(ActivationQueue* queue, Operation* sinks,
+                                   const CancelToken& batch_cancel) {
+  std::vector<Activation> chunk;
+  while (!batch_cancel.ShouldStop()) {
+    if (queue->PopBatch(128, &chunk) == 0) break;
+    for (const Activation& a : chunk) {
+      (void)a;
+      sinks->PushTrigger(0);
+    }
+  }
+}
+
+// Spilled-batch replay with a per-chunk check: a cancelled member stops
+// paying for the replay after at most one chunk.
+Status ReplaySpilledBatchChecked(SpillFile* file, Operation* sinks,
+                                 const CancelToken& cancel) {
+  std::vector<Tuple> chunk;
+  while (file->ReadChunk(&chunk)) {
+    if (cancel.cancelled()) return Status::OK();
+    for (const Tuple& t : chunk) sinks->PushData(0, t);
+    chunk.clear();
+  }
+  return Status::OK();
+}
+
 }  // namespace dbs3

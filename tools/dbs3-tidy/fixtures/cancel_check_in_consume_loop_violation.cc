@@ -32,4 +32,29 @@ void CheckedOnlyBeforeTheLoop(ActivationQueue* queue, CancelToken* cancel) {
   }
 }
 
+// The shared result router's drain shape: demultiplexing tagged chunks to
+// per-member sinks. Without a per-iteration check a cancelled member's
+// tuples keep flowing until the whole batch finishes.
+void RouteTaggedChunks(ActivationQueue* queue, Operation* sinks) {
+  std::vector<Activation> chunk;
+  while (true) {  // DBS3-TIDY: dbs3-cancel-check-in-consume-loop
+    if (queue->PopBatch(128, &chunk) == 0) break;
+    for (const Activation& a : chunk) {
+      (void)a;
+      sinks->PushTrigger(0);
+    }
+  }
+}
+
+// Replaying a spilled shared batch to late members: the file drives the
+// loop, so a cancel can only land between files, not between chunks.
+Status ReplaySpilledBatch(SpillFile* file, Operation* sinks) {
+  std::vector<Tuple> chunk;
+  while (file->ReadChunk(&chunk)) {  // DBS3-TIDY: dbs3-cancel-check-in-consume-loop
+    for (const Tuple& t : chunk) sinks->PushData(0, t);
+    chunk.clear();
+  }
+  return Status::OK();
+}
+
 }  // namespace dbs3

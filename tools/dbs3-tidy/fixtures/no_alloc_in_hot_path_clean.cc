@@ -57,4 +57,40 @@ class SetupOutsideTheKernel {
   std::vector<uint32_t> hits_;
 };
 
+// The shared scan's tagged-emit shape done right: the per-member tag tuple
+// is prebuilt outside the kernel and EmitConcat writes [tag, row] straight
+// into a recycled chunk slot — zero allocations per emitted row.
+class PrebuiltTagSharedEmit {
+ public:
+  // Tag construction happens once, off the kernel surface.
+  void Prepare(size_t members) {
+    tags_.resize(members);
+  }
+
+  void EmitTagged(size_t instance, const Tuple* rows, const uint32_t* sel,
+                  size_t kept, size_t member, Emitter* out) {
+    const Tuple& tag = tags_[member];
+    for (size_t i = 0; i < kept; ++i) {
+      out->EmitConcat(instance, tag, rows[sel[i]]);
+    }
+  }
+
+ private:
+  std::vector<Tuple> tags_;
+};
+
+// Growth routed through a pool receiver is the sanctioned staging path.
+class PoolStagedSharedEmit {
+ public:
+  void EmitTagged(size_t instance, const Tuple* rows, const uint32_t* sel,
+                  size_t kept, Emitter* out) {
+    for (size_t i = 0; i < kept; ++i) chunk_pool_.push_back(rows[sel[i]]);
+    for (const Tuple& row : chunk_pool_) out->EmitConcat(instance, tag_, row);
+  }
+
+ private:
+  Tuple tag_;
+  std::vector<Tuple> chunk_pool_;
+};
+
 }  // namespace dbs3

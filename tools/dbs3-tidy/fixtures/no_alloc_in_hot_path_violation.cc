@@ -50,4 +50,35 @@ class ReserveInPredicateKernel {
   std::vector<uint32_t> hits_;
 };
 
+// The shared scan's tagged-emit path: building a fresh tag tuple per
+// emitted row instead of reusing the prebuilt per-member tag.
+class TagAllocInSharedEmit {
+ public:
+  void EmitTagged(size_t instance, const Tuple* rows, const uint32_t* sel,
+                  size_t kept, Emitter* out) {
+    for (size_t i = 0; i < kept; ++i) {
+      Tuple* tag = new Tuple();  // DBS3-TIDY: dbs3-no-alloc-in-hot-path
+      out->EmitConcat(instance, *tag, rows[sel[i]]);
+      delete tag;
+    }
+  }
+};
+
+// Staging emitted rows in a growing member buffer defeats the recycled
+// chunk slot the tagged emit writes into.
+class StagingBufferInSharedEmit {
+ public:
+  void EmitTagged(size_t instance, const Tuple* rows, const uint32_t* sel,
+                  size_t kept, Emitter* out) {
+    for (size_t i = 0; i < kept; ++i) {
+      staged_.push_back(rows[sel[i]]);  // DBS3-TIDY: dbs3-no-alloc-in-hot-path
+    }
+    for (const Tuple& row : staged_) out->EmitConcat(instance, tag_, row);
+  }
+
+ private:
+  Tuple tag_;
+  std::vector<Tuple> staged_;
+};
+
 }  // namespace dbs3

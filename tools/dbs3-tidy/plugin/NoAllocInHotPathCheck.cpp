@@ -17,7 +17,7 @@ namespace {
 AST_MATCHER(FunctionDecl, isHotPathFunction) {
   static const char* kNames[] = {"OnData",      "OnDataBatch", "Probe",
                                  "ProbeKeys",   "ProbeHashed", "EvalPredAll",
-                                 "EvalRow",     "HashColumn"};
+                                 "EvalRow",     "HashColumn",  "EmitTagged"};
   const auto Name = Node.getNameAsString();
   for (const char* N : kNames) {
     if (Name == N) return true;
