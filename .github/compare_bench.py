@@ -7,6 +7,7 @@ Usage:
   compare_bench.py --kernels CANDIDATE.json MIN_SPEEDUP
   compare_bench.py --spill CANDIDATE.json [SLACK_UNITS]
   compare_bench.py --sharedscan CANDIDATE.json
+  compare_bench.py --adaptive CANDIDATE.json [MAX_LONG_WALL_RATIO]
 
 Default mode matches benchmarks by name on their median aggregate (the
 runs use --benchmark_repetitions with --benchmark_report_aggregates_only)
@@ -42,6 +43,14 @@ folded anything and the sweep is vacuous), and at the gate concurrency
 the shared mode's QPS must strictly beat the solo mode's. QPS on shared
 runners is noisy, so callers wrap the QPS part in a retry loop — a
 correctness mismatch fails immediately regardless.
+
+--adaptive mode gates ext_adaptive_sched's BENCH_adaptive.json: both
+modes' results must match their references (not retryable), the
+adaptive mode's short-query p95 and p99 must be strictly below the
+static mode's, the long query's wall must stay within
+MAX_LONG_WALL_RATIO (default 1.05) of the static run, and the
+rebalancer must actually have parked and granted workers — otherwise
+the run never reallocated anything and the comparison is vacuous.
 """
 
 import json
@@ -206,6 +215,57 @@ def check_sharedscan(argv):
     return 0
 
 
+def check_adaptive(argv):
+    candidate_path = argv[0]
+    max_ratio = float(argv[1]) if len(argv) >= 2 else 1.05
+    with open(candidate_path) as f:
+        candidate = json.load(f)
+    static = candidate["modes"]["static"]
+    adaptive = candidate["modes"]["adaptive"]
+
+    failed = False
+    for name, mode in (("static", static), ("adaptive", adaptive)):
+        if not mode["results_match"]:
+            failed = True
+            print(f"MISMATCH {name}: query results differ from reference")
+        else:
+            print(f"OK {name}: {int(mode['shorts'])} shorts and the long "
+                  f"query all match their references")
+
+    parked = int(adaptive["threads_parked"])
+    granted = int(adaptive["threads_granted"])
+    if parked == 0 or granted == 0:
+        failed = True
+        print(f"VACUOUS adaptive: parked={parked} granted={granted} -- the "
+              f"rebalancer never reallocated a worker")
+    else:
+        print(f"OK adaptive: {parked} workers parked, {granted} granted")
+
+    for pct in ("p95", "p99"):
+        s = float(static[f"short_{pct}_us"])
+        a = float(adaptive[f"short_{pct}_us"])
+        if a < s:
+            print(f"OK short {pct}: adaptive {a:.0f}us < static {s:.0f}us")
+        else:
+            failed = True
+            print(f"TOO SLOW short {pct}: adaptive {a:.0f}us >= static "
+                  f"{s:.0f}us")
+
+    ratio = float(candidate["long_wall_ratio"])
+    if ratio <= max_ratio:
+        print(f"OK long wall: adaptive/static = {ratio:.3f} "
+              f"(<= {max_ratio:.2f})")
+    else:
+        failed = True
+        print(f"REGRESSION long wall: adaptive/static = {ratio:.3f} "
+              f"exceeds {max_ratio:.2f}")
+
+    if failed:
+        print("adaptive gate failed")
+        return 1
+    return 0
+
+
 def medians(path):
     with open(path) as f:
         doc = json.load(f)
@@ -225,6 +285,8 @@ def main():
         return check_spill(sys.argv[2:])
     if sys.argv[1] == "--sharedscan":
         return check_sharedscan(sys.argv[2:])
+    if sys.argv[1] == "--adaptive":
+        return check_adaptive(sys.argv[2:])
     baseline_path, candidate_path, tolerance = sys.argv[1:4]
     tolerance = float(tolerance)
     baseline = medians(baseline_path)

@@ -86,6 +86,10 @@ QueryHandle SubmitPlanned(Database& db, QueryPlanner planner,
   QuerySpec spec;
   spec.priority = options.priority;
   spec.memory_units = options.memory_units;
+  // The CPU half of joint admission: the thread share the schedule would
+  // ask for (0 = derived schedule, unknown until planning — always
+  // CPU-fit).
+  spec.threads_hint = options.schedule.total_threads;
   spec.deadline = options.deadline;
   spec.cancel = options.cancel;
   spec.body = [&db, planner = std::move(planner),

@@ -5,11 +5,95 @@
 #include <memory>
 #include <numeric>
 #include <string>
+#include <utility>
 
 #include "common/logging.h"
 #include "engine/verify.h"
 
 namespace dbs3 {
+namespace {
+
+/// The executor's view of its own plan as a malleable job: load snapshots
+/// per operation, park requests routed to the operation with the largest
+/// worker surplus, grants dispatched into the hottest (most queued work)
+/// operation. Called concurrently with the execution by the server's
+/// rebalance tick; every Operation method used here is thread-safe.
+class PlanMalleable final : public MalleableExecution {
+ public:
+  PlanMalleable(std::vector<std::unique_ptr<Operation>>* ops,
+                size_t grant_quantum)
+      : ops_(ops), quantum_(std::max<size_t>(1, grant_quantum)) {}
+
+  std::vector<OpLoad> SampleLoad() override {
+    std::vector<OpLoad> loads;
+    loads.reserve(ops_->size());
+    for (const auto& op : *ops_) {
+      OpLoad load;
+      load.name = op->config().name;
+      load.instances = op->config().num_instances;
+      load.active_workers = op->active_workers();
+      load.pending_units =
+          static_cast<uint64_t>(std::max<int64_t>(0, op->pending()));
+      load.drained = op->drained();
+      loads.push_back(std::move(load));
+    }
+    return loads;
+  }
+
+  size_t RequestPark(size_t n) override {
+    // Largest surplus first, one pass: each operation already clamps its
+    // own outstanding requests, so a single sweep cannot over-request.
+    std::vector<std::pair<size_t, Operation*>> by_surplus;
+    for (const auto& op : *ops_) {
+      const size_t surplus = SurplusOf(*op);
+      if (surplus > 0) by_surplus.emplace_back(surplus, op.get());
+    }
+    std::sort(by_surplus.begin(), by_surplus.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    size_t requested = 0;
+    for (const auto& [surplus, op] : by_surplus) {
+      if (requested >= n) break;
+      requested += op->RequestPark(std::min(n - requested, surplus));
+    }
+    return requested;
+  }
+
+  bool TryGrantWorker() override {
+    std::vector<Operation*> targets;
+    for (const auto& op : *ops_) {
+      if (!op->drained()) targets.push_back(op.get());
+    }
+    std::sort(targets.begin(), targets.end(), [](Operation* a, Operation* b) {
+      return a->pending() > b->pending();
+    });
+    for (Operation* op : targets) {
+      if (op->TryGrantWorker()) return true;
+    }
+    return false;
+  }
+
+ private:
+  /// Workers the operation could give up right now: everything beyond one
+  /// worker per `quantum_` queued units (always keeping one). A drained
+  /// operation has no surplus — its workers are exiting on their own and
+  /// their slots come back through the exit path anyway.
+  size_t SurplusOf(const Operation& op) const {
+    if (op.drained()) return 0;
+    const size_t active = op.active_workers();
+    if (active <= 1) return 0;
+    const uint64_t pending =
+        static_cast<uint64_t>(std::max<int64_t>(0, op.pending()));
+    size_t needed =
+        static_cast<size_t>((pending + quantum_ - 1) / quantum_);
+    needed = std::clamp<size_t>(needed, 1, active);
+    return active - needed;
+  }
+
+  std::vector<std::unique_ptr<Operation>>* ops_;
+  size_t quantum_;
+};
+
+}  // namespace
 
 Result<ExecutionResult> Executor::Run(Plan& plan) {
   return Run(plan, ExecOptions{});
@@ -114,6 +198,30 @@ Result<ExecutionResult> Executor::Run(Plan& plan,
     sampler.Start();
   }
 
+  // Steady-state malleability: a pool-backed execution registers on the
+  // caller's board before any worker starts, so every worker exit — park
+  // or natural drain — credits its pool slot back through the board. The
+  // exit callbacks must be installed before StartOn (a worker could run
+  // and exit during the start loop).
+  const bool adaptive =
+      options.board != nullptr && options.workers != nullptr;
+  PlanMalleable malleable(&ops, options.grant_quantum);
+  uint64_t board_id = 0;
+  if (adaptive) {
+    size_t reserved = 0;
+    for (size_t i = 0; i < plan.num_nodes(); ++i) {
+      reserved += plan.node(i).params.threads;
+    }
+    board_id = options.board->Register(
+        &malleable, reserved, std::max(options.desired_threads, reserved));
+    ExecutionBoard* board = options.board;
+    const uint64_t id = board_id;
+    for (auto& op : ops) {
+      op->set_exit_callback(
+          [board, id](bool parked) { board->OnWorkerExit(id, parked); });
+    }
+  }
+
   const auto t0 = std::chrono::steady_clock::now();
 
   // Producers start before their consumers (topological order), so on a
@@ -155,6 +263,14 @@ Result<ExecutionResult> Executor::Run(Plan& plan,
   }
 
   const auto t1 = std::chrono::steady_clock::now();
+
+  // Every worker has exited (and credited its slot through the board's
+  // exit path); unregister before anything can error out below so the
+  // caller's slot accounting settles on every return path. The board
+  // serializes this against any in-flight rebalance tick.
+  RebalanceTotals rebalance;
+  if (adaptive) rebalance = options.board->Unregister(board_id);
+  if (options.rebalance_out != nullptr) *options.rebalance_out = rebalance;
 
   // The sampler's probes point into the operations: stop it (and drop the
   // probes) before the operations can go away.
@@ -212,6 +328,8 @@ Result<ExecutionResult> Executor::Run(Plan& plan,
   registry.counter("engine.chunks_reused")->Add(result.chunk_pool.reused);
   registry.counter("engine.chunks_discarded")
       ->Add(result.chunk_pool.discarded);
+  result.threads_granted = rebalance.granted;
+  result.threads_parked = rebalance.parked;
   result.completion = options.cancel.ToStatus();
   result.metrics = registry.Snapshot();
 

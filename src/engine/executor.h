@@ -12,6 +12,7 @@
 #include "engine/chunk_pool.h"
 #include "engine/operation.h"
 #include "engine/plan.h"
+#include "engine/rebalance.h"
 #include "engine/thread_source.h"
 
 namespace dbs3 {
@@ -42,6 +43,24 @@ struct ExecOptions {
   /// destructors release charges a cancelled run leaves behind). nullptr =
   /// no accounting: every operator stays on its unbounded in-memory path.
   MemoryQuota* quota = nullptr;
+  /// When set (pool-backed runs only), the execution registers on this
+  /// board for steady-state rebalancing: the server may park surplus
+  /// workers mid-run (their pool slots are credited back per exit through
+  /// the board) or grant extra workers into the hottest operation. The
+  /// board must outlive the call. Null = static allocation (default).
+  ExecutionBoard* board = nullptr;
+  /// The unclamped thread count the schedule wanted before any utilization
+  /// clamp (the grant headroom the rebalancer may restore). 0 or less than
+  /// the reserved count = no headroom beyond the reservation.
+  size_t desired_threads = 0;
+  /// Queued tuple units one worker is considered enough for when deciding
+  /// how many workers an operation can give up (the rebalancer's min grant
+  /// quantum).
+  size_t grant_quantum = 256;
+  /// When set, receives what the rebalancer did to this execution — written
+  /// even when Run returns an error after the workers joined, so the caller
+  /// can settle pool-slot accounting on every path.
+  RebalanceTotals* rebalance_out = nullptr;
 };
 
 /// Outcome of one plan execution on the real multithreaded engine.
@@ -75,6 +94,11 @@ struct ExecutionResult {
   /// emitter buffer is allocated at most once and then cycles through
   /// producer -> consumer queue -> pool -> producer).
   ChunkPool::Stats chunk_pool;
+  /// Steady-state rebalancing activity (0 without an ExecOptions board):
+  /// extra workers granted into this execution mid-query, and workers
+  /// parked (released back to the pool before their natural drain).
+  uint64_t threads_granted = 0;
+  uint64_t threads_parked = 0;
 };
 
 /// Runs a Plan with real threads on the host machine.

@@ -171,9 +171,14 @@ Operation::Operation(OperationConfig config, OperatorLogic* logic,
   }
   visit_order_ = QueueVisitOrder(config_.strategy, config_.cost_estimates,
                                  config_.num_instances);
-  per_thread_processed_.assign(config_.num_threads, 0);
-  per_thread_busy_ns_.assign(config_.num_threads, 0);
-  per_thread_idle_ns_.assign(config_.num_threads, 0);
+  // Stat slots are pre-sized to the worker capacity (threads plus any
+  // mid-run grants up to the instance count) so a granted worker never
+  // races a vector reallocation with running peers.
+  worker_capacity_ = std::max(config_.num_threads, config_.num_instances);
+  worker_high_water_.store(config_.num_threads, std::memory_order_relaxed);
+  per_thread_processed_.assign(worker_capacity_, 0);
+  per_thread_busy_ns_.assign(worker_capacity_, 0);
+  per_thread_idle_ns_.assign(worker_capacity_, 0);
   per_instance_processed_ =
       std::make_unique<std::atomic<uint64_t>[]>(config_.num_instances);
   for (size_t i = 0; i < config_.num_instances; ++i) {
@@ -269,6 +274,7 @@ void Operation::PushTrigger(size_t instance) {
 void Operation::BeginWorkers(size_t count) {
   MutexLock lock(&exit_mu_);
   live_workers_ = count;
+  next_worker_id_ = count;
 }
 
 void Operation::Start() {
@@ -286,6 +292,13 @@ void Operation::StartOn(ThreadSource* source) {
   assert(!started_);
   assert(source != nullptr);
   started_ = true;
+  // Remembering the source lets the rebalancer grant extra workers into
+  // this operation mid-run (TryGrantWorker dispatches on it). Published
+  // under exit_mu_: the rebalance tick may probe concurrently.
+  {
+    MutexLock lock(&exit_mu_);
+    thread_source_ = source;
+  }
   start_time_ = std::chrono::steady_clock::now();
   // All workers are marked live before the first dispatch: a worker that
   // runs and exits immediately must not let Join() observe a 0 count while
@@ -308,6 +321,82 @@ void Operation::Join() {
     while (live_workers_ > 0) exit_cv_.Wait(&exit_mu_);
   }
   started_ = false;
+}
+
+size_t Operation::RequestPark(size_t n) {
+  size_t granted = 0;
+  {
+    MutexLock lock(&exit_mu_);
+    if (live_workers_ == 0) return 0;
+    const size_t active = live_workers_ - parking_;
+    const size_t outstanding = park_requests_.load(std::memory_order_relaxed);
+    // Never ask for more parks than would leave one active worker after all
+    // outstanding requests are honored — the last worker must keep draining.
+    const size_t parkable =
+        active > outstanding + 1 ? active - outstanding - 1 : 0;
+    granted = std::min(n, parkable);
+    if (granted == 0) return 0;
+    park_requests_.store(outstanding + granted, std::memory_order_release);
+  }
+  // Wake idle workers so they observe the request at their wait predicate;
+  // empty critical section fences against a waiter between its predicate
+  // check and its wait (same pattern as PushActivation).
+  { MutexLock lock(&wait_mu_); }
+  work_cv_.SignalAll();
+  return granted;
+}
+
+bool Operation::TryClaimPark() {
+  MutexLock lock(&exit_mu_);
+  const size_t outstanding = park_requests_.load(std::memory_order_relaxed);
+  if (outstanding == 0) return false;
+  if (live_workers_ - parking_ <= 1) {
+    // Last active worker: drop the stale request entirely rather than
+    // retaining it — a retained request would spin this worker between its
+    // wait predicate (which the request satisfies) and this refusal.
+    park_requests_.store(outstanding - 1, std::memory_order_release);
+    return false;
+  }
+  park_requests_.store(outstanding - 1, std::memory_order_release);
+  ++parking_;
+  return true;
+}
+
+bool Operation::TryGrantWorker() {
+  size_t id = 0;
+  ThreadSource* source = nullptr;
+  {
+    MutexLock lock(&exit_mu_);
+    // Only pool-dispatched operations can grow; private threads (Start())
+    // have nowhere to dispatch a new loop. Read under exit_mu_ — the
+    // rebalance tick can race StartOn publishing the source.
+    source = thread_source_;
+    if (source == nullptr) return false;
+    // live_workers_ > 0 doubles as the "still running" check: reading
+    // started_ here would race the executor's Join epilogue.
+    if (live_workers_ == 0) return false;
+    if (producers_done_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) <= 0) {
+      return false;  // Drained: a new worker would exit immediately.
+    }
+    if (!free_worker_ids_.empty()) {
+      id = free_worker_ids_.back();
+      free_worker_ids_.pop_back();
+    } else if (next_worker_id_ < worker_capacity_) {
+      id = next_worker_id_++;
+      worker_high_water_.store(next_worker_id_, std::memory_order_release);
+    } else {
+      return false;  // At capacity: no free stat slot for another worker.
+    }
+    ++live_workers_;
+  }
+  source->Dispatch([this, id] { WorkerLoop(id); });
+  return true;
+}
+
+size_t Operation::active_workers() const {
+  MutexLock lock(&exit_mu_);
+  return live_workers_ - parking_;
 }
 
 void Operation::Finish() {
@@ -334,9 +423,15 @@ OperationStats Operation::stats() const {
   s.secondary_queue_acquisitions = secondary_acquisitions_.load();
   s.wall_span_seconds = static_cast<double>(wall_span_ns_.load()) * 1e-9;
   for (const auto& q : queues_) s.queue_rejected_units += q->rejected_units();
-  s.per_thread_busy_seconds.reserve(config_.num_threads);
-  s.per_thread_idle_seconds.reserve(config_.num_threads);
-  for (size_t t = 0; t < config_.num_threads; ++t) {
+  // Report one slot per distinct worker id ever used: granted workers get
+  // their own slots past num_threads (reused ids accumulate in place).
+  const size_t workers =
+      std::max(config_.num_threads,
+               worker_high_water_.load(std::memory_order_acquire));
+  s.per_thread_processed.resize(workers);
+  s.per_thread_busy_seconds.reserve(workers);
+  s.per_thread_idle_seconds.reserve(workers);
+  for (size_t t = 0; t < workers; ++t) {
     const double busy = static_cast<double>(per_thread_busy_ns_[t]) * 1e-9;
     s.per_thread_busy_seconds.push_back(busy);
     s.per_thread_idle_seconds.push_back(
@@ -361,9 +456,19 @@ void Operation::WorkerLoop(size_t thread_id) {
           : nullptr;
   const auto worker_start = std::chrono::steady_clock::now();
   int64_t busy_ns = 0;
+  bool parked = false;
   std::vector<Activation> batch;
   batch.reserve(config_.cache_size);
   while (true) {
+    // Park point: activation boundaries are the only places a worker gives
+    // its thread back, mirroring how cancellation drains between batches.
+    // The claim is refused (and the stale request dropped) when this is the
+    // operation's last active worker.
+    if (park_requests_.load(std::memory_order_acquire) > 0 &&
+        TryClaimPark()) {
+      parked = true;
+      break;
+    }
     batch.clear();
     size_t instance = 0;
     size_t units = 0;
@@ -376,9 +481,12 @@ void Operation::WorkerLoop(size_t thread_id) {
         // Announce the (imminent) wait before re-checking the predicate —
         // the producer-side eventcount in PushActivation relies on this
         // order (see the waiting_workers_ comment in the header).
+        // A pending park request also ends the wait: parking must not stall
+        // behind an idle (but not yet done) producer.
         waiting_workers_.fetch_add(1, std::memory_order_seq_cst);
         while (pending_.load(std::memory_order_seq_cst) <= 0 &&
-               !producers_done_.load()) {
+               !producers_done_.load() &&
+               park_requests_.load(std::memory_order_acquire) == 0) {
           work_cv_.Wait(&wait_mu_);
         }
         waiting_workers_.fetch_sub(1, std::memory_order_seq_cst);
@@ -427,8 +535,12 @@ void Operation::WorkerLoop(size_t thread_id) {
   // exited (the executor signals the consumer's ProducerDone after Join).
   emitter.Flush();
   const auto now = std::chrono::steady_clock::now();
-  per_thread_busy_ns_[thread_id] = busy_ns;
-  per_thread_idle_ns_[thread_id] =
+  // Accumulate (not assign): a granted worker may reuse the id of an
+  // earlier, already-exited worker. The reuse is exit-ordered through
+  // exit_mu_ (the id is only handed out after the previous holder's exit
+  // section below), so plain += does not race.
+  per_thread_busy_ns_[thread_id] += busy_ns;
+  per_thread_idle_ns_[thread_id] +=
       std::chrono::duration_cast<std::chrono::nanoseconds>(now - worker_start)
           .count() -
       busy_ns;
@@ -439,13 +551,23 @@ void Operation::WorkerLoop(size_t thread_id) {
   int64_t prev = wall_span_ns_.load();
   while (prev < span && !wall_span_ns_.compare_exchange_weak(prev, span)) {
   }
+  // The exit callback fires before the exit becomes visible to Join(): the
+  // board must credit the freed pool slot before the executor can finish
+  // joining and unregister this execution.
+  if (exit_callback_) exit_callback_(parked);
   {
     MutexLock lock(&exit_mu_);
+    if (parked) --parking_;
+    free_worker_ids_.push_back(thread_id);
     --live_workers_;
+    // Signal while still holding exit_mu_ — the exception to the
+    // signal-after-unlock discipline. Once live_workers_ hits 0, Join()
+    // may return and the Operation be destroyed the moment we drop the
+    // lock; signaling after the unlock would touch a dead CondVar. Under
+    // the lock, the waiter cannot observe the decrement (and destroy us)
+    // until SignalAll has already returned.
+    exit_cv_.SignalAll();
   }
-  // Signal outside the lock, per the codebase's signal-after-unlock
-  // discipline; Join's predicate re-check makes the wakeup safe.
-  exit_cv_.SignalAll();
 }
 
 void Operation::ReleaseBatchChunks(std::vector<Activation>* batch) {
@@ -460,11 +582,13 @@ size_t Operation::AcquireBatch(size_t thread_id, Rng& rng,
                                size_t* instance, size_t* units) {
   // Random threads scan from a random queue; LPT threads from a start
   // staggered by thread id, so concurrent scans fan out instead of every
-  // thread hammering visit_order_[0]'s mutex first.
-  const size_t start =
-      config_.strategy == Strategy::kRandom
-          ? rng.Below(queues_.size())
-          : (thread_id * queues_.size()) / config_.num_threads;
+  // thread hammering visit_order_[0]'s mutex first. Granted workers (ids
+  // beyond num_threads) fold onto a lane so the stagger and main-queue
+  // ownership math stay within the original thread count.
+  const size_t lane = thread_id % config_.num_threads;
+  const size_t start = config_.strategy == Strategy::kRandom
+                           ? rng.Below(queues_.size())
+                           : (lane * queues_.size()) / config_.num_threads;
   // Main queues first; fall back to any queue (the paper's secondary scan).
   size_t got = 0;
   bool from_main = false;
@@ -527,13 +651,16 @@ size_t Operation::ScanQueues(size_t start, size_t thread_id, bool main_only,
                              std::vector<Activation>* batch,
                              size_t* instance) {
   const size_t n = queues_.size();
+  // Granted workers share the main-queue lane of the thread id they fold
+  // onto (see AcquireBatch).
+  const size_t lane = thread_id % config_.num_threads;
   // NOLINTNEXTLINE(dbs3-cancel-check-in-consume-loop) // bounded single sweep (one PopBatch attempt per queue); WorkerLoop consults the token between batches
   for (size_t k = 0; k < n; ++k) {
     const uint32_t q = visit_order_[(start + k) % n];
     // Queues are distributed to threads round-robin: queue q is the main
     // queue of thread q mod ThreadNb (paper: "all activation queues are
     // equally distributed among the associated threads").
-    if (main_only && q % config_.num_threads != thread_id) continue;
+    if (main_only && q % config_.num_threads != lane) continue;
     // Lock-free emptiness peek: sweeping all-idle queues must not cost one
     // mutex acquisition per queue. A push racing past the peek is caught by
     // the pending/work_cv re-scan, never lost.

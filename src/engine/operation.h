@@ -5,6 +5,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -204,10 +205,61 @@ class Operation {
   /// be transiently negative during producer/consumer races).
   int64_t pending() const { return pending_.load(); }
 
+  /// --- Steady-state malleability (mid-query worker reallocation) ---
+  ///
+  /// The server's rebalancer shrinks a running operation by asking surplus
+  /// workers to *park*: at its next activation boundary (top of the worker
+  /// loop — the same cooperative grain as cancellation) a worker claims one
+  /// outstanding park request and exits early, returning its thread to the
+  /// shared pool. It grows an operation by *granting*: dispatching one
+  /// extra worker loop onto the operation's ThreadSource mid-run. Join()
+  /// needs no changes — parked workers exit through the normal protocol,
+  /// granted workers are counted live before dispatch.
+
+  /// Asks up to `n` workers to park. Returns how many were actually
+  /// requested: the operation always keeps at least one worker (liveness
+  /// with bounded queues requires a consumer), and requests the current
+  /// workers cannot absorb are not made. Wakes idle workers so a request
+  /// is seen promptly even on a starved operation.
+  size_t RequestPark(size_t n) EXCLUDES(exit_mu_, wait_mu_);
+
+  /// Dispatches one extra worker loop onto the StartOn source. False when
+  /// the operation runs private threads, has not started / already joined,
+  /// is drained, or is at its worker capacity (max(num_threads,
+  /// num_instances) live workers). Thread ids of exited workers are
+  /// recycled, so repeated park/grant cycles never exhaust the stat slots.
+  bool TryGrantWorker() EXCLUDES(exit_mu_);
+
+  /// Worker loops currently live and not claiming a park (the
+  /// rebalancer's activity signal).
+  size_t active_workers() const EXCLUDES(exit_mu_);
+
+  /// All producers done and queues drained: remaining workers are exiting
+  /// on their own.
+  bool drained() const {
+    return producers_done_.load(std::memory_order_acquire) &&
+           pending_.load(std::memory_order_acquire) <= 0;
+  }
+
+  /// Installs a hook invoked once per worker exit (natural drain or park;
+  /// the flag says which), from the exiting worker itself, *before* the
+  /// exit becomes visible to Join(). The executor points it at the
+  /// ExecutionBoard so the pool slot backing the worker is credited back
+  /// exactly when the thread frees. Must be set before Start()/StartOn().
+  void set_exit_callback(std::function<void(bool parked)> cb) {
+    exit_callback_ = std::move(cb);
+  }
+
  private:
   friend class OperationEmitter;
 
   void WorkerLoop(size_t thread_id) EXCLUDES(wait_mu_, exit_mu_);
+
+  /// Claims one outstanding park request for the calling worker. False
+  /// when none are outstanding or the worker is the operation's last
+  /// active one (the stale request is dropped then, so a lone worker
+  /// never spins on an undeliverable request).
+  bool TryClaimPark() EXCLUDES(exit_mu_);
 
   /// Marks `count` workers as live before any of them runs, so Join() can
   /// wait for pool-dispatched workers that have no joinable thread handle.
@@ -258,10 +310,36 @@ class Operation {
   /// on this (plus the private-thread joins) so both start modes share one
   /// lifetime protocol. `started_` arms the destructor's defensive drain
   /// for pool-backed runs, where threads_ stays empty.
-  Mutex exit_mu_{"Operation::exit_mu"};
+  mutable Mutex exit_mu_{"Operation::exit_mu"};
   CondVar exit_cv_;
   size_t live_workers_ GUARDED_BY(exit_mu_) = 0;
   bool started_ = false;
+
+  /// Malleability state. park_requests_ is an atomic so the worker loop's
+  /// fast path (one relaxed load per batch) stays lock-free; every write
+  /// pairs with exit_mu_, which serializes it against the claim/grant
+  /// bookkeeping. parking_ counts claims whose workers have not exited
+  /// yet — the claim guard live_workers_ - parking_ > 1 is what keeps two
+  /// workers from both taking the last park and leaving the operation
+  /// consumer-less. Worker ids of exited workers recycle through
+  /// free_worker_ids_ (the previous holder's exit happens-before the
+  /// grant under exit_mu_, so per-thread stat slots accumulate safely).
+  std::atomic<size_t> park_requests_{0};
+  size_t parking_ GUARDED_BY(exit_mu_) = 0;
+  size_t next_worker_id_ GUARDED_BY(exit_mu_) = 0;
+  std::vector<size_t> free_worker_ids_ GUARDED_BY(exit_mu_);
+  /// max(num_threads, num_instances): grants beyond the degree of
+  /// partitioning would only idle (paper invariant), so the stat vectors
+  /// are pre-sized to this and never reallocate under concurrency.
+  size_t worker_capacity_ = 0;
+  /// Distinct worker ids ever used (== num_threads without grants);
+  /// stats() reports this many per-thread slots.
+  std::atomic<size_t> worker_high_water_{0};
+  /// The StartOn source, kept for mid-run grants (null = private threads,
+  /// grants refused). Guarded by exit_mu_: the rebalance tick can probe
+  /// TryGrantWorker before StartOn has published the source.
+  ThreadSource* thread_source_ GUARDED_BY(exit_mu_) = nullptr;
+  std::function<void(bool parked)> exit_callback_;
 
   /// Producer/consumer synchronization across all queues. pending_ counts
   /// queued tuple units (not activations) so bounded-queue back-pressure

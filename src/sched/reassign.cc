@@ -1,0 +1,74 @@
+#include "sched/reassign.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sched/scheduler.h"
+
+namespace dbs3 {
+
+ReassignPlan PlanReassign(const std::vector<ExecSnapshot>& execs,
+                          size_t pool_threads, size_t free_threads,
+                          bool pressure, size_t extra_load) {
+  ReassignPlan plan;
+  if (execs.empty() || pool_threads == 0) return plan;
+
+  // The per-tick utilization recomputation (satellite fix): the same
+  // 1/live_queries rule the admission path applies once, re-evaluated
+  // against everyone currently competing for the pool.
+  const double utilization =
+      MultiUserUtilization(execs.size() + extra_load);
+  const size_t fair = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::floor(static_cast<double>(pool_threads) * utilization)));
+
+  if (pressure) {
+    // Shed down to the fair share; freed slots go to the waiters creating
+    // the pressure, not to other registered executions.
+    for (const ExecSnapshot& e : execs) {
+      if (e.workers > fair) {
+        plan.parks.push_back({e.id, e.workers - fair});
+      }
+    }
+    return plan;
+  }
+
+  if (free_threads == 0) return plan;
+
+  // No pressure: deal the idle threads to the widest deficits, one at a
+  // time, so two equally-starved executions grow together instead of the
+  // first one absorbing the whole surplus.
+  struct Deficit {
+    uint64_t id;
+    size_t remaining;
+  };
+  std::vector<Deficit> deficits;
+  for (const ExecSnapshot& e : execs) {
+    if (e.desired > e.workers) {
+      deficits.push_back({e.id, e.desired - e.workers});
+    }
+  }
+  if (deficits.empty()) return plan;
+  std::stable_sort(deficits.begin(), deficits.end(),
+                   [](const Deficit& a, const Deficit& b) {
+                     return a.remaining > b.remaining;
+                   });
+  std::vector<size_t> granted(deficits.size(), 0);
+  size_t budget = free_threads;
+  bool progressed = true;
+  while (budget > 0 && progressed) {
+    progressed = false;
+    for (size_t i = 0; i < deficits.size() && budget > 0; ++i) {
+      if (granted[i] >= deficits[i].remaining) continue;
+      ++granted[i];
+      --budget;
+      progressed = true;
+    }
+  }
+  for (size_t i = 0; i < deficits.size(); ++i) {
+    if (granted[i] > 0) plan.grants.push_back({deficits[i].id, granted[i]});
+  }
+  return plan;
+}
+
+}  // namespace dbs3

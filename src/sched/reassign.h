@@ -1,0 +1,57 @@
+#ifndef DBS3_SCHED_REASSIGN_H_
+#define DBS3_SCHED_REASSIGN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dbs3 {
+
+/// What the rebalancer knows about one running execution when planning a
+/// tick: how many pool workers it holds right now and how many its
+/// unclamped schedule wanted.
+struct ExecSnapshot {
+  uint64_t id = 0;
+  size_t workers = 0;
+  size_t desired = 0;
+};
+
+/// One tick's reassignment decisions: which executions give workers up
+/// (parks) and which receive freed pool threads (grants). Counts are upper
+/// bounds — the engine may deliver fewer (an operation always keeps one
+/// worker; a grant can race a drain).
+struct ReassignPlan {
+  struct Move {
+    uint64_t id = 0;
+    size_t count = 0;
+  };
+  std::vector<Move> parks;
+  std::vector<Move> grants;
+};
+
+/// Plans one steady-state rebalance tick over the running executions.
+///
+/// The fair share is recomputed from the *live* population each tick —
+/// `pool_threads * MultiUserUtilization(execs + extra_load)` — which is the
+/// steady-state fix for the admission-time staleness: a solo survivor's
+/// fair share grows back to the whole pool as its cohort drains, and a
+/// burst of waiters shrinks it again.
+///
+/// Under `pressure` (admission waiters or blocked slot reservations) the
+/// plan only parks: every execution holding more than its fair share is
+/// asked to shed down to it, freeing slots for the waiters. Without
+/// pressure the plan only grants: `free_threads` are dealt round-robin to
+/// the executions with the largest deficit against their desired width.
+/// Parking and granting never happen in the same tick — that would churn
+/// workers between executions with no one waiting to benefit.
+///
+/// `extra_load` counts consumers of pool capacity that are not (yet)
+/// registered executions: queued admission waiters and queries blocked in
+/// slot reservation. They dilute the fair share but cannot receive grants.
+ReassignPlan PlanReassign(const std::vector<ExecSnapshot>& execs,
+                          size_t pool_threads, size_t free_threads,
+                          bool pressure, size_t extra_load);
+
+}  // namespace dbs3
+
+#endif  // DBS3_SCHED_REASSIGN_H_

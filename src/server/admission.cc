@@ -45,12 +45,32 @@ Status AdmissionController::TryEnqueue(PendingQuery q) {
   return Status::OK();
 }
 
-size_t AdmissionController::BestAdmissibleLocked() const {
+namespace {
+/// Bypass budget before an equal-priority CPU-unfit waiter wins anyway:
+/// bounds how long joint packing can reorder past it, so a wide query is
+/// delayed but never starved.
+constexpr size_t kMaxCpuBypasses = 16;
+}  // namespace
+
+size_t AdmissionController::BestAdmissibleLocked() {
   // Best admissible entry: highest priority, FIFO within a priority,
   // skipping entries whose memory reservation does not fit — except
   // cancelled ones, which are handed out unconditionally so their
   // handles complete without waiting on budget they will never use.
+  //
+  // Joint CPU+memory mode additionally tracks the best entry that is also
+  // CPU-fit (its declared thread share is deliverable from the pool's free
+  // capacity right now). When the two differ at equal priority, the
+  // CPU-fit one is preferred — that is the multi-resource packing: a
+  // narrow query slips past a wide one that would only block in thread
+  // reservation. The preference is advisory (never blocks anyone) and
+  // aged via cpu_bypasses so the wide query cannot starve.
+  const bool cpu_aware =
+      config_.pool_threads > 0 && config_.free_threads != nullptr;
+  // One hook call per scan: it takes the runtime's slot mutex.
+  const size_t free_now = cpu_aware ? config_.free_threads() : 0;
   size_t best = waiting_.size();
+  size_t best_cpu = waiting_.size();
   for (size_t i = 0; i < waiting_.size(); ++i) {
     const bool fits = config_.memory_budget_units == 0 ||
                       waiting_[i].memory_units + memory_in_use_ <=
@@ -63,6 +83,29 @@ size_t AdmissionController::BestAdmissibleLocked() const {
          seq_[i] < seq_[best])) {
       best = i;
     }
+    if (!cpu_aware) continue;
+    // Wider-than-pool declarations are CPU-fit by definition: the runtime
+    // admits them in fallback mode (private threads), so holding them for
+    // free pool capacity they will never use would be wrong. Cancelled
+    // entries consume no threads.
+    const size_t hint = waiting_[i].threads_hint;
+    const bool cpu_fits = hint == 0 || hint > config_.pool_threads ||
+                          hint <= free_now ||
+                          waiting_[i].cancel.ShouldStop();
+    if (!cpu_fits) continue;
+    if (best_cpu == waiting_.size() ||
+        waiting_[i].priority > waiting_[best_cpu].priority ||
+        (waiting_[i].priority == waiting_[best_cpu].priority &&
+         seq_[i] < seq_[best_cpu])) {
+      best_cpu = i;
+    }
+  }
+  if (cpu_aware && best_cpu < waiting_.size() && best_cpu != best &&
+      best < waiting_.size() &&
+      waiting_[best_cpu].priority == waiting_[best].priority &&
+      waiting_[best].cpu_bypasses < kMaxCpuBypasses) {
+    ++waiting_[best].cpu_bypasses;
+    return best_cpu;
   }
   return best;
 }

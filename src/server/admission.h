@@ -31,6 +31,17 @@ struct AdmissionConfig {
   /// A query declares its working-set units at submit; the controller
   /// withholds it from a driver until the budget covers it. 0 = unbounded.
   uint64_t memory_budget_units = 0;
+  /// Joint CPU+memory packing (Garofalakis/Ioannidis-style multi-resource
+  /// admission): with both set, a waiter whose declared thread share
+  /// (PendingQuery::threads_hint) currently fits the pool's free capacity
+  /// may be admitted ahead of an equal-priority earlier waiter that would
+  /// have to block on thread reservation — CPU and memory are packed
+  /// together instead of serially. Advisory only: the bypassed waiter is
+  /// aged (kMaxCpuBypasses) so it can never starve, and CPU fit never
+  /// *blocks* an admission (the reservation path still does the real
+  /// waiting). pool_threads = 0 or a null hook = memory-only admission.
+  size_t pool_threads = 0;
+  std::function<size_t()> free_threads;
 };
 
 /// One waiting query, as the runtime enqueues it. The controller is
@@ -46,6 +57,12 @@ struct PendingQuery {
   /// (the old behavior) admitted the query with a reservation smaller than
   /// what it declared it needs.
   uint64_t memory_units = 0;
+  /// Declared thread share (the clamped schedule's total), for joint
+  /// CPU+memory admission. 0 = unknown: the query is always CPU-fit.
+  size_t threads_hint = 0;
+  /// Times an equal-priority CPU-fit waiter was admitted past this one
+  /// (controller-internal aging; see AdmissionConfig::pool_threads).
+  size_t cpu_bypasses = 0;
   CancelToken cancel;
   std::chrono::steady_clock::time_point enqueued_at;
   /// Runs the query; receives the measured admission wait in seconds.
@@ -128,7 +145,9 @@ class AdmissionController {
  private:
   /// Index of the best admissible waiter (priority, then FIFO, cancelled
   /// entries always admissible), or waiting_.size() when none fits.
-  size_t BestAdmissibleLocked() const REQUIRES(mu_);
+  /// Non-const: joint CPU+memory mode ages the bypassed head
+  /// (cpu_bypasses) when a CPU-fit peer is preferred over it.
+  size_t BestAdmissibleLocked() REQUIRES(mu_);
   /// Removes waiting_[index] into `*out`, charging its reservation (zeroed
   /// instead when its token already fired) and counting the admission.
   void TakeLocked(size_t index, PendingQuery* out) REQUIRES(mu_);

@@ -64,6 +64,12 @@ struct QueryRunStats {
   /// Seconds the batch's lead driver held the admission window open before
   /// execution started (0 for solo queries and zero-window batches).
   double batch_window_wait_seconds = 0.0;
+  /// Steady-state rebalancer activity on this query, summed over phases
+  /// (both 0 with rebalance_interval_us = 0): extra pool workers granted
+  /// into its executions mid-query, and workers it released early (parked
+  /// at an activation boundary so their threads could serve other work).
+  uint64_t threads_granted = 0;
+  uint64_t threads_released = 0;
 };
 
 /// Future-like handle to a submitted query: wait for the outcome, cancel

@@ -32,6 +32,22 @@ Result<PhaseOutcome> QueryEnv::Run(Plan& plan, const CostModel& cost_model,
   const ScheduleOptions adjusted = ApplyUtilization(
       schedule, MultiUserUtilization(runtime_->live_queries()));
 
+  const bool adaptive = runtime_->options_.rebalance_interval_us > 0;
+  // The grant ceiling for the rebalancer: what this phase would have been
+  // scheduled at without the utilization clamp. Scheduling twice is safe —
+  // ScheduleQuery overwrites the plan's params, and the clamped pass below
+  // runs last so the execution starts at the clamped width.
+  size_t desired_threads = 0;
+  if (adaptive) {
+    Result<ScheduleReport> unclamped = ScheduleQuery(plan, cost_model,
+                                                     schedule);
+    if (unclamped.ok()) {
+      const ScheduleReport& r = unclamped.value();
+      desired_threads = std::accumulate(r.threads.begin(), r.threads.end(),
+                                        size_t{0});
+    }
+  }
+
   PhaseOutcome out;
   DBS3_ASSIGN_OR_RETURN(out.schedule,
                         ScheduleQuery(plan, cost_model, adjusted));
@@ -55,9 +71,31 @@ Result<PhaseOutcome> QueryEnv::Run(Plan& plan, const CostModel& cost_model,
     }
   }
 
+  // Pool-backed phases register on the load board when adaptivity is on:
+  // the rebalance tick may park surplus workers mid-phase (their slots are
+  // then credited back per exit through the board) or grant extra workers
+  // up to the unclamped width.
+  RebalanceTotals rebalance;
+  if (reserved && adaptive) {
+    exec.board = &runtime_->board_;
+    exec.desired_threads = std::max(desired_threads, total_threads);
+    exec.grant_quantum = runtime_->options_.rebalance_quantum_units;
+    exec.rebalance_out = &rebalance;
+  }
+
   Executor executor;
   Result<ExecutionResult> run = executor.Run(plan, exec);
-  if (reserved) runtime_->ReleaseWorkers(total_threads);
+  // Slot settlement: a board-registered execution (rebalance.active)
+  // already credited one slot per worker exit — reserved plus granted,
+  // exactly what it consumed — so releasing the reservation again would
+  // double-free capacity. Static executions release the whole reservation
+  // here, as before. This runs before the error return below so the
+  // accounting settles on every path.
+  if (reserved && !rebalance.active) {
+    runtime_->ReleaseWorkers(total_threads);
+  }
+  stats_.threads_granted += rebalance.granted;
+  stats_.threads_released += rebalance.parked;
   DBS3_RETURN_IF_ERROR(run.status());
   out.execution = std::move(run).value();
 
@@ -94,8 +132,33 @@ QueryRuntime::QueryRuntime(QueryRuntimeOptions options)
       chunk_pool_(options.chunk_pool_buffers),
       admission_(AdmissionConfig{
           std::max<size_t>(1, options.max_queued_queries),
-          options.memory_budget_units}),
+          options.memory_budget_units,
+          // Joint CPU+memory admission: the controller may prefer an
+          // equal-priority waiter whose declared thread share is
+          // deliverable right now (see AdmissionConfig::pool_threads).
+          pool_.num_threads(),
+          [this] {
+            MutexLock lock(&slots_mu_);
+            return free_slots_;
+          }}),
+      board_(PoolLoadBoard::Hooks{
+          [this] { return TryReserveOneWorker(); },
+          [this] { ReleaseWorkers(1); }}),
       free_slots_(pool_.num_threads()) {
+  if (options_.metrics != nullptr) {
+    options_.metrics->gauge("runtime.pool_idle_threads")
+        ->Set(static_cast<int64_t>(pool_.idle_threads()));
+    options_.metrics->RegisterProbe(
+        "runtime.dispatch_queue_depth",
+        [this] { return static_cast<int64_t>(pool_.queue_depth()); });
+    probes_registered_ = true;
+    sampler_ = std::make_unique<MetricsSampler>(
+        options_.metrics, std::chrono::microseconds(1000));
+    sampler_->Start();
+  }
+  if (options_.rebalance_interval_us > 0) {
+    rebalancer_ = std::thread([this] { RebalanceLoop(); });
+  }
   const size_t drivers = std::max<size_t>(1, options_.max_concurrent_queries);
   drivers_.reserve(drivers);
   for (size_t i = 0; i < drivers; ++i) {
@@ -106,9 +169,26 @@ QueryRuntime::QueryRuntime(QueryRuntimeOptions options)
 QueryRuntime::~QueryRuntime() {
   shutdown_.store(true);
   admission_.Shutdown();
+  // Stop the rebalancer before draining the drivers: a tick must not plan
+  // against executions that are tearing down, and stopping it first keeps
+  // the board quiescent while the last queries finish.
+  if (rebalancer_.joinable()) {
+    {
+      MutexLock lock(&rebalance_mu_);
+      rebalance_stop_ = true;
+    }
+    rebalance_cv_.SignalAll();
+    rebalancer_.join();
+  }
   for (auto& d : drivers_) {
     if (d.joinable()) d.join();
   }
+  if (sampler_ != nullptr) sampler_->Stop();
+  // The queue-depth probe points at pool_; drop it before this runtime
+  // goes away. ClearProbes drops every probe on the registry — fine for
+  // the facade's single-runtime-per-registry setup (the executor's
+  // per-execution probes live on private registries).
+  if (probes_registered_) options_.metrics->ClearProbes();
   // pool_ destroys after the drivers: every execution has completed, so
   // its queue is empty and the threads exit immediately.
 }
@@ -143,6 +223,7 @@ QueryHandle QueryRuntime::Submit(QuerySpec spec) {
   pending.id = state->id;
   pending.priority = spec.priority;
   pending.memory_units = spec.memory_units;
+  pending.threads_hint = spec.threads_hint;
   pending.cancel = state->cancel;
   pending.enqueued_at = std::chrono::steady_clock::now();
   pending.share_class =
@@ -401,6 +482,12 @@ void QueryRuntime::Complete(const std::shared_ptr<QueryHandle::State>& state,
       // the engine-wide ledger counter here.
       m.counter("engine.units_cancelled")->Add(stats.units_cancelled);
     }
+    if (stats.threads_granted > 0) {
+      m.counter("runtime.threads_granted")->Add(stats.threads_granted);
+    }
+    if (stats.threads_released > 0) {
+      m.counter("runtime.threads_released")->Add(stats.threads_released);
+    }
     m.summary("runtime.admission_wait_us")
         ->Record(Micros(stats.admission_wait_seconds));
     m.summary("runtime.execution_wall_us")
@@ -428,10 +515,15 @@ bool QueryRuntime::ReserveWorkers(size_t slots, const CancelToken& cancel) {
   MutexLock lock(&slots_mu_);
   while (free_slots_ < slots) {
     if (cancel.ShouldStop()) return false;
+    // Announce the blocked reservation: the rebalancer reads this as
+    // pressure (running queries should shed down to their fair share) and
+    // TryReserveOneWorker yields to it (grants must not starve waiters).
+    slot_waiters_.fetch_add(1, std::memory_order_release);
     // Bounded wait: handle-initiated cancels signal this cv (the
     // cancel_notify hook), but deadline expiry and direct external-token
     // cancels do not, so a short poll backstops them.
     slots_cv_.WaitFor(&slots_mu_, std::chrono::milliseconds(2));
+    slot_waiters_.fetch_sub(1, std::memory_order_release);
   }
   free_slots_ -= slots;
   return true;
@@ -444,6 +536,48 @@ void QueryRuntime::ReleaseWorkers(size_t slots) {
     free_slots_ += slots;
   }
   slots_cv_.SignalAll();
+}
+
+bool QueryRuntime::TryReserveOneWorker() {
+  MutexLock lock(&slots_mu_);
+  // Freed capacity serves blocked whole-plan reservations first; a grant
+  // taken under a waiter would hand the waiter's slot to a query that
+  // already runs.
+  if (slot_waiters_.load(std::memory_order_acquire) > 0) return false;
+  if (free_slots_ == 0) return false;
+  --free_slots_;
+  return true;
+}
+
+void QueryRuntime::RebalanceTick() {
+  size_t free_now = 0;
+  {
+    MutexLock lock(&slots_mu_);
+    free_now = free_slots_;
+  }
+  const size_t waiters = slot_waiters_.load(std::memory_order_acquire);
+  const size_t queued = admission_.queued_now();
+  const bool pressure = waiters > 0 || queued > 0;
+  board_.Rebalance(pool_.num_threads(), free_now, pressure,
+                   waiters + queued);
+  if (options_.metrics != nullptr) {
+    options_.metrics->gauge("runtime.pool_idle_threads")
+        ->Set(static_cast<int64_t>(pool_.idle_threads()));
+  }
+}
+
+void QueryRuntime::RebalanceLoop() {
+  const auto period = std::chrono::microseconds(
+      std::max<uint64_t>(1, options_.rebalance_interval_us));
+  while (true) {
+    {
+      MutexLock lock(&rebalance_mu_);
+      if (rebalance_stop_) return;
+      rebalance_cv_.WaitFor(&rebalance_mu_, period);
+      if (rebalance_stop_) return;
+    }
+    RebalanceTick();
+  }
 }
 
 }  // namespace dbs3

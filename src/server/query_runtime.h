@@ -22,6 +22,7 @@
 #include "engine/plan.h"
 #include "sched/scheduler.h"
 #include "server/admission.h"
+#include "server/pool_load_board.h"
 #include "server/query_handle.h"
 #include "server/worker_pool.h"
 
@@ -66,6 +67,21 @@ struct QueryRuntimeOptions {
   /// only queries already waiting are grouped. The paper-era sweet spot
   /// for lookup floods is 500–2000 us.
   uint64_t shared_batch_window_us = 0;
+  /// Steady-state rebalance tick period. 0 (default) = adaptivity off:
+  /// thread allocations are frozen at admission, exactly the old
+  /// behavior. When > 0, a background tick recomputes the fair share from
+  /// the *live* query population and reallocates pooled workers between
+  /// running queries: under pressure (admission waiters / blocked
+  /// reservations) over-provisioned executions park surplus workers down
+  /// to their fair share; with idle capacity and no pressure, clamped
+  /// executions are granted extra workers up to their unclamped schedule
+  /// width. 500–5000 us works well for mixed short+long workloads.
+  uint64_t rebalance_interval_us = 0;
+  /// Queued tuple units one worker is considered enough for when the
+  /// rebalancer sizes parks (the min grant quantum): an operation's
+  /// "needed" worker count is ceil(pending / quantum), and only workers
+  /// beyond that are parkable.
+  size_t rebalance_quantum_units = 256;
 };
 
 /// The outcome of one scheduled-and-executed plan phase.
@@ -134,6 +150,13 @@ struct QuerySpec {
   /// Declared working-set tuple units, charged against the runtime's
   /// memory budget while the query runs. 0 = free.
   uint64_t memory_units = 0;
+  /// Declared thread share (typically the schedule's total_threads), the
+  /// CPU half of joint admission: the controller may admit a deliverable
+  /// narrow query past an equal-priority wide one that would only block
+  /// in thread reservation. 0 = unknown (always CPU-fit). Advisory — it
+  /// never changes what the query is allowed to reserve, only when it
+  /// leaves the queue.
+  size_t threads_hint = 0;
   /// Absolute deadline; expiry (even while queued) completes the query
   /// with DeadlineExceeded.
   std::optional<std::chrono::steady_clock::time_point> deadline;
@@ -174,6 +197,7 @@ class QueryRuntime {
   WorkerPool& pool() { return pool_; }
   const AdmissionController& admission() const { return admission_; }
   const QueryRuntimeOptions& options() const { return options_; }
+  const PoolLoadBoard& load_board() const { return board_; }
 
   /// The runtime's shared chunk pool: every execution run through a
   /// QueryEnv recycles its data-path buffers here, so the free list one
@@ -204,10 +228,23 @@ class QueryRuntime {
       EXCLUDES(slots_mu_);
   void ReleaseWorkers(size_t slots) EXCLUDES(slots_mu_);
 
+  /// Non-blocking single-slot reservation for rebalancer grants. Refuses
+  /// when any whole-plan reservation is waiting (slot_waiters_): freed
+  /// capacity must serve blocked admissions before growing running
+  /// queries, or a wide waiter could starve behind a stream of grants.
+  bool TryReserveOneWorker() EXCLUDES(slots_mu_);
+
+  /// The steady-state tick (rebalance_interval_us > 0 only): reads pool
+  /// pressure/idle capacity, lets the board plan+apply park/grant moves,
+  /// and refreshes the pool gauges.
+  void RebalanceTick() EXCLUDES(slots_mu_);
+  void RebalanceLoop();
+
   QueryRuntimeOptions options_;
   WorkerPool pool_;
   ChunkPool chunk_pool_;
   AdmissionController admission_;
+  PoolLoadBoard board_;
   std::atomic<size_t> live_{0};
   std::atomic<uint64_t> next_id_{1};
   std::atomic<bool> shutdown_{false};
@@ -215,6 +252,20 @@ class QueryRuntime {
   Mutex slots_mu_{"QueryRuntime::slots_mu"};
   CondVar slots_cv_;
   size_t free_slots_ GUARDED_BY(slots_mu_);
+  /// Whole-plan reservations currently blocked in ReserveWorkers — the
+  /// rebalancer's pressure signal, and TryReserveOneWorker's yield guard.
+  std::atomic<size_t> slot_waiters_{0};
+
+  /// Steady-state rebalancer (only spawned when rebalance_interval_us > 0).
+  Mutex rebalance_mu_{"QueryRuntime::rebalance_mu"};
+  CondVar rebalance_cv_;
+  bool rebalance_stop_ GUARDED_BY(rebalance_mu_) = false;
+  std::thread rebalancer_;
+
+  /// Samples the dispatch-queue-depth probe into a series while the
+  /// runtime lives (only when a metrics registry was supplied).
+  std::unique_ptr<MetricsSampler> sampler_;
+  bool probes_registered_ = false;
 
   std::vector<std::thread> drivers_;
 };

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "common/logging.h"
+
 namespace dbs3 {
 
 WorkerPool::WorkerPool(size_t num_threads) {
@@ -14,23 +16,41 @@ WorkerPool::WorkerPool(size_t num_threads) {
 }
 
 WorkerPool::~WorkerPool() {
-  {
-    MutexLock lock(&mu_);
-    shutdown_ = true;
-  }
-  cv_.SignalAll();
+  Shutdown();
   for (auto& t : threads_) {
     if (t.joinable()) t.join();
   }
 }
 
-void WorkerPool::Dispatch(std::function<void()> fn) {
-  dispatched_.fetch_add(1, std::memory_order_relaxed);
+void WorkerPool::Shutdown() {
   {
     MutexLock lock(&mu_);
-    assert(!shutdown_ && "Dispatch on a shut-down WorkerPool");
-    tasks_.push_back(std::move(fn));
+    shutdown_ = true;
   }
+  cv_.SignalAll();
+}
+
+void WorkerPool::Dispatch(std::function<void()> fn) {
+  bool rejected = false;
+  {
+    MutexLock lock(&mu_);
+    if (shutdown_) {
+      // Explicit post-shutdown contract: the task is dropped, never run.
+      // Accepting it silently (the old behavior) either ran it on a thread
+      // already asked to exit or — worse — queued it forever.
+      rejected = true;
+    } else {
+      tasks_.push_back(std::move(fn));
+      queued_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (rejected) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    DBS3_LOG(kWarning) << "WorkerPool::Dispatch after Shutdown(): task "
+                          "rejected (see tasks_rejected())";
+    return;
+  }
+  dispatched_.fetch_add(1, std::memory_order_relaxed);
   cv_.Signal();
 }
 
@@ -46,7 +66,10 @@ void WorkerPool::ThreadMain() {
       task = std::move(tasks_.front());
       tasks_.pop_front();
     }
+    queued_.fetch_sub(1, std::memory_order_relaxed);
+    busy_.fetch_add(1, std::memory_order_relaxed);
     task();
+    busy_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 

@@ -32,19 +32,41 @@ class WorkerPool final : public ThreadSource {
   /// Spawns `num_threads` (>= 1) workers immediately.
   explicit WorkerPool(size_t num_threads);
 
-  /// Waits for every queued task to run, then joins the threads. All
-  /// executions drawing on the pool must have completed.
+  /// Calls Shutdown() and joins the threads. All executions drawing on
+  /// the pool must have completed.
   ~WorkerPool() override;
 
   WorkerPool(const WorkerPool&) = delete;
   WorkerPool& operator=(const WorkerPool&) = delete;
 
+  /// Requests shutdown: already-queued tasks still drain (a queued worker
+  /// loop belongs to an execution someone is Join()ing on), but any later
+  /// Dispatch is rejected — the task is dropped, counted in
+  /// tasks_rejected(), and logged. Idempotent; the destructor calls it.
+  void Shutdown() EXCLUDES(mu_);
+
   void Dispatch(std::function<void()> fn) override EXCLUDES(mu_);
   size_t num_threads() const override { return threads_.size(); }
 
-  /// Tasks dispatched over the pool's lifetime (a task = one operation
-  /// worker loop).
+  /// Tasks accepted over the pool's lifetime (a task = one operation
+  /// worker loop). Post-shutdown rejections are not counted here.
   uint64_t tasks_dispatched() const { return dispatched_.load(); }
+
+  /// Tasks rejected because Dispatch ran after Shutdown(). Always 0 on a
+  /// well-sequenced server (QueryRuntime drains executions first).
+  uint64_t tasks_rejected() const { return rejected_.load(); }
+
+  /// Threads not currently running a task (approximate, for the
+  /// runtime.pool_idle_threads gauge).
+  size_t idle_threads() const {
+    const size_t busy = busy_.load(std::memory_order_relaxed);
+    const size_t n = threads_.size();
+    return n > busy ? n - busy : 0;
+  }
+
+  /// Tasks queued but not yet picked up (approximate, for the
+  /// runtime.dispatch_queue_depth probe).
+  size_t queue_depth() const { return queued_.load(std::memory_order_relaxed); }
 
  private:
   void ThreadMain() EXCLUDES(mu_);
@@ -55,6 +77,9 @@ class WorkerPool final : public ThreadSource {
   bool shutdown_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_;
   std::atomic<uint64_t> dispatched_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<size_t> busy_{0};
+  std::atomic<size_t> queued_{0};
 };
 
 }  // namespace dbs3

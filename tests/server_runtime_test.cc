@@ -15,7 +15,10 @@
 
 #include "dbs3/database.h"
 #include "dbs3/query.h"
+#include "engine/operators.h"
 #include "esql/planner.h"
+#include "sched/reassign.h"
+#include "server/pool_load_board.h"
 #include "server/shared/shared_query.h"
 #include "server/worker_pool.h"
 
@@ -719,6 +722,592 @@ TEST(SharedScanTest, IncompatibleQueryIsNeverFoldedIntoABatch) {
   std::sort(qc_expected.begin(), qc_expected.end());
   EXPECT_EQ(SortedRows(*qb_taken.value().result), qb_expected);
   EXPECT_EQ(SortedRows(*qc_taken.value().result), qc_expected);
+}
+
+// ---------------------------------------------------------------------
+// WorkerPool post-shutdown contract (the small-fix satellite).
+
+TEST(WorkerPoolTest, DispatchAfterShutdownIsRejectedAndCounted) {
+  WorkerPool pool(2);
+  std::atomic<int> ran{0};
+  Latch done;
+  pool.Dispatch([&ran, &done] {
+    ran.fetch_add(1);
+    done.Set();
+  });
+  done.Await();
+  pool.Shutdown();
+  // Post-shutdown dispatch: dropped, counted, never run — not silently
+  // queued (the old behavior) and not an abort.
+  pool.Dispatch([&ran] { ran.fetch_add(1); });
+  EXPECT_EQ(pool.tasks_rejected(), 1u);
+  EXPECT_EQ(pool.tasks_dispatched(), 1u);  // Accepted tasks only.
+  // Shutdown is idempotent; the rejected task still never runs.
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(WorkerPoolTest, IdleAndQueueDepthProbesTrackLoad) {
+  WorkerPool pool(2);
+  Latch started, release;
+  pool.Dispatch([&started, &release] {
+    started.Set();
+    release.Await();
+  });
+  started.Await();
+  EXPECT_LE(pool.idle_threads(), 1u);  // One thread is pinned.
+  release.Set();
+  // After the task finishes, both threads return to idle.
+  while (pool.idle_threads() < 2) std::this_thread::sleep_for(milliseconds(1));
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// ApplyUtilization edge cases (satellite).
+
+TEST(SchedulerFeedbackTest, ApplyUtilizationFixedThreadEdges) {
+  ScheduleOptions fixed;
+  fixed.total_threads = 5;
+  // lround: half rounds away from zero.
+  EXPECT_EQ(ApplyUtilization(fixed, 0.5).total_threads, 3u);
+  // Factor > 1 clamps to 1 — utilization feedback never inflates.
+  EXPECT_EQ(ApplyUtilization(fixed, 2.0).total_threads, 5u);
+  // The floor is always one thread, even at the 1e-9 clamp.
+  EXPECT_EQ(ApplyUtilization(fixed, 0.0).total_threads, 1u);
+  fixed.total_threads = 1;
+  EXPECT_EQ(ApplyUtilization(fixed, 0.25).total_threads, 1u);
+}
+
+TEST(SchedulerFeedbackTest, ApplyUtilizationDerivedCompoundsAndClamps) {
+  ScheduleOptions derived;
+  derived.total_threads = 0;
+  derived.utilization = 0.8;
+  // Factors compound multiplicatively on the derived path.
+  ScheduleOptions once = ApplyUtilization(derived, 0.5);
+  EXPECT_DOUBLE_EQ(once.utilization, 0.4);
+  ScheduleOptions twice = ApplyUtilization(once, 0.5);
+  EXPECT_DOUBLE_EQ(twice.utilization, 0.2);
+  // Repeated clamped factors bottom out at 1e-9, never 0 (which
+  // ScheduleQuery would reject).
+  ScheduleOptions floored = derived;
+  for (int i = 0; i < 8; ++i) floored = ApplyUtilization(floored, 0.0);
+  EXPECT_DOUBLE_EQ(floored.utilization, 1e-9);
+}
+
+// ---------------------------------------------------------------------
+// Operation park/grant paths (TSan targets: park mid-drain, grant racing
+// cancellation, teardown with parked workers).
+
+/// Counts processed units and burns a little CPU per trigger so a drain
+/// spans many activation boundaries.
+class SpinCountLogic : public OperatorLogic {
+ public:
+  void OnTrigger(size_t, Emitter*) override {
+    volatile uint32_t sink = 0;
+    for (uint32_t i = 0; i < 64; ++i) sink = sink + i;
+    processed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::string name() const override { return "spin-count"; }
+  uint64_t processed() const { return processed_.load(); }
+
+ private:
+  std::atomic<uint64_t> processed_{0};
+};
+
+OperationConfig ParkTestConfig(size_t instances, size_t threads) {
+  OperationConfig config;
+  config.name = "park-op";
+  config.num_instances = instances;
+  config.num_threads = threads;
+  config.cache_size = 4;
+  return config;
+}
+
+TEST(OperationParkTest, ParkMidDrainConservesUnitsAndSignalsExits) {
+  WorkerPool pool(4);
+  SpinCountLogic logic;
+  Operation op(ParkTestConfig(8, 4), &logic, DataOutput{});
+  op.AddProducer();
+  std::atomic<size_t> exits{0};
+  std::atomic<size_t> parked_exits{0};
+  op.set_exit_callback([&exits, &parked_exits](bool parked) {
+    exits.fetch_add(1);
+    if (parked) parked_exits.fetch_add(1);
+  });
+  op.StartOn(&pool);
+
+  const size_t kTriggers = 2'000;
+  for (size_t i = 0; i < kTriggers / 2; ++i) op.PushTrigger(i % 8);
+  // Park mid-drain: with 4 live workers at most 3 are parkable (one must
+  // keep consuming), and the request is absorbed exactly.
+  const size_t requested = op.RequestPark(2);
+  EXPECT_EQ(requested, 2u);
+  for (size_t i = 0; i < kTriggers / 2; ++i) op.PushTrigger(i % 8);
+  op.ProducerDone();
+  op.Join();
+
+  EXPECT_EQ(logic.processed(), kTriggers);
+  EXPECT_EQ(exits.load(), 4u);
+  EXPECT_EQ(parked_exits.load(), requested);
+  EXPECT_EQ(op.active_workers(), 0u);
+  const OperationStats stats = op.stats();
+  uint64_t total = 0;
+  for (uint64_t c : stats.per_instance_processed) total += c;
+  EXPECT_EQ(total, kTriggers);  // Conservation across the parks.
+  EXPECT_EQ(stats.dropped, 0u);
+}
+
+TEST(OperationParkTest, LastActiveWorkerRefusesToPark) {
+  WorkerPool pool(2);
+  SpinCountLogic logic;
+  Operation op(ParkTestConfig(2, 1), &logic, DataOutput{});
+  op.AddProducer();
+  op.StartOn(&pool);
+  // A lone worker is never parkable: liveness with queued work requires a
+  // consumer.
+  EXPECT_EQ(op.RequestPark(1), 0u);
+  for (size_t i = 0; i < 100; ++i) op.PushTrigger(i % 2);
+  EXPECT_EQ(op.RequestPark(3), 0u);
+  op.ProducerDone();
+  op.Join();
+  EXPECT_EQ(logic.processed(), 100u);
+}
+
+TEST(OperationParkTest, GrantAddsAWorkerAndStatsSlot) {
+  WorkerPool pool(4);
+  SpinCountLogic logic;
+  Operation op(ParkTestConfig(8, 2), &logic, DataOutput{});
+  op.AddProducer();
+  op.StartOn(&pool);
+  // Producers are still open, so the operation is not drained and must
+  // accept a worker (capacity is max(threads, instances) = 8).
+  EXPECT_TRUE(op.TryGrantWorker());
+  for (size_t i = 0; i < 1'000; ++i) op.PushTrigger(i % 8);
+  op.ProducerDone();
+  op.Join();
+  EXPECT_EQ(logic.processed(), 1'000u);
+  const OperationStats stats = op.stats();
+  // The granted worker reports in its own stat slot past num_threads.
+  EXPECT_GE(stats.per_thread_processed.size(), 3u);
+  uint64_t total = 0;
+  for (uint64_t c : stats.per_instance_processed) total += c;
+  EXPECT_EQ(total, 1'000u);
+}
+
+TEST(OperationParkTest, GrantRacingCancellationDrainsCleanly) {
+  WorkerPool pool(6);
+  SpinCountLogic logic;
+  CancelToken cancel;
+  OperationConfig config = ParkTestConfig(8, 2);
+  config.cancel = cancel;
+  Operation op(config, &logic, DataOutput{});
+  op.AddProducer();
+  op.StartOn(&pool);
+  for (size_t i = 0; i < 4'000; ++i) op.PushTrigger(i % 8);
+  // Race grants against the cancel from two sides; both outcomes of each
+  // grant (accepted or refused) must leave the drain protocol intact.
+  std::thread canceller([&cancel] { cancel.Cancel(); });
+  size_t granted = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (op.TryGrantWorker()) ++granted;
+  }
+  canceller.join();
+  op.ProducerDone();
+  op.Join();
+  const OperationStats stats = op.stats();
+  uint64_t processed = 0;
+  for (uint64_t c : stats.per_instance_processed) processed += c;
+  // Conservation: every pushed unit was processed or drained-as-cancelled.
+  EXPECT_EQ(processed + stats.cancelled_units, 4'000u);
+  EXPECT_LE(granted, 4u);
+}
+
+TEST(OperationParkTest, TeardownWithParkedWorkersJoinsCleanly) {
+  SpinCountLogic logic;
+  {
+    WorkerPool pool(4);
+    Operation op(ParkTestConfig(4, 4), &logic, DataOutput{});
+    op.AddProducer();
+    op.StartOn(&pool);
+    for (size_t i = 0; i < 200; ++i) op.PushTrigger(i % 4);
+    // Park claims race ProducerDone and the drain; parked workers exit
+    // through the same protocol, so Join and the pool teardown see a
+    // consistent live count.
+    (void)op.RequestPark(3);
+    op.ProducerDone();
+    op.Join();
+  }
+  EXPECT_EQ(logic.processed(), 200u);
+}
+
+// ---------------------------------------------------------------------
+// ReassignPlanner policy (pure function).
+
+TEST(ReassignPlanTest, PressureParksDownToTheLiveFairShare) {
+  // One running query holding the whole pool, one waiter: the per-tick
+  // utilization recomputation makes the fair share pool/2.
+  std::vector<ExecSnapshot> execs = {{1, 8, 8}};
+  const ReassignPlan plan = PlanReassign(execs, 8, 0, /*pressure=*/true,
+                                         /*extra_load=*/1);
+  ASSERT_EQ(plan.parks.size(), 1u);
+  EXPECT_EQ(plan.parks[0].id, 1u);
+  EXPECT_EQ(plan.parks[0].count, 4u);  // 8 - floor(8 * 1/2).
+  EXPECT_TRUE(plan.grants.empty());
+}
+
+TEST(ReassignPlanTest, NoPressureGrantsRoundRobinByDeficit) {
+  std::vector<ExecSnapshot> execs = {{1, 1, 4}, {2, 1, 2}};
+  const ReassignPlan plan = PlanReassign(execs, 8, 3, /*pressure=*/false,
+                                         /*extra_load=*/0);
+  EXPECT_TRUE(plan.parks.empty());
+  ASSERT_EQ(plan.grants.size(), 2u);
+  // Largest deficit first, dealt one at a time: 2 for exec 1, 1 for exec 2.
+  EXPECT_EQ(plan.grants[0].id, 1u);
+  EXPECT_EQ(plan.grants[0].count, 2u);
+  EXPECT_EQ(plan.grants[1].id, 2u);
+  EXPECT_EQ(plan.grants[1].count, 1u);
+}
+
+TEST(ReassignPlanTest, ParksAndGrantsNeverShareATick) {
+  // Under pressure an under-provisioned execution still receives nothing —
+  // freed capacity goes to the waiters, preventing park/grant churn.
+  std::vector<ExecSnapshot> execs = {{1, 6, 6}, {2, 1, 4}};
+  const ReassignPlan plan = PlanReassign(execs, 8, 1, /*pressure=*/true,
+                                         /*extra_load=*/2);
+  EXPECT_TRUE(plan.grants.empty());
+  ASSERT_EQ(plan.parks.size(), 1u);
+  EXPECT_EQ(plan.parks[0].id, 1u);
+  EXPECT_EQ(plan.parks[0].count, 4u);  // Down to floor(8 * 1/4) = 2.
+}
+
+// ---------------------------------------------------------------------
+// PoolLoadBoard apply-side (fake execution, counted hooks).
+
+class FakeMalleable : public MalleableExecution {
+ public:
+  std::vector<OpLoad> SampleLoad() override { return {}; }
+  size_t RequestPark(size_t n) override {
+    park_requests += n;
+    return n;
+  }
+  bool TryGrantWorker() override {
+    if (refuse_grants) return false;
+    ++grants;
+    return true;
+  }
+
+  size_t park_requests = 0;
+  size_t grants = 0;
+  bool refuse_grants = false;
+};
+
+struct CountedSlots {
+  explicit CountedSlots(size_t free) : free_slots(free) {}
+  PoolLoadBoard::Hooks hooks() {
+    return {[this] {
+              size_t now = free_slots.load();
+              while (now > 0 &&
+                     !free_slots.compare_exchange_weak(now, now - 1)) {
+              }
+              if (now == 0) return false;
+              ++reserves;
+              return true;
+            },
+            [this] {
+              free_slots.fetch_add(1);
+              ++releases;
+            }};
+  }
+  std::atomic<size_t> free_slots;
+  std::atomic<size_t> reserves{0};
+  std::atomic<size_t> releases{0};
+};
+
+TEST(PoolLoadBoardTest, SoloSurvivorRegainsFullAllocationAfterCohortDrains) {
+  CountedSlots slots(0);
+  PoolLoadBoard board(slots.hooks());
+  FakeMalleable survivor;
+  FakeMalleable cohort;
+  // Admitted at MPL 2: both were clamped to half the pool (4 -> 2).
+  const uint64_t survivor_id = board.Register(&survivor, 2, 4);
+  const uint64_t cohort_id = board.Register(&cohort, 2, 2);
+
+  // While the cohort runs there is no idle capacity: nothing to grant.
+  board.Rebalance(4, 0, /*pressure=*/false, 0);
+  EXPECT_EQ(survivor.grants, 0u);
+
+  // Cohort drains: its workers exit (crediting slots) and it unregisters.
+  board.OnWorkerExit(cohort_id, false);
+  board.OnWorkerExit(cohort_id, false);
+  const RebalanceTotals cohort_totals = board.Unregister(cohort_id);
+  EXPECT_TRUE(cohort_totals.active);
+  EXPECT_EQ(slots.releases.load(), 2u);
+
+  // Next tick: the survivor is alone, fair share is the whole pool, and
+  // the freed capacity flows back — the admission-time clamp is undone.
+  board.Rebalance(4, 2, /*pressure=*/false, 0);
+  EXPECT_EQ(survivor.grants, 2u);
+  EXPECT_EQ(slots.reserves.load(), 2u);
+
+  const RebalanceTotals totals = board.Unregister(survivor_id);
+  EXPECT_TRUE(totals.active);
+  EXPECT_EQ(totals.granted, 2u);
+}
+
+TEST(PoolLoadBoardTest, RefusedGrantReturnsTheSlot) {
+  CountedSlots slots(2);
+  PoolLoadBoard board(slots.hooks());
+  FakeMalleable exec;
+  exec.refuse_grants = true;  // Drained / at capacity.
+  board.Register(&exec, 1, 4);
+  const PoolLoadBoard::TickReport report =
+      board.Rebalance(4, 2, /*pressure=*/false, 0);
+  EXPECT_EQ(report.grants_delivered, 0u);
+  // Every reserved slot was handed back: no capacity leaks on refusal.
+  EXPECT_EQ(slots.reserves.load(), slots.releases.load());
+  EXPECT_EQ(slots.free_slots.load(), 2u);
+}
+
+TEST(PoolLoadBoardTest, PressureForwardsParksToTheWidestExecution) {
+  CountedSlots slots(0);
+  PoolLoadBoard board(slots.hooks());
+  FakeMalleable wide;
+  board.Register(&wide, 6, 6);
+  board.Rebalance(8, 0, /*pressure=*/true, /*extra_load=*/1);
+  // Fair share at live load 2 is floor(8/2) = 4: park 2 of 6.
+  EXPECT_EQ(wide.park_requests, 2u);
+  EXPECT_EQ(board.total_parked(), 0u);  // Counted at exit, not request.
+  board.OnWorkerExit(1, true);
+  EXPECT_EQ(board.total_parked(), 1u);
+  EXPECT_EQ(slots.releases.load(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Joint CPU+memory admission (controller-level, deterministic hooks).
+
+TEST(AdmissionTest, CpuFitWaiterIsPackedPastABlockedWiderOne) {
+  AdmissionConfig config;
+  config.max_queued = 16;
+  config.pool_threads = 4;
+  std::atomic<size_t> free_threads{2};
+  config.free_threads = [&free_threads] { return free_threads.load(); };
+  AdmissionController ctrl(config);
+
+  PendingQuery wide;
+  wide.id = 1;
+  wide.threads_hint = 4;  // Needs more than the 2 free: would block.
+  PendingQuery narrow;
+  narrow.id = 2;
+  narrow.threads_hint = 2;  // Deliverable right now.
+  ASSERT_TRUE(ctrl.TryEnqueue(std::move(wide)).ok());
+  ASSERT_TRUE(ctrl.TryEnqueue(std::move(narrow)).ok());
+
+  PendingQuery out;
+  // FIFO would hand out the wide query first; joint packing prefers the
+  // narrow one whose thread share the pool can deliver immediately.
+  ASSERT_TRUE(ctrl.PopNext(&out));
+  EXPECT_EQ(out.id, 2u);
+  ASSERT_TRUE(ctrl.PopNext(&out));
+  EXPECT_EQ(out.id, 1u);
+  ctrl.Shutdown();
+}
+
+TEST(AdmissionTest, WiderThanPoolHintIsAlwaysCpuFit) {
+  AdmissionConfig config;
+  config.max_queued = 16;
+  config.pool_threads = 4;
+  config.free_threads = [] { return size_t{0}; };
+  AdmissionController ctrl(config);
+
+  PendingQuery fallback;
+  fallback.id = 1;
+  fallback.threads_hint = 8;  // Runs on private threads, not the pool.
+  PendingQuery narrow;
+  narrow.id = 2;
+  narrow.threads_hint = 1;
+  ASSERT_TRUE(ctrl.TryEnqueue(std::move(fallback)).ok());
+  ASSERT_TRUE(ctrl.TryEnqueue(std::move(narrow)).ok());
+
+  // Neither is deliverable from free pool capacity (0 free), but the
+  // wider-than-pool query never waits on the pool at all: FIFO holds.
+  PendingQuery out;
+  ASSERT_TRUE(ctrl.PopNext(&out));
+  EXPECT_EQ(out.id, 1u);
+  ctrl.Shutdown();
+}
+
+TEST(AdmissionTest, BypassAgingBoundsTheReordering) {
+  AdmissionConfig config;
+  config.max_queued = 64;
+  config.pool_threads = 4;
+  config.free_threads = [] { return size_t{1}; };
+  AdmissionController ctrl(config);
+
+  PendingQuery wide;
+  wide.id = 1;
+  wide.threads_hint = 3;  // Never CPU-fit with 1 free thread.
+  ASSERT_TRUE(ctrl.TryEnqueue(std::move(wide)).ok());
+  for (uint64_t i = 0; i < 20; ++i) {
+    PendingQuery narrow;
+    narrow.id = 100 + i;
+    narrow.threads_hint = 1;
+    ASSERT_TRUE(ctrl.TryEnqueue(std::move(narrow)).ok());
+  }
+
+  // 16 bypasses are allowed, then the wide query wins despite being
+  // CPU-unfit — packing delays it, starvation is impossible.
+  PendingQuery out;
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(ctrl.PopNext(&out));
+    EXPECT_GE(out.id, 100u) << "bypass " << i;
+  }
+  ASSERT_TRUE(ctrl.PopNext(&out));
+  EXPECT_EQ(out.id, 1u);
+  ctrl.Shutdown();
+}
+
+// ---------------------------------------------------------------------
+// End-to-end steady-state adaptivity through the runtime.
+
+TEST(AdaptiveRuntimeTest, ClampedQueryIsGrantedWorkersWhenTheCohortDrains) {
+  Database db(4);
+  WisconsinOptions opt;
+  opt.cardinality = 60'000;
+  opt.degree = 8;
+  ASSERT_TRUE(db.CreateWisconsin("t", opt).ok());
+  Relation* rel = db.relation("t").value();
+
+  QueryRuntimeOptions ropt;
+  ropt.pool_threads = 4;
+  ropt.max_concurrent_queries = 4;
+  ropt.rebalance_interval_us = 200;
+  ASSERT_TRUE(db.StartRuntime(ropt).ok());
+
+  // Hold one query body live so the long query is admitted at MPL 2 and
+  // clamped to half its width (4 -> 2 threads).
+  Latch cohort_started, cohort_release;
+  QuerySpec cohort;
+  cohort.body = Blocker(&cohort_started, &cohort_release);
+  QueryHandle cohort_handle = db.Submit(std::move(cohort));
+  cohort_started.Await();
+
+  Latch long_started;
+  TuplePredicate slow = [&long_started](const Tuple&) {
+    long_started.Set();
+    // ~1 us of work per tuple keeps the scan running across many ticks.
+    volatile uint32_t sink = 0;
+    for (uint32_t i = 0; i < 400; ++i) sink = sink + i;
+    return true;
+  };
+  QuerySpec longq;
+  longq.body = [rel, slow](QueryEnv& env) -> Result<QueryResult> {
+    auto result = std::make_unique<Relation>(
+        "res", rel->schema(), rel->partition_column(),
+        Partitioner(rel->partitioner().kind(), rel->degree()));
+    Plan plan;
+    const size_t filter = plan.AddNode(
+        "filter", ActivationMode::kTriggered, rel->degree(),
+        std::make_unique<FilterLogic>(rel, slow, 1.0));
+    const size_t store =
+        plan.AddNode("store", ActivationMode::kPipelined, rel->degree(),
+                     std::make_unique<StoreLogic>(result.get()));
+    DBS3_RETURN_IF_ERROR(plan.ConnectSameInstance(filter, store));
+    ScheduleOptions schedule;
+    schedule.total_threads = 4;
+    schedule.processors = 4;
+    DBS3_ASSIGN_OR_RETURN(PhaseOutcome phase,
+                          env.Run(plan, CostModel{}, schedule));
+    QueryResult out;
+    out.result = std::move(result);
+    out.execution = std::move(phase.execution);
+    return out;
+  };
+  QueryHandle long_handle = db.Submit(std::move(longq));
+  long_started.Await();
+
+  // The cohort drains while the long query still has most of its scan
+  // ahead; the solo survivor's fair share is the whole pool again.
+  cohort_release.Set();
+  ASSERT_TRUE(cohort_handle.Take().ok());
+
+  auto taken = long_handle.Take();
+  ASSERT_TRUE(taken.ok()) << taken.status().ToString();
+  EXPECT_EQ(taken.value().result->cardinality(), 60'000u);
+  const QueryRunStats stats = long_handle.stats();
+  // The admission-time clamp was undone mid-query: at least one extra
+  // worker was granted once the cohort drained (the regression this test
+  // pins: allocations used to stay frozen at admission).
+  EXPECT_GE(stats.threads_granted, 1u);
+
+  MetricsSnapshot snap = db.metrics().Snapshot();
+  EXPECT_GE(snap.counters["runtime.threads_granted"], 1u);
+}
+
+TEST(AdaptiveRuntimeTest, PressureParksALongQueryAndShortsGetThrough) {
+  Database db(4);
+  WisconsinOptions opt;
+  opt.cardinality = 60'000;
+  opt.degree = 8;
+  ASSERT_TRUE(db.CreateWisconsin("t", opt).ok());
+  Relation* rel = db.relation("t").value();
+
+  QueryRuntimeOptions ropt;
+  ropt.pool_threads = 4;
+  ropt.max_concurrent_queries = 4;
+  ropt.rebalance_interval_us = 200;
+  ASSERT_TRUE(db.StartRuntime(ropt).ok());
+
+  // The long query takes the whole pool (solo admission, no clamp).
+  Latch long_started;
+  TuplePredicate slow = [&long_started](const Tuple&) {
+    long_started.Set();
+    volatile uint32_t sink = 0;
+    for (uint32_t i = 0; i < 400; ++i) sink = sink + i;
+    return true;
+  };
+  QuerySpec longq;
+  longq.body = [rel, slow](QueryEnv& env) -> Result<QueryResult> {
+    auto result = std::make_unique<Relation>(
+        "res", rel->schema(), rel->partition_column(),
+        Partitioner(rel->partitioner().kind(), rel->degree()));
+    Plan plan;
+    const size_t filter = plan.AddNode(
+        "filter", ActivationMode::kTriggered, rel->degree(),
+        std::make_unique<FilterLogic>(rel, slow, 1.0));
+    const size_t store =
+        plan.AddNode("store", ActivationMode::kPipelined, rel->degree(),
+                     std::make_unique<StoreLogic>(result.get()));
+    DBS3_RETURN_IF_ERROR(plan.ConnectSameInstance(filter, store));
+    ScheduleOptions schedule;
+    schedule.total_threads = 4;
+    schedule.processors = 4;
+    DBS3_ASSIGN_OR_RETURN(PhaseOutcome phase,
+                          env.Run(plan, CostModel{}, schedule));
+    QueryResult out;
+    out.result = std::move(result);
+    out.execution = std::move(phase.execution);
+    return out;
+  };
+  QueryHandle long_handle = db.Submit(std::move(longq));
+  long_started.Await();
+
+  // A short lookup arrives while the pool is fully reserved. Statically it
+  // would block until the long query ends; the rebalancer sees the blocked
+  // reservation as pressure and parks long-query workers to free slots.
+  QueryOptions short_opts;
+  short_opts.schedule.total_threads = 1;
+  short_opts.schedule.processors = 1;
+  auto short_result = RunSelect(db, "t", MatchAll(), 1.0, short_opts);
+  ASSERT_TRUE(short_result.ok()) << short_result.status().ToString();
+  EXPECT_EQ(short_result.value().result->cardinality(), 60'000u);
+
+  auto taken = long_handle.Take();
+  ASSERT_TRUE(taken.ok()) << taken.status().ToString();
+  EXPECT_EQ(taken.value().result->cardinality(), 60'000u);
+  const QueryRunStats stats = long_handle.stats();
+  // At least one long-query worker parked to make room (and may have been
+  // granted back after the short finished).
+  EXPECT_GE(stats.threads_released, 1u);
 }
 
 }  // namespace

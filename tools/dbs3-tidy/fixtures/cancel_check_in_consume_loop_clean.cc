@@ -55,6 +55,17 @@ void RouteTaggedChunksUntilStopped(ActivationQueue* queue, Operation* sinks,
   }
 }
 
+// The park-wait worker loop done right: the token is consulted at every
+// activation boundary, the same grain park requests are claimed at, so
+// both cancellation and mid-query worker release stay bounded.
+void WorkerLoopWithToken(Operation* op, const CancelToken& cancel) {
+  std::vector<Activation> batch;
+  while (!cancel.ShouldStop()) {
+    if (op->AcquireBatch(0, &batch) == 0) break;
+    batch.clear();
+  }
+}
+
 // Spilled-batch replay with a per-chunk check: a cancelled member stops
 // paying for the replay after at most one chunk.
 Status ReplaySpilledBatchChecked(SpillFile* file, Operation* sinks,

@@ -46,6 +46,17 @@ void RouteTaggedChunks(ActivationQueue* queue, Operation* sinks) {
   }
 }
 
+// The park-wait worker-loop shape without a token: a worker acquiring
+// activation batches must consult the token each boundary, or a park /
+// cancel request waits for the whole drain.
+void WorkerLoopWithoutToken(Operation* op) {
+  std::vector<Activation> batch;
+  while (true) {  // DBS3-TIDY: dbs3-cancel-check-in-consume-loop
+    if (op->AcquireBatch(0, &batch) == 0) break;
+    batch.clear();
+  }
+}
+
 // Replaying a spilled shared batch to late members: the file drives the
 // loop, so a cancel can only land between files, not between chunks.
 Status ReplaySpilledBatch(SpillFile* file, Operation* sinks) {

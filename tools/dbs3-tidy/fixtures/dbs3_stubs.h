@@ -70,6 +70,9 @@ class Operation {
   void PushData(size_t, Tuple) {}
   void PushDataChunk(size_t, std::vector<Tuple>) {}
   void PushTrigger(size_t) {}
+  /// The worker-loop acquisition (batch of activations under one queue
+  /// lock) — a consume call the cancel-in-consume-loop check recognizes.
+  size_t AcquireBatch(size_t, std::vector<Activation>*) { return 0; }
 };
 
 class CancelToken {

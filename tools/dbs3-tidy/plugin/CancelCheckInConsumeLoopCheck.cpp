@@ -55,7 +55,8 @@ bool LoopConsultsCancelToken(const Stmt* Loop) {
 void CancelCheckInConsumeLoopCheck::registerMatchers(MatchFinder* Finder) {
   Finder->addMatcher(
       cxxMemberCallExpr(
-          callee(cxxMethodDecl(hasAnyName("PopBatch", "ReadChunk"))))
+          callee(cxxMethodDecl(
+              hasAnyName("PopBatch", "ReadChunk", "AcquireBatch"))))
           .bind("consume"),
       this);
 }

@@ -598,7 +598,8 @@ void CheckCancelInConsumeLoop(const ScopedSource& ss, std::vector<Diag>* out) {
   std::set<size_t> flagged;  // Loop begin tokens already reported.
   for (size_t i = 0; i < toks.size(); ++i) {
     if (!(toks[i].kind == Kind::kIdent &&
-          TextIn(toks[i], {"PopBatch", "ReadChunk"}) && IsCall(toks, i))) {
+          TextIn(toks[i], {"PopBatch", "ReadChunk", "AcquireBatch"}) &&
+          IsCall(toks, i))) {
       continue;
     }
     // Innermost loop containing the consuming call.
